@@ -1,0 +1,148 @@
+// Ablation bench (not a paper figure): sweeps the design knobs DESIGN.md
+// calls out, to show how each choice moves incremental cost.
+//
+//   A. Rotating-tree bucket width w: buckets batch w splits per slide;
+//      small w = more tree levels, large w = bigger foreground batches.
+//   B. Query-pipeline chunk count: more chunks isolate changes better but
+//      add per-chunk task overhead.
+//   C. Randomized-tree boundary probability p: group size vs tree height.
+//   D. Memory-tier capacity: read-time degradation as the in-memory cache
+//      shrinks toward disk-only operation.
+
+#include "bench/bench_util.h"
+#include "query/pigmix.h"
+#include "query/pipeline.h"
+
+using namespace slider;
+using namespace slider::bench;
+
+namespace {
+
+void ablate_bucket_width() {
+  print_title("A. Rotating tree: slide width w (fixed window of 120 splits)");
+  std::printf("%-14s %16s %16s %16s\n", "slide width", "tree height",
+              "merges/slide", "fg work/slide");
+  const auto bench = apps::make_microbenchmark(apps::MicroApp::kHct);
+  for (const std::size_t w : {2u, 4u, 8u, 15u, 30u}) {
+    ExperimentParams params;
+    params.mode = WindowMode::kFixedWidth;
+    params.change_fraction = static_cast<double>(w) / 120.0;
+    params.records_per_split = records_per_split_for(bench);
+    BenchEnv env;
+    Driver driver(env, bench, params);
+    driver.initial_run();
+    driver.slide();
+    const RunMetrics m = driver.slide();
+    std::printf("%-14zu %16d %16llu %15.3fs\n", w,
+                driver.session().tree_height(0),
+                static_cast<unsigned long long>(m.combiner_invocations),
+                m.work() - m.map_work);
+  }
+}
+
+void ablate_chunks() {
+  print_title("B. Query pipeline: later-stage chunk count (5% slide)");
+  std::printf("%-14s %16s %16s\n", "chunks", "remapped", "work/slide");
+  const query::PigMixQuery q = query::pigmix_queries()[0];
+  for (const std::size_t chunks : {8u, 16u, 32u, 64u, 128u}) {
+    BenchEnv env;
+    query::PipelineConfig config;
+    config.first_stage.mode = WindowMode::kFixedWidth;
+    config.first_stage.bucket_width = 4;
+    config.chunks_per_stage = chunks;
+    query::QueryPipeline pipeline(env.engine, env.memo, q.stages, config);
+    query::PageViewGenerator gen;
+    auto splits = make_splits(gen.next_batch(80 * 100), 100, 0);
+    pipeline.initial_run(splits);
+    SplitId next_id = 80;
+    RunMetrics m;
+    for (int i = 0; i < 2; ++i) {
+      auto added = make_splits(gen.next_batch(4 * 100), 100, next_id);
+      next_id += 4;
+      m = pipeline.slide(4, added);
+    }
+    std::printf("%-14zu %16llu %15.3fs\n", chunks,
+                static_cast<unsigned long long>(m.map_tasks), m.work());
+  }
+}
+
+void ablate_boundary_probability() {
+  print_title("C. Randomized folding tree: boundary probability p");
+  std::printf("%-14s %16s %16s\n", "p", "tree height", "merges/slide");
+  const auto bench = apps::make_microbenchmark(apps::MicroApp::kHct);
+  for (const double p : {0.25, 0.5, 0.75}) {
+    ExperimentParams params;
+    params.mode = WindowMode::kVariableWidth;
+    params.tree_kind = TreeKind::kRandomizedFolding;
+    params.change_fraction = 0.05;
+    params.records_per_split = records_per_split_for(bench);
+    BenchEnv env;
+    SliderConfig config;
+    config.mode = params.mode;
+    config.tree_kind = params.tree_kind;
+    config.boundary_probability = p;
+    SliderSession session(env.engine, env.memo, bench.job, config);
+    Rng rng(5);
+    auto records = apps::generate_input(
+        bench.app, params.window_splits * params.records_per_split, rng, 0);
+    auto splits = make_splits(std::move(records), params.records_per_split, 0);
+    session.initial_run(splits);
+    RunMetrics m;
+    SplitId next_id = params.window_splits;
+    for (int i = 0; i < 2; ++i) {
+      auto added_records = apps::generate_input(
+          bench.app, 6 * params.records_per_split, rng, next_id * 1'000'000);
+      auto added = make_splits(std::move(added_records),
+                               params.records_per_split, next_id);
+      next_id += 6;
+      m = session.slide(6, std::move(added));
+    }
+    std::printf("%-14.2f %16d %16llu\n", p, session.tree_height(0),
+                static_cast<unsigned long long>(m.combiner_invocations));
+  }
+}
+
+void ablate_memory_capacity() {
+  print_title("D. Memory tier capacity vs memo read time (fixed-width, 5%)");
+  std::printf("%-18s %16s %16s\n", "capacity", "evictions",
+              "read time/slide");
+  const auto bench = apps::make_microbenchmark(apps::MicroApp::kMatrix);
+  for (const std::uint64_t cap :
+       {std::uint64_t{0}, std::uint64_t{64} << 20, std::uint64_t{8} << 20,
+        std::uint64_t{1} << 20}) {
+    ExperimentParams params;
+    params.mode = WindowMode::kFixedWidth;
+    params.change_fraction = 0.05;
+    params.records_per_split = records_per_split_for(bench);
+    BenchEnv env;
+    env.memo.set_memory_capacity_bytes(cap);
+    Driver driver(env, bench, params);
+    driver.initial_run();
+    driver.slide();
+    env.memo.reset_stats();
+    const RunMetrics m = driver.slide();
+    if (cap == 0) {
+      std::printf("%-18s %16llu %15.4fs\n", "unbounded",
+                  static_cast<unsigned long long>(
+                      env.memo.stats().memory_evictions),
+                  m.memo_read_work);
+    } else {
+      std::printf("%-15llu MB %16llu %15.4fs\n",
+                  static_cast<unsigned long long>(cap >> 20),
+                  static_cast<unsigned long long>(
+                      env.memo.stats().memory_evictions),
+                  m.memo_read_work);
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablations: design-knob sweeps (no paper counterpart)\n");
+  ablate_bucket_width();
+  ablate_chunks();
+  ablate_boundary_probability();
+  ablate_memory_capacity();
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Figure 12: randomized folding tree vs the plain folding tree (§3.2).
+//
+// Two update scenarios on a variable-width window: shrink by 25% (or 50%)
+// then add 1% of new items. The plain folding tree only halves its height
+// when an entire leaf-level half goes void, so after a 50% shrink it keeps
+// operating on an oversized tree; the randomized tree's expected height
+// tracks the live window, making subsequent updates cheaper. The paper
+// reports 15-22% work gains at 50% removals, and a slight win for the
+// plain tree at 25% removals.
+
+#include "bench/bench_util.h"
+
+using namespace slider;
+using namespace slider::bench;
+
+namespace {
+
+struct UpdateResult {
+  double tree_work = 0;
+  int height_after = 0;
+};
+
+// Work of one update that shrinks the window by remove_fraction AND adds
+// 1% of new items (the paper's exact scenario).
+UpdateResult update_work(const apps::MicroBenchmark& bench, TreeKind kind,
+                         double remove_fraction) {
+  ExperimentParams params;
+  params.mode = WindowMode::kVariableWidth;
+  params.tree_kind = kind;
+  params.window_splits = 192;  // capacity 256: a 50% drop leaves the
+                               // left half partially occupied, so the
+                               // plain tree cannot fold
+  params.records_per_split = records_per_split_for(bench);
+
+  BenchEnv env;
+  Driver driver(env, bench, params);
+  driver.initial_run();
+
+  // One update: drop remove_fraction of the window and add 1% new items.
+  const auto remove = static_cast<std::size_t>(
+      static_cast<double>(params.window_splits) * remove_fraction);
+  Rng rng(4242);
+  auto records = apps::generate_input(
+      bench.app, 2 * params.records_per_split, rng, 99'000'000);
+  auto added = make_splits(std::move(records), params.records_per_split,
+                           1'000'000);
+  const RunMetrics m = driver.session().slide(remove, std::move(added));
+  // Tree-side work: the map work for the 1% is identical in both trees.
+  return UpdateResult{m.work() - m.map_work,
+                      driver.session().tree_height(0)};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Figure 12: randomized folding tree, work speedup over the "
+              "plain folding tree\n");
+  print_title("shrink window, then add 1% of new items (window = 192 splits)");
+  print_paper_note("50% remove + 1% add: randomized 15-22% faster; "
+                   "25% remove + 1% add: plain folding slightly better");
+
+  std::printf("%-10s %22s %22s %20s\n", "app", "25% remove + 1% add",
+              "50% remove + 1% add", "height after 50%");
+  for (const auto app : {apps::MicroApp::kKMeans, apps::MicroApp::kMatrix}) {
+    const auto bench = apps::make_microbenchmark(app);
+    std::printf("%-10s", bench.name.c_str());
+    int fold_h = 0;
+    int rand_h = 0;
+    for (const double remove : {0.25, 0.50}) {
+      const UpdateResult folding =
+          update_work(bench, TreeKind::kFolding, remove);
+      const UpdateResult randomized =
+          update_work(bench, TreeKind::kRandomizedFolding, remove);
+      std::printf("%21.2fx", folding.tree_work / randomized.tree_work);
+      fold_h = folding.height_after;
+      rand_h = randomized.height_after;
+    }
+    std::printf("      fold=%d rand=%d\n", fold_h, rand_h);
+  }
+  std::printf(
+      "\nNote: the paper's §3.2 *mechanism* reproduces — after a 50%%\n"
+      "shrink the randomized tree's height tracks log2(live window) while\n"
+      "the plain folding tree keeps its pre-shrink height — but in this\n"
+      "reproduction the plain tree converts voided paths into cheap\n"
+      "passthrough re-executions and reuses memoized siblings, so its\n"
+      "update work stays below the randomized variant's group re-merges.\n"
+      "See EXPERIMENTS.md for the full analysis of this divergence.\n");
+  return 0;
+}

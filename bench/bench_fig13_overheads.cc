@@ -1,0 +1,100 @@
+// Figure 13: overheads of Slider during the initial (fresh) run.
+//
+// Three panels: work and time overhead of the initial run relative to
+// vanilla Hadoop (building and memoizing the contraction tree is pure
+// extra cost the first time), and the space overhead of the memoized
+// state, normalized by input size.
+
+#include "bench/bench_util.h"
+
+using namespace slider;
+using namespace slider::bench;
+
+namespace {
+
+struct Overheads {
+  double work_pct = 0;
+  double time_pct = 0;
+  double space_factor = 0;
+};
+
+Overheads measure(const apps::MicroBenchmark& bench, WindowMode mode) {
+  ExperimentParams params;
+  params.mode = mode;
+  params.records_per_split = records_per_split_for(bench);
+
+  BenchEnv env;
+  Driver driver(env, bench, params);
+  const RunMetrics slider_initial = driver.initial_run();
+  const RunMetrics vanilla = driver.scratch();
+
+  std::size_t input_bytes = 0;
+  for (const auto& split : driver.window()) input_bytes += split->byte_size;
+
+  Overheads o;
+  o.work_pct =
+      100.0 * (slider_initial.work() - vanilla.work()) / vanilla.work();
+  o.time_pct = 100.0 * (slider_initial.time - vanilla.time) / vanilla.time;
+  o.space_factor = static_cast<double>(env.memo.total_bytes()) /
+                   static_cast<double>(input_bytes);
+  return o;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Figure 13: overheads of Slider for the initial run "
+              "(one-time cost; window = 120 splits)\n");
+
+  const WindowMode modes[] = {WindowMode::kAppendOnly,
+                              WindowMode::kFixedWidth,
+                              WindowMode::kVariableWidth};
+  const char* mode_names[] = {"Append-only", "Fixed-width", "Variable-width"};
+
+  // Measure everything once, print three panels.
+  Overheads results[5][3];
+  const auto benches = apps::all_microbenchmarks();
+  for (std::size_t a = 0; a < benches.size(); ++a) {
+    for (int m = 0; m < 3; ++m) {
+      results[a][m] = measure(benches[a], modes[m]);
+    }
+  }
+
+  print_title("Fig 13(a): WORK overhead (%)");
+  print_paper_note("low for compute-intensive apps; higher for "
+                   "data-intensive (I/O to memoize tree nodes); V > F > A");
+  std::printf("%-10s", "app");
+  for (const char* name : mode_names) std::printf("%16s", name);
+  std::printf("\n");
+  for (std::size_t a = 0; a < benches.size(); ++a) {
+    std::printf("%-10s", benches[a].name.c_str());
+    for (int m = 0; m < 3; ++m) std::printf("%15.1f%%", results[a][m].work_pct);
+    std::printf("\n");
+  }
+
+  print_title("Fig 13(b): TIME overhead (%)");
+  print_paper_note("up to ~70% for data-intensive apps; low for K-Means/KNN");
+  std::printf("%-10s", "app");
+  for (const char* name : mode_names) std::printf("%16s", name);
+  std::printf("\n");
+  for (std::size_t a = 0; a < benches.size(); ++a) {
+    std::printf("%-10s", benches[a].name.c_str());
+    for (int m = 0; m < 3; ++m) std::printf("%15.1f%%", results[a][m].time_pct);
+    std::printf("\n");
+  }
+
+  print_title("Fig 13(c): SPACE overhead (factor of input size)");
+  print_paper_note("Matrix highest (~12x); K-Means/KNN almost none "
+                   "(<0.01x); V > F > A");
+  std::printf("%-10s", "app");
+  for (const char* name : mode_names) std::printf("%16s", name);
+  std::printf("\n");
+  for (std::size_t a = 0; a < benches.size(); ++a) {
+    std::printf("%-10s", benches[a].name.c_str());
+    for (int m = 0; m < 3; ++m) {
+      std::printf("%15.2fx", results[a][m].space_factor);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

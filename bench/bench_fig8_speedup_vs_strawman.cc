@@ -1,0 +1,93 @@
+// Figure 8: performance gains of Slider compared to the memoization-based
+// strawman design (§2). Map-phase work is identical in both systems; the
+// difference is self-adjusting contraction trees vs the plain memoized
+// binary tree, so the speedups isolate the contribution of the new data
+// structures.
+
+#include <map>
+
+#include "bench/bench_util.h"
+
+using namespace slider;
+using namespace slider::bench;
+
+namespace {
+
+const int kChanges[] = {5, 10, 15, 20, 25};
+
+Speedups measure_vs_strawman(const apps::MicroBenchmark& bench,
+                             ExperimentParams params) {
+  auto run = [&](std::optional<TreeKind> kind) {
+    ExperimentParams p = params;
+    p.tree_kind = kind;
+    BenchEnv env;
+    Driver driver(env, bench, p);
+    driver.initial_run();
+    for (int i = 0; i < p.warm_slides; ++i) driver.slide();
+    return driver.slide();
+  };
+  const RunMetrics slider_metrics = run(std::nullopt);  // mode default tree
+  const RunMetrics strawman_metrics = run(TreeKind::kStrawman);
+  return Speedups{strawman_metrics.work() / slider_metrics.work(),
+                  strawman_metrics.time / slider_metrics.time};
+}
+
+using PanelResults = std::map<std::pair<int, std::string>, Speedups>;
+
+PanelResults run_mode(WindowMode mode) {
+  PanelResults results;
+  for (const auto& bench : apps::all_microbenchmarks()) {
+    for (const int pct : kChanges) {
+      ExperimentParams params;
+      params.mode = mode;
+      params.change_fraction = pct / 100.0;
+      params.records_per_split = records_per_split_for(bench);
+      results[{pct, bench.name}] = measure_vs_strawman(bench, params);
+    }
+  }
+  return results;
+}
+
+void print_panel(const PanelResults& results, bool report_work) {
+  std::printf("%-8s", "change%");
+  for (const auto& bench : apps::all_microbenchmarks()) {
+    std::printf("%10s", bench.name.c_str());
+  }
+  std::printf("\n");
+  for (const int pct : kChanges) {
+    std::printf("%-8d", pct);
+    for (const auto& bench : apps::all_microbenchmarks()) {
+      const Speedups& s = results.at({pct, bench.name});
+      std::printf("%9.1fx", report_work ? s.work : s.time);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Figure 8: Slider vs the memoization-based strawman "
+              "(window = 120 splits, 24 workers)\n");
+  const WindowMode modes[] = {WindowMode::kAppendOnly,
+                              WindowMode::kFixedWidth,
+                              WindowMode::kVariableWidth};
+  std::map<int, PanelResults> by_mode;
+  for (int i = 0; i < 3; ++i) by_mode[i] = run_mode(modes[i]);
+
+  char label = 'a';
+  for (int i = 0; i < 3; ++i, ++label) {
+    print_title(std::string("Fig 8(") + label + "): WORK speedup - " +
+                mode_tag(modes[i]));
+    print_paper_note("2x-4x work gains, shrinking as the delta grows "
+                     "(fastest shrink for compute-intensive apps)");
+    print_panel(by_mode[i], /*report_work=*/true);
+  }
+  for (int i = 0; i < 3; ++i, ++label) {
+    print_title(std::string("Fig 8(") + label + "): TIME speedup - " +
+                mode_tag(modes[i]));
+    print_paper_note("1.3x-3.7x time gains across modes");
+    print_panel(by_mode[i], /*report_work=*/false);
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Table 2: reduction in the time for reading memoized state with the
+// in-memory distributed cache vs the fault-tolerant persistent layer only
+// (fixed-width windowing, as in §7.3).
+
+#include "bench/bench_util.h"
+
+using namespace slider;
+using namespace slider::bench;
+
+namespace {
+
+SimDuration memo_read_time(const apps::MicroBenchmark& bench,
+                           bool memory_cache) {
+  ExperimentParams params;
+  params.mode = WindowMode::kFixedWidth;
+  params.change_fraction = 0.05;
+  params.records_per_split = records_per_split_for(bench);
+
+  BenchEnv env;
+  env.memo.set_memory_cache_enabled(memory_cache);
+  Driver driver(env, bench, params);
+  driver.initial_run();
+  SimDuration read_time = 0;
+  for (int i = 0; i < 5; ++i) {
+    read_time += driver.slide().memo_read_work;
+  }
+  return read_time;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Table 2: reduction in the time for reading memoized state "
+              "with in-memory caching (fixed-width)\n");
+  print_title("5 incremental runs, 5% change");
+  print_paper_note("K-Means 48.7%, HCT 56.9%, KNN 53.2%, Matrix 67.6%, "
+                   "subStr 66.2%");
+
+  std::printf("%-10s %16s %16s %14s\n", "app", "cached read(s)",
+              "disk-only(s)", "reduction");
+  for (const auto& bench : apps::all_microbenchmarks()) {
+    const SimDuration with_cache = memo_read_time(bench, true);
+    const SimDuration without_cache = memo_read_time(bench, false);
+    std::printf("%-10s %16.4f %16.4f %13.1f%%\n", bench.name.c_str(),
+                with_cache, without_cache,
+                100.0 * (without_cache - with_cache) / without_cache);
+  }
+  return 0;
+}

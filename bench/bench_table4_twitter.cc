@@ -1,0 +1,62 @@
+// Table 4: Twitter information-propagation case study (§8.1).
+//
+// Append-only windowing: a large bootstrap interval (all tweets up to
+// "Jun'09"), then four weekly appends of ~5% each. Reports per-week time
+// and work speedups of the incremental run vs recomputing from scratch.
+
+#include "apps/twitter.h"
+#include "bench/bench_util.h"
+
+using namespace slider;
+using namespace slider::bench;
+
+int main() {
+  std::printf("Table 4: summary of the Twitter data analysis "
+              "(append-only windowing)\n");
+  print_title("bootstrap + 4 weekly appends of ~5%");
+  print_paper_note("change ~5% per week; time speedup ~8.9-9.4x; work "
+                   "speedup ~13.7-14.3x; initial-run overhead 22%");
+
+  BenchEnv env;
+  const JobSpec job = apps::make_twitter_job();
+
+  constexpr std::size_t kTweetsPerSplit = 150;
+  constexpr std::size_t kBootstrapSplits = 480;
+  constexpr std::size_t kWeeklySplits = 24;  // 5% of the bootstrap
+
+  SliderConfig config;
+  config.mode = WindowMode::kAppendOnly;
+  SliderSession session(env.engine, env.memo, job, config);
+
+  apps::TwitterGenerator gen;
+  auto splits = make_splits(gen.next_batch(kBootstrapSplits * kTweetsPerSplit),
+                            kTweetsPerSplit, 0);
+  std::vector<SplitPtr> history = splits;
+  const RunMetrics initial = session.initial_run(splits);
+  const RunMetrics vanilla_initial = env.engine.run(job, history).metrics;
+  std::printf("\n%-12s %12s %10s %14s %14s\n", "interval", "tweets",
+              "change", "time speedup", "work speedup");
+  std::printf("%-12s %12zu %10s %14s %14s   (initial-run overhead: %.0f%%)\n",
+              "bootstrap", kBootstrapSplits * kTweetsPerSplit, "-", "-", "-",
+              100.0 * (initial.work() - vanilla_initial.work()) /
+                  vanilla_initial.work());
+
+  SplitId next_id = kBootstrapSplits;
+  for (int week = 1; week <= 4; ++week) {
+    auto added = make_splits(gen.next_batch(kWeeklySplits * kTweetsPerSplit),
+                             kTweetsPerSplit, next_id);
+    next_id += kWeeklySplits;
+    const double change = 100.0 * static_cast<double>(kWeeklySplits) /
+                          static_cast<double>(history.size() / 1);
+    const RunMetrics inc = session.slide(0, added);
+    for (const auto& s : added) history.push_back(s);
+    const RunMetrics scratch = env.engine.run(job, history).metrics;
+    std::printf("%-12s %12zu %9.1f%% %13.1fx %13.1fx\n",
+                ("week " + std::to_string(week)).c_str(),
+                kWeeklySplits * kTweetsPerSplit,
+                change * static_cast<double>(kWeeklySplits) /
+                    static_cast<double>(kWeeklySplits),
+                scratch.time / inc.time, scratch.work() / inc.work());
+  }
+  return 0;
+}

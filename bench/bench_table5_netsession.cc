@@ -1,0 +1,105 @@
+// Table 5: Akamai NetSession accountability case study (§8.3).
+//
+// Variable-width windowing: a one-month audit window of tamper-evident
+// client logs slides by one week, with 100% → 75% of clients online to
+// upload their logs in the final week — so the window size varies run to
+// run. Reports time and work speedups per upload fraction.
+
+#include "apps/netsession.h"
+#include "bench/bench_util.h"
+
+using namespace slider;
+using namespace slider::bench;
+
+namespace {
+
+struct Result {
+  double time_speedup = 0;
+  double work_speedup = 0;
+};
+
+Result run_audit(double final_week_fraction) {
+  BenchEnv env;
+  const JobSpec job = apps::make_netsession_job();
+
+  SliderConfig config;
+  config.mode = WindowMode::kVariableWidth;
+  SliderSession session(env.engine, env.memo, job, config);
+
+  apps::NetSessionGenOptions gen_options;
+  gen_options.clients = 3'000;
+  apps::NetSessionGenerator gen(gen_options);
+  constexpr std::size_t kEntriesPerSplit = 300;
+
+  std::vector<std::vector<SplitPtr>> weeks;
+  std::vector<SplitPtr> window;
+  SplitId next_id = 0;
+  auto gen_week = [&](double fraction) {
+    auto splits = make_splits(gen.next_week(fraction), kEntriesPerSplit,
+                              next_id);
+    next_id += splits.size();
+    return splits;
+  };
+
+  std::vector<SplitPtr> initial;
+  for (int w = 0; w < 4; ++w) {
+    auto week = gen_week(1.0);
+    for (const auto& s : week) {
+      window.push_back(s);
+      initial.push_back(s);
+    }
+    weeks.push_back(std::move(week));
+  }
+  session.initial_run(initial);
+
+  // Warm slide at full participation, then the measured week-5 slide with
+  // the reduced upload fraction.
+  Result result;
+  for (int step = 0; step < 2; ++step) {
+    const double fraction = step == 0 ? 1.0 : final_week_fraction;
+    auto added = gen_week(fraction);
+    const std::size_t drop = weeks.front().size();
+    weeks.erase(weeks.begin());
+
+    const RunMetrics inc = session.slide(drop, added);
+    window.erase(window.begin(),
+                 window.begin() + static_cast<std::ptrdiff_t>(drop));
+    for (const auto& s : added) window.push_back(s);
+    weeks.push_back(std::move(added));
+
+    if (step == 1) {
+      const RunMetrics scratch = env.engine.run(job, window).metrics;
+      result.time_speedup = scratch.time / inc.time;
+      result.work_speedup = scratch.work() / inc.work();
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Table 5: Akamai NetSession data analysis summary "
+              "(variable-width windowing)\n");
+  print_title("1-month window sliding by 1 week; varying client upload %");
+  print_paper_note("time speedup 1.72-2.24, work speedup 2.07-2.74; both "
+                   "GROW as fewer clients upload (smaller delta)");
+
+  std::printf("%-22s", "% clients online");
+  for (const int pct : {100, 95, 90, 85, 80, 75}) std::printf("%8d%%", pct);
+  std::printf("\n");
+
+  std::string time_row;
+  std::string work_row;
+  std::printf("%-22s", "time speedup");
+  std::vector<double> works;
+  for (const int pct : {100, 95, 90, 85, 80, 75}) {
+    const Result r = run_audit(pct / 100.0);
+    std::printf("%8.2fx", r.time_speedup);
+    works.push_back(r.work_speedup);
+  }
+  std::printf("\n%-22s", "work speedup");
+  for (const double w : works) std::printf("%8.2fx", w);
+  std::printf("\n");
+  return 0;
+}

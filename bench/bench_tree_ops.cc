@@ -1,0 +1,149 @@
+// Micro-benchmarks of contraction-tree operations (google-benchmark).
+//
+// Not a paper figure: these measure the raw in-process cost of tree
+// builds, slides, and merges across variants and window sizes — the
+// numbers behind the asymptotic claims (update work ∝ delta · log window
+// for self-adjusting trees, ∝ window for the strawman).
+
+#include <benchmark/benchmark.h>
+
+#include "contraction/coalescing_tree.h"
+#include "contraction/folding_tree.h"
+#include "contraction/randomized_tree.h"
+#include "contraction/rotating_tree.h"
+#include "contraction/strawman_tree.h"
+#include "contraction/tree.h"
+#include "tests/test_util.h"
+
+namespace slider {
+namespace {
+
+using testing::random_leaf;
+using testing::sum_combiner;
+
+MemoContext bench_ctx() {
+  MemoContext ctx;
+  ctx.job_hash = 0xBE7C4;
+  return ctx;
+}
+
+std::vector<Leaf> bench_leaves(std::size_t count, SplitId first = 0) {
+  Rng rng(first * 1000 + 5);
+  std::vector<Leaf> leaves;
+  leaves.reserve(count);
+  const CombineFn combiner = sum_combiner();
+  for (std::size_t i = 0; i < count; ++i) {
+    leaves.push_back(
+        random_leaf(first + i, rng, combiner, /*keys_per_leaf=*/20,
+                    /*key_space=*/200));
+  }
+  return leaves;
+}
+
+void BM_KVTableMerge(benchmark::State& state) {
+  const CombineFn combiner = sum_combiner();
+  Rng rng(1);
+  const Leaf a = random_leaf(0, rng, combiner, static_cast<int>(state.range(0)),
+                             static_cast<int>(state.range(0)) * 2);
+  const Leaf b = random_leaf(1, rng, combiner, static_cast<int>(state.range(0)),
+                             static_cast<int>(state.range(0)) * 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(KVTable::merge(*a.table, *b.table, combiner));
+  }
+}
+BENCHMARK(BM_KVTableMerge)->Arg(16)->Arg(256)->Arg(4096);
+
+template <typename TreeT, typename... Args>
+void build_bench(benchmark::State& state, Args... args) {
+  const CombineFn combiner = sum_combiner();
+  auto leaves = bench_leaves(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    TreeT tree(bench_ctx(), combiner, args...);
+    TreeUpdateStats stats;
+    auto copy = leaves;
+    tree.initial_build(std::move(copy), &stats);
+    benchmark::DoNotOptimize(tree.root());
+  }
+}
+
+void BM_FoldingBuild(benchmark::State& state) {
+  build_bench<FoldingTree>(state);
+}
+BENCHMARK(BM_FoldingBuild)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_RandomizedBuild(benchmark::State& state) {
+  build_bench<RandomizedFoldingTree>(state);
+}
+BENCHMARK(BM_RandomizedBuild)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_StrawmanBuild(benchmark::State& state) {
+  build_bench<StrawmanTree>(state);
+}
+BENCHMARK(BM_StrawmanBuild)->Arg(64)->Arg(256)->Arg(1024);
+
+// Slide cost as a function of window size: the self-adjusting trees should
+// grow polylogarithmically, the strawman linearly.
+template <typename TreeT>
+void slide_bench(benchmark::State& state) {
+  const CombineFn combiner = sum_combiner();
+  const auto window = static_cast<std::size_t>(state.range(0));
+  TreeT tree(bench_ctx(), combiner);
+  TreeUpdateStats stats;
+  tree.initial_build(bench_leaves(window), &stats);
+  SplitId next = window;
+  std::uint64_t merges = 0;
+  std::uint64_t slides = 0;
+  for (auto _ : state) {
+    TreeUpdateStats slide_stats;
+    tree.apply_delta(1, bench_leaves(1, next), &slide_stats);
+    ++next;
+    merges += slide_stats.combiner_invocations;
+    ++slides;
+  }
+  state.counters["merges/slide"] =
+      static_cast<double>(merges) / static_cast<double>(slides);
+}
+
+void BM_FoldingSlide(benchmark::State& state) {
+  slide_bench<FoldingTree>(state);
+}
+BENCHMARK(BM_FoldingSlide)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_StrawmanSlide(benchmark::State& state) {
+  slide_bench<StrawmanTree>(state);
+}
+BENCHMARK(BM_StrawmanSlide)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_RotatingSlide(benchmark::State& state) {
+  const CombineFn combiner = sum_combiner();
+  const auto window = static_cast<std::size_t>(state.range(0));
+  RotatingTree tree(bench_ctx(), combiner, /*bucket_width=*/4,
+                    /*split_processing=*/false);
+  TreeUpdateStats stats;
+  tree.initial_build(bench_leaves(window), &stats);
+  SplitId next = window;
+  for (auto _ : state) {
+    tree.apply_delta(4, bench_leaves(4, next), &stats);
+    next += 4;
+  }
+}
+BENCHMARK(BM_RotatingSlide)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_CoalescingAppend(benchmark::State& state) {
+  const CombineFn combiner = sum_combiner();
+  CoalescingTree tree(bench_ctx(), combiner, /*split_processing=*/false);
+  TreeUpdateStats stats;
+  tree.initial_build(bench_leaves(static_cast<std::size_t>(state.range(0))),
+                     &stats);
+  SplitId next = static_cast<SplitId>(state.range(0));
+  for (auto _ : state) {
+    tree.apply_delta(0, bench_leaves(1, next), &stats);
+    ++next;
+  }
+}
+BENCHMARK(BM_CoalescingAppend)->Arg(64)->Arg(1024);
+
+}  // namespace
+}  // namespace slider
+
+BENCHMARK_MAIN();

@@ -1,0 +1,182 @@
+// Shared harness for the paper-reproduction benches.
+//
+// Each bench binary regenerates one table or figure from the paper's
+// evaluation (§7–8): it builds the paper's workload shape on the simulated
+// 24-worker cluster, runs Slider and the appropriate baseline, and prints
+// the same rows/series the paper reports, annotated with the paper's
+// numbers for comparison. Absolute values differ (different substrate);
+// the *shape* — who wins, by roughly what factor, where crossovers fall —
+// is the reproduction target.
+#pragma once
+
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "apps/microbench.h"
+#include "slider/session.h"
+
+namespace slider::bench {
+
+// The paper's testbed: 1 master + 24 workers, 2 slots each (§7.1). The
+// lower task overhead (vs the CostModel default) keeps task-launch cost in
+// the same proportion to task compute as Hadoop's is to its minutes-long
+// tasks.
+struct BenchEnv {
+  BenchEnv()
+      : cluster(ClusterConfig{.num_machines = 24, .slots_per_machine = 2}),
+        engine(cluster, cost),
+        memo(cluster, cost) {
+    cost.task_overhead_sec = 0.01;
+    // Memo-layer RPCs are batched per contraction task in practice; a
+    // per-operation latency of 0.1ms keeps the fixed cost proportionate.
+    cost.net_latency_sec = 1.0e-4;
+  }
+
+  CostModel cost{};
+  Cluster cluster;
+  VanillaEngine engine;
+  MemoStore memo;
+};
+
+struct ExperimentParams {
+  std::size_t window_splits = 120;
+  std::size_t records_per_split = 60;
+  double change_fraction = 0.05;
+  WindowMode mode = WindowMode::kFixedWidth;
+  std::optional<TreeKind> tree_kind;
+  bool split_processing = false;
+  // Slides executed before the measured one, so the session is in steady
+  // state (trees warm, memo populated).
+  int warm_slides = 1;
+  std::uint64_t seed = 99;
+};
+
+// Paper-shaped per-app inputs: compute-intensive apps get more, heavier
+// records (their cost is per-record CPU); data-intensive apps get document
+// batches whose emitted volume dominates.
+inline std::size_t records_per_split_for(const apps::MicroBenchmark& bench) {
+  return bench.compute_intensive ? 150 : 60;
+}
+
+inline std::size_t slide_splits(const ExperimentParams& p) {
+  auto n = static_cast<std::size_t>(
+      static_cast<double>(p.window_splits) * p.change_fraction + 0.5);
+  return n == 0 ? 1 : n;
+}
+
+// A Slider session plus the mirror of its window, driven slide by slide.
+class Driver {
+ public:
+  Driver(BenchEnv& env, const apps::MicroBenchmark& bench,
+         const ExperimentParams& params)
+      : env_(&env), bench_(bench), params_(params), rng_(params.seed) {
+    SliderConfig config;
+    config.mode = params.mode;
+    config.tree_kind = params.tree_kind;
+    config.split_processing = params.split_processing;
+    config.bucket_width = slide_splits(params);
+    session_ =
+        std::make_unique<SliderSession>(env.engine, env.memo, bench.job,
+                                        config);
+  }
+
+  RunMetrics initial_run() {
+    auto splits = next_splits(params_.window_splits);
+    window_ = splits;
+    RunMetrics m = session_->initial_run(std::move(splits));
+    if (params_.split_processing) session_->run_background();
+    return m;
+  }
+
+  // One slide of the configured delta; returns foreground metrics.
+  RunMetrics slide() {
+    const std::size_t add = slide_splits(params_);
+    const std::size_t remove =
+        params_.mode == WindowMode::kAppendOnly ? 0 : add;
+    auto added = next_splits(add);
+    for (std::size_t i = 0; i < remove; ++i) window_.erase(window_.begin());
+    for (const auto& s : added) window_.push_back(s);
+    return session_->slide(remove, std::move(added));
+  }
+
+  RunMetrics run_background() { return session_->run_background(); }
+
+  // Recompute-from-scratch cost of the *current* window (vanilla Hadoop).
+  RunMetrics scratch() const {
+    return env_->engine.run(bench_.job, window_).metrics;
+  }
+
+  SliderSession& session() { return *session_; }
+  const std::vector<SplitPtr>& window() const { return window_; }
+
+ private:
+  std::vector<SplitPtr> next_splits(std::size_t count) {
+    auto records = apps::generate_input(
+        bench_.app, count * params_.records_per_split, rng_,
+        next_split_id_ * 1'000'000);
+    auto splits = make_splits(std::move(records), params_.records_per_split,
+                              next_split_id_);
+    next_split_id_ += count;
+    return splits;
+  }
+
+  BenchEnv* env_;
+  apps::MicroBenchmark bench_;
+  ExperimentParams params_;
+  Rng rng_;
+  std::unique_ptr<SliderSession> session_;
+  std::vector<SplitPtr> window_;
+  SplitId next_split_id_ = 0;
+};
+
+struct Speedups {
+  double work = 0;
+  double time = 0;
+};
+
+// Steady-state incremental speedup of Slider vs recomputing from scratch.
+inline Speedups measure_vs_scratch(const apps::MicroBenchmark& bench,
+                                   const ExperimentParams& params) {
+  BenchEnv env;  // fresh cluster + memo per experiment
+  Driver driver(env, bench, params);
+  driver.initial_run();
+  for (int i = 0; i < params.warm_slides; ++i) {
+    driver.slide();
+    if (params.split_processing) driver.run_background();
+  }
+  const RunMetrics incremental = driver.slide();
+  const RunMetrics baseline = driver.scratch();
+  return Speedups{baseline.work() / incremental.work(),
+                  baseline.time / incremental.time};
+}
+
+// --- table printing -----------------------------------------------------------
+
+inline void print_rule(int width = 78) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+inline void print_title(const std::string& title) {
+  std::printf("\n");
+  print_rule();
+  std::printf("%s\n", title.c_str());
+  print_rule();
+}
+
+inline void print_paper_note(const std::string& note) {
+  std::printf("  paper: %s\n", note.c_str());
+}
+
+inline const char* mode_tag(WindowMode mode) {
+  switch (mode) {
+    case WindowMode::kAppendOnly: return "Append-only (A)";
+    case WindowMode::kFixedWidth: return "Fixed-width (F)";
+    case WindowMode::kVariableWidth: return "Variable-width (V)";
+  }
+  return "?";
+}
+
+}  // namespace slider::bench

@@ -1,0 +1,173 @@
+// sliderbench — a small CLI driver for exploring the system.
+//
+//   sliderbench [--app=kmeans|hct|knn|matrix|substr]
+//               [--mode=append|fixed|variable]
+//               [--window=SPLITS] [--slide=SPLITS] [--slides=N]
+//               [--records=PER_SPLIT] [--split-processing]
+//               [--tree=default|strawman|folding|randomized|rotating|coalescing]
+//
+// Runs an initial window plus N incremental slides and prints, per run,
+// the simulated work/time and the speedup against recomputing the same
+// window from scratch.
+//
+// Build & run:  ./build/examples/sliderbench --app=hct --mode=fixed
+
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "apps/microbench.h"
+#include "slider/session.h"
+
+using namespace slider;
+
+namespace {
+
+struct Options {
+  apps::MicroApp app = apps::MicroApp::kHct;
+  WindowMode mode = WindowMode::kFixedWidth;
+  std::size_t window = 120;
+  std::size_t slide = 6;
+  int slides = 5;
+  std::size_t records = 60;
+  bool split_processing = false;
+  std::optional<TreeKind> tree;
+};
+
+bool parse_flag(std::string_view arg, std::string_view name,
+                std::string* value) {
+  if (arg.rfind(name, 0) != 0) return false;
+  *value = std::string(arg.substr(name.size()));
+  return true;
+}
+
+std::optional<Options> parse_args(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    std::string value;
+    if (parse_flag(arg, "--app=", &value)) {
+      if (value == "kmeans") options.app = apps::MicroApp::kKMeans;
+      else if (value == "hct") options.app = apps::MicroApp::kHct;
+      else if (value == "knn") options.app = apps::MicroApp::kKnn;
+      else if (value == "matrix") options.app = apps::MicroApp::kMatrix;
+      else if (value == "substr") options.app = apps::MicroApp::kSubStr;
+      else return std::nullopt;
+    } else if (parse_flag(arg, "--mode=", &value)) {
+      if (value == "append") options.mode = WindowMode::kAppendOnly;
+      else if (value == "fixed") options.mode = WindowMode::kFixedWidth;
+      else if (value == "variable") options.mode = WindowMode::kVariableWidth;
+      else return std::nullopt;
+    } else if (parse_flag(arg, "--tree=", &value)) {
+      if (value == "default") options.tree.reset();
+      else if (value == "strawman") options.tree = TreeKind::kStrawman;
+      else if (value == "folding") options.tree = TreeKind::kFolding;
+      else if (value == "randomized")
+        options.tree = TreeKind::kRandomizedFolding;
+      else if (value == "rotating") options.tree = TreeKind::kRotating;
+      else if (value == "coalescing") options.tree = TreeKind::kCoalescing;
+      else return std::nullopt;
+    } else if (parse_flag(arg, "--window=", &value)) {
+      options.window = std::stoul(value);
+    } else if (parse_flag(arg, "--slide=", &value)) {
+      options.slide = std::stoul(value);
+    } else if (parse_flag(arg, "--slides=", &value)) {
+      options.slides = std::stoi(value);
+    } else if (parse_flag(arg, "--records=", &value)) {
+      options.records = std::stoul(value);
+    } else if (arg == "--split-processing") {
+      options.split_processing = true;
+    } else if (arg == "--help" || arg == "-h") {
+      return std::nullopt;
+    } else {
+      std::fprintf(stderr, "unknown flag: %.*s\n",
+                   static_cast<int>(arg.size()), arg.data());
+      return std::nullopt;
+    }
+  }
+  if (options.window == 0 || options.slide == 0 || options.records == 0) {
+    return std::nullopt;
+  }
+  return options;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto options = parse_args(argc, argv);
+  if (!options.has_value()) {
+    std::fprintf(
+        stderr,
+        "usage: sliderbench [--app=kmeans|hct|knn|matrix|substr]\n"
+        "                   [--mode=append|fixed|variable]\n"
+        "                   [--tree=default|strawman|folding|randomized|"
+        "rotating|coalescing]\n"
+        "                   [--window=N] [--slide=N] [--slides=N]\n"
+        "                   [--records=N] [--split-processing]\n");
+    return 2;
+  }
+
+  const auto bench = apps::make_microbenchmark(options->app);
+  std::printf("app=%s  mode=%s  window=%zu splits x %zu records  slide=%zu"
+              "%s\n\n",
+              bench.name.c_str(), std::string(to_string(options->mode)).c_str(),
+              options->window, options->records, options->slide,
+              options->split_processing ? "  (split processing)" : "");
+
+  CostModel cost;
+  cost.task_overhead_sec = 0.01;
+  Cluster cluster(ClusterConfig{.num_machines = 24, .slots_per_machine = 2});
+  VanillaEngine engine(cluster, cost);
+  MemoStore memo(cluster, cost);
+
+  SliderConfig config;
+  config.mode = options->mode;
+  config.tree_kind = options->tree;
+  config.bucket_width = options->slide;
+  config.split_processing = options->split_processing;
+  SliderSession session(engine, memo, bench.job, config);
+
+  Rng rng(1);
+  SplitId next_id = 0;
+  auto gen_splits = [&](std::size_t count) {
+    auto records = apps::generate_input(
+        options->app, count * options->records, rng, next_id * 1'000'000);
+    auto splits = make_splits(std::move(records), options->records, next_id);
+    next_id += count;
+    return splits;
+  };
+
+  auto splits = gen_splits(options->window);
+  std::vector<SplitPtr> window = splits;
+  const RunMetrics initial = session.initial_run(std::move(splits));
+  std::printf("%-10s %10s %10s %14s %14s\n", "run", "work(s)", "time(s)",
+              "work speedup", "time speedup");
+  std::printf("%-10s %10.3f %10.3f %14s %14s\n", "initial", initial.work(),
+              initial.time, "-", "-");
+  if (options->split_processing) session.run_background();
+
+  for (int i = 1; i <= options->slides; ++i) {
+    const std::size_t remove =
+        options->mode == WindowMode::kAppendOnly ? 0 : options->slide;
+    auto added = gen_splits(options->slide);
+    for (std::size_t r = 0; r < remove; ++r) window.erase(window.begin());
+    for (const auto& s : added) window.push_back(s);
+
+    const RunMetrics inc = session.slide(remove, std::move(added));
+    const RunMetrics scratch = engine.run(bench.job, window).metrics;
+    std::printf("%-10s %10.3f %10.3f %13.1fx %13.1fx\n",
+                ("slide " + std::to_string(i)).c_str(), inc.work(), inc.time,
+                scratch.work() / inc.work(), scratch.time / inc.time);
+    if (options->split_processing) {
+      const RunMetrics bg = session.run_background();
+      std::printf("%-10s %10.3f %10.3f\n", "  (bg)", bg.background_work,
+                  bg.background_time);
+    }
+  }
+
+  std::printf("\nmemoized state: %zu entries, %.1f MB; tree height %d\n",
+              memo.size(), static_cast<double>(memo.total_bytes()) / 1e6,
+              session.tree_height(0));
+  return 0;
+}

@@ -1,0 +1,58 @@
+#include "apps/cooccurrence.h"
+
+#include "apps/codecs.h"
+#include "common/string_util.h"
+
+namespace slider::apps {
+namespace {
+
+class CooccurrenceMapper final : public Mapper {
+ public:
+  explicit CooccurrenceMapper(int neighbor_distance)
+      : neighbor_distance_(neighbor_distance) {}
+
+  void map(const Record& input, Emitter& out) const override {
+    const auto words = split_view(input.value, ' ');
+    for (std::size_t i = 0; i < words.size(); ++i) {
+      if (words[i].empty()) continue;
+      const std::size_t limit =
+          std::min(words.size(), i + 1 + static_cast<std::size_t>(
+                                             neighbor_distance_));
+      for (std::size_t j = i + 1; j < limit; ++j) {
+        if (words[j].empty()) continue;
+        // Canonical cell order keeps the matrix symmetric-upper.
+        const auto& row = words[i] < words[j] ? words[i] : words[j];
+        const auto& col = words[i] < words[j] ? words[j] : words[i];
+        out.emit(std::string(row) + ":" + std::string(col), "1");
+      }
+    }
+  }
+
+ private:
+  int neighbor_distance_;
+};
+
+}  // namespace
+
+JobSpec make_cooccurrence_job(const CooccurrenceOptions& options) {
+  JobSpec job;
+  job.name = "matrix";
+  job.mapper = std::make_shared<CooccurrenceMapper>(options.neighbor_distance);
+  job.combiner = [](const std::string&, const std::string& a,
+                    const std::string& b) {
+    return encode_count(decode_count(a) + decode_count(b));
+  };
+  job.reducer = [](const std::string&,
+                   const std::string& combined) -> std::optional<std::string> {
+    return combined;  // final count per matrix cell
+  };
+  job.num_partitions = options.num_partitions;
+  // Data-intensive with the fattest intermediate state of the suite.
+  job.costs.map_cpu_per_record = 3.0e-6;
+  job.costs.map_cpu_per_byte = 6.0e-9;
+  job.costs.combine_cpu_per_row = 3.0e-7;
+  job.costs.reduce_cpu_per_row = 8.0e-7;
+  return job;
+}
+
+}  // namespace slider::apps

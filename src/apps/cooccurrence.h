@@ -1,0 +1,21 @@
+// Matrix — word co-occurrence matrix computation (paper §7.1,
+// data-intensive, largest intermediate state: Fig 13c's 12× space
+// overhead comes from this app).
+//
+// Emits one cell per adjacent word pair within a document; the output is
+// the co-occurrence count matrix in (row:col, count) form.
+#pragma once
+
+#include "mapreduce/api.h"
+
+namespace slider::apps {
+
+struct CooccurrenceOptions {
+  int num_partitions = 8;
+  // Pairs further apart than this window are not counted.
+  int neighbor_distance = 2;
+};
+
+JobSpec make_cooccurrence_job(const CooccurrenceOptions& options = {});
+
+}  // namespace slider::apps

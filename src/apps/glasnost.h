@@ -1,0 +1,53 @@
+// Case study 2 (paper §8.2): monitoring Glasnost measurement servers —
+// fixed-width windowing (3-month window sliding by one month).
+//
+// The paper computes, per measurement server, the median across users of
+// the minimum RTT between the user and the server, from stored packet
+// traces. We substitute a synthetic trace generator: each test run is a
+// burst of RTT samples around a per-server base distance with noise and
+// occasional outliers. The Map extracts the per-test minimum RTT; the
+// Combiner aggregates fixed-bucket RTT histograms (associative and
+// commutative); the Reduce reads the median off the histogram.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "data/record.h"
+#include "mapreduce/api.h"
+
+namespace slider::apps {
+
+struct GlasnostOptions {
+  int num_partitions = 4;
+  double bucket_ms = 2.0;  // histogram bucket width
+};
+
+JobSpec make_glasnost_job(const GlasnostOptions& options = {});
+
+struct GlasnostGenOptions {
+  int servers = 8;
+  int samples_per_test = 20;
+  double base_rtt_ms = 10.0;
+  double rtt_spread_ms = 120.0;  // server base RTTs span this range
+  double noise_ms = 15.0;
+  std::uint64_t seed = 2011;
+};
+
+// One record per test run: key = zero-padded test id, value =
+// "server_id,rtt1|rtt2|...".
+class GlasnostGenerator {
+ public:
+  explicit GlasnostGenerator(GlasnostGenOptions options = {});
+
+  // One month of test runs.
+  std::vector<Record> next_month(std::size_t tests);
+
+ private:
+  GlasnostGenOptions options_;
+  Rng rng_;
+  std::uint64_t next_test_ = 0;
+  std::vector<double> server_base_ms_;
+};
+
+}  // namespace slider::apps

@@ -1,0 +1,20 @@
+// HCT — histogram-based computation (paper §7.1, data-intensive).
+//
+// Computes, per vocabulary word, a histogram of the positions (document
+// deciles) at which the word occurs. Input records are (doc id, document
+// text); the intermediate state is one histogram per distinct word, which
+// is what makes this benchmark data-intensive.
+#pragma once
+
+#include "mapreduce/api.h"
+
+namespace slider::apps {
+
+struct HistogramOptions {
+  int buckets = 8;  // position buckets per word histogram
+  int num_partitions = 8;
+};
+
+JobSpec make_histogram_job(const HistogramOptions& options = {});
+
+}  // namespace slider::apps

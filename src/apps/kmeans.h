@@ -1,0 +1,31 @@
+// K-Means clustering (paper §7.1, compute-intensive).
+//
+// One MapReduce job = one Lloyd iteration over the window: each point is
+// assigned to its nearest centroid (the expensive part: K × dim distance
+// evaluations per record) and the Reduce emits the re-estimated centroids.
+// Input records are (point id, '|'-separated coordinates); points live in
+// the 50-dimensional unit cube as in the paper.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "data/record.h"
+#include "mapreduce/api.h"
+
+namespace slider::apps {
+
+struct KMeansOptions {
+  int k = 16;
+  int dims = 50;
+  std::uint64_t centroid_seed = 42;
+  int num_partitions = 4;
+};
+
+JobSpec make_kmeans_job(const KMeansOptions& options = {});
+
+// Synthetic input: points drawn uniformly from the unit cube.
+std::vector<Record> generate_points(std::size_t count, int dims, Rng& rng,
+                                    std::uint64_t first_id = 0);
+
+}  // namespace slider::apps

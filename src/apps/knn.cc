@@ -1,0 +1,75 @@
+#include "apps/knn.h"
+
+#include <charconv>
+
+#include "apps/codecs.h"
+#include "common/string_util.h"
+
+namespace slider::apps {
+namespace {
+
+class KnnMapper final : public Mapper {
+ public:
+  KnnMapper(int k, int queries, int dims, std::uint64_t seed)
+      : k_(static_cast<std::size_t>(k)) {
+    Rng rng(seed);
+    queries_.resize(static_cast<std::size_t>(queries));
+    for (auto& q : queries_) {
+      q.resize(static_cast<std::size_t>(dims));
+      for (double& v : q) v = rng.next_double();
+    }
+  }
+
+  void map(const Record& input, Emitter& out) const override {
+    std::vector<double> point;
+    for (const auto part : split_view(input.value, '|')) {
+      double v = 0;
+      std::from_chars(part.data(), part.data() + part.size(), v);
+      point.push_back(v);
+    }
+    if (point.empty()) return;
+    for (std::size_t q = 0; q < queries_.size(); ++q) {
+      double dist = 0;
+      const std::size_t n = std::min(point.size(), queries_[q].size());
+      for (std::size_t i = 0; i < n; ++i) {
+        const double d = point[i] - queries_[q][i];
+        dist += d * d;
+      }
+      out.emit("q" + zero_pad(q, 3),
+               encode_topk({ScoredTag{dist, input.key}}));
+    }
+  }
+
+  std::size_t k() const { return k_; }
+
+ private:
+  std::size_t k_;
+  std::vector<std::vector<double>> queries_;
+};
+
+}  // namespace
+
+JobSpec make_knn_job(const KnnOptions& options) {
+  JobSpec job;
+  job.name = "knn";
+  job.mapper = std::make_shared<KnnMapper>(options.k, options.queries,
+                                           options.dims, options.query_seed);
+  const auto k = static_cast<std::size_t>(options.k);
+  job.combiner = [k](const std::string&, const std::string& a,
+                     const std::string& b) {
+    return encode_topk(merge_topk(decode_topk(a), decode_topk(b), k));
+  };
+  job.reducer = [](const std::string&,
+                   const std::string& combined) -> std::optional<std::string> {
+    return combined;  // the final neighbor list
+  };
+  job.num_partitions = options.num_partitions;
+  // Compute-intensive: queries × dims distance work per record.
+  job.costs.map_cpu_per_record = 8.0e-5;
+  job.costs.map_cpu_per_byte = 0.0;
+  job.costs.combine_cpu_per_row = 1.0e-6;  // top-k merges per row
+  job.costs.reduce_cpu_per_row = 1.0e-6;
+  return job;
+}
+
+}  // namespace slider::apps

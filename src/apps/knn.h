@@ -1,0 +1,24 @@
+// KNN — K-nearest neighbors (paper §7.1, compute-intensive).
+//
+// A fixed set of query points is broadcast to every mapper; each input
+// point contributes its distance to every query, and the combiner keeps
+// the k smallest distances per query (a bounded top-k merge, associative
+// and commutative). The Reduce emits each query's neighbor list.
+#pragma once
+
+#include "common/rng.h"
+#include "mapreduce/api.h"
+
+namespace slider::apps {
+
+struct KnnOptions {
+  int k = 8;              // neighbors to keep
+  int queries = 24;       // broadcast query points
+  int dims = 50;
+  std::uint64_t query_seed = 7;
+  int num_partitions = 4;
+};
+
+JobSpec make_knn_job(const KnnOptions& options = {});
+
+}  // namespace slider::apps

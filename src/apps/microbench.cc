@@ -1,0 +1,65 @@
+#include "apps/microbench.h"
+
+#include "apps/cooccurrence.h"
+#include "apps/histogram.h"
+#include "apps/kmeans.h"
+#include "apps/knn.h"
+#include "apps/substr.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "data/text_gen.h"
+
+namespace slider::apps {
+
+MicroBenchmark make_microbenchmark(MicroApp app) {
+  switch (app) {
+    case MicroApp::kKMeans:
+      return {app, "K-Means", /*compute_intensive=*/true, make_kmeans_job()};
+    case MicroApp::kHct:
+      return {app, "HCT", false, make_histogram_job()};
+    case MicroApp::kKnn:
+      return {app, "KNN", true, make_knn_job()};
+    case MicroApp::kMatrix:
+      return {app, "Matrix", false, make_cooccurrence_job()};
+    case MicroApp::kSubStr:
+      return {app, "subStr", false, make_substr_job()};
+  }
+  SLIDER_CHECK(false) << "unknown app";
+  return {};
+}
+
+std::vector<MicroBenchmark> all_microbenchmarks() {
+  return {make_microbenchmark(MicroApp::kKMeans),
+          make_microbenchmark(MicroApp::kHct),
+          make_microbenchmark(MicroApp::kKnn),
+          make_microbenchmark(MicroApp::kMatrix),
+          make_microbenchmark(MicroApp::kSubStr)};
+}
+
+std::vector<Record> generate_input(MicroApp app, std::size_t records, Rng& rng,
+                                   std::uint64_t first_id) {
+  switch (app) {
+    case MicroApp::kKMeans:
+    case MicroApp::kKnn:
+      return generate_points(records, /*dims=*/50, rng, first_id);
+    case MicroApp::kHct:
+    case MicroApp::kMatrix:
+    case MicroApp::kSubStr: {
+      // A fresh generator seeded from the caller's stream keeps documents
+      // deterministic per (seed, first_id) regardless of call order.
+      TextGenOptions options;
+      options.seed = rng.next_u64();
+      TextGenerator gen(options);
+      std::vector<Record> docs;
+      docs.reserve(records);
+      for (std::size_t i = 0; i < records; ++i) {
+        docs.push_back({zero_pad(first_id + i, 10), gen.next_document()});
+      }
+      return docs;
+    }
+  }
+  SLIDER_CHECK(false) << "unknown app";
+  return {};
+}
+
+}  // namespace slider::apps

@@ -1,0 +1,33 @@
+// Registry of the paper's five micro-benchmark applications (§7.1) with
+// their input generators, so benches and tests can sweep over them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/record.h"
+#include "mapreduce/api.h"
+
+namespace slider::apps {
+
+enum class MicroApp { kKMeans, kHct, kKnn, kMatrix, kSubStr };
+
+struct MicroBenchmark {
+  MicroApp app;
+  std::string name;      // paper's name: K-Means, HCT, KNN, Matrix, subStr
+  bool compute_intensive = false;
+  JobSpec job;
+};
+
+// All five, in the order the paper lists them.
+std::vector<MicroBenchmark> all_microbenchmarks();
+
+MicroBenchmark make_microbenchmark(MicroApp app);
+
+// Generates the right input kind for the app: 50-dim unit-cube points for
+// K-Means/KNN, Zipfian text documents for HCT/Matrix/subStr.
+std::vector<Record> generate_input(MicroApp app, std::size_t records, Rng& rng,
+                                   std::uint64_t first_id = 0);
+
+}  // namespace slider::apps

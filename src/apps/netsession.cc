@@ -1,0 +1,88 @@
+#include "apps/netsession.h"
+
+#include "apps/codecs.h"
+#include "common/string_util.h"
+
+namespace slider::apps {
+namespace {
+
+class NetSessionMapper final : public Mapper {
+ public:
+  void map(const Record& input, Emitter& out) const override {
+    // value = "client,chunks,up,down,violation"
+    const auto parts = split_view(input.value, ',');
+    if (parts.size() != 5) return;
+    AuditCounters counters;
+    if (!parse_u64(parts[1], &counters.chunks_served) ||
+        !parse_u64(parts[2], &counters.bytes_up) ||
+        !parse_u64(parts[3], &counters.bytes_down) ||
+        !parse_u64(parts[4], &counters.violations)) {
+      return;
+    }
+    out.emit("client" + std::string(parts[0]), encode_audit(counters));
+  }
+};
+
+}  // namespace
+
+JobSpec make_netsession_job(const NetSessionOptions& options) {
+  JobSpec job;
+  job.name = "netsession-audit";
+  job.mapper = std::make_shared<NetSessionMapper>();
+  job.combiner = [](const std::string&, const std::string& a,
+                    const std::string& b) {
+    const auto ca = decode_audit(a);
+    const auto cb = decode_audit(b);
+    return encode_audit(add_audit(*ca, *cb));
+  };
+  const double mismatch = options.mismatch_factor;
+  job.reducer = [mismatch](
+                    const std::string&,
+                    const std::string& combined) -> std::optional<std::string> {
+    const auto c = decode_audit(combined);
+    if (!c.has_value()) return std::nullopt;
+    const double claimed =
+        static_cast<double>(c->chunks_served) * 64.0 * 1024.0;
+    const bool inconsistent =
+        c->bytes_up > 0 && claimed > mismatch * static_cast<double>(c->bytes_up);
+    const bool flagged = c->violations > 0 || inconsistent;
+    return std::string(flagged ? "flagged" : "ok") +
+           ",chunks=" + std::to_string(c->chunks_served) +
+           ",up=" + std::to_string(c->bytes_up) +
+           ",violations=" + std::to_string(c->violations);
+  };
+  job.num_partitions = options.num_partitions;
+  job.costs.map_cpu_per_record = 3.0e-6;  // log-entry hash-chain check
+  job.costs.map_cpu_per_byte = 5.0e-9;
+  job.costs.combine_cpu_per_row = 3.0e-7;
+  job.costs.reduce_cpu_per_row = 1.0e-6;
+  return job;
+}
+
+NetSessionGenerator::NetSessionGenerator(NetSessionGenOptions options)
+    : options_(options), rng_(options.seed) {}
+
+std::vector<Record> NetSessionGenerator::next_week(double upload_fraction) {
+  std::vector<Record> week;
+  for (std::uint64_t client = 0; client < options_.clients; ++client) {
+    if (!rng_.next_bool(upload_fraction)) continue;
+    for (std::uint64_t e = 0; e < options_.entries_per_log; ++e) {
+      const std::uint64_t chunks = 1 + rng_.next_below(50);
+      const bool violates = rng_.next_bool(options_.violation_rate);
+      // Honest clients report uploads matching served chunks; violators
+      // under-report what they actually served (free-riding).
+      const std::uint64_t up =
+          chunks * options_.chunk_bytes / (violates ? 4 : 1);
+      const std::uint64_t down =
+          rng_.next_below(40) * options_.chunk_bytes;
+      week.push_back({zero_pad(next_seq_++, 12),
+                      std::to_string(client) + "," + std::to_string(chunks) +
+                          "," + std::to_string(up) + "," +
+                          std::to_string(down) + "," +
+                          (violates ? "1" : "0")});
+    }
+  }
+  return week;
+}
+
+}  // namespace slider::apps

@@ -1,0 +1,53 @@
+// Case study 3 (paper §8.3): client accountability in Akamai NetSession —
+// variable-width windowing.
+//
+// In the hybrid CDN, untrusted clients upload tamper-evident logs that
+// servers audit periodically (PeerReview-style). The window covers one
+// month of logs and slides by one week, but only a varying fraction of
+// clients is online to upload each week — so the window's size varies run
+// to run, the paper's motivating variable-width workload. We substitute a
+// synthetic log generator parameterized by the upload fraction; the audit
+// checks per-client counter consistency and flags violations.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "data/record.h"
+#include "mapreduce/api.h"
+
+namespace slider::apps {
+
+struct NetSessionOptions {
+  int num_partitions = 8;
+  // Flag clients whose served-chunk count mismatches credited bytes by
+  // more than this factor (simplified PeerReview consistency check).
+  double mismatch_factor = 1.5;
+};
+
+JobSpec make_netsession_job(const NetSessionOptions& options = {});
+
+struct NetSessionGenOptions {
+  std::uint64_t clients = 2'000;
+  std::uint64_t entries_per_log = 6;
+  double violation_rate = 0.01;
+  std::uint64_t chunk_bytes = 64 * 1024;
+  std::uint64_t seed = 2010;
+};
+
+// One record per uploaded log entry: key = zero-padded sequence number,
+// value = "client_id,chunks,up_bytes,down_bytes,violation_bit".
+class NetSessionGenerator {
+ public:
+  explicit NetSessionGenerator(NetSessionGenOptions options = {});
+
+  // One week of uploads; only `upload_fraction` of clients are online.
+  std::vector<Record> next_week(double upload_fraction);
+
+ private:
+  NetSessionGenOptions options_;
+  Rng rng_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace slider::apps

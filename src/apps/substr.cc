@@ -1,0 +1,57 @@
+#include "apps/substr.h"
+
+#include "apps/codecs.h"
+#include "common/string_util.h"
+
+namespace slider::apps {
+namespace {
+
+class SubstrMapper final : public Mapper {
+ public:
+  SubstrMapper(int min_len, int max_len)
+      : min_len_(static_cast<std::size_t>(min_len)),
+        max_len_(static_cast<std::size_t>(max_len)) {}
+
+  void map(const Record& input, Emitter& out) const override {
+    for (const auto word : split_view(input.value, ' ')) {
+      for (std::size_t len = min_len_; len <= max_len_; ++len) {
+        if (word.size() < len) break;
+        for (std::size_t pos = 0; pos + len <= word.size(); ++pos) {
+          out.emit(std::string(word.substr(pos, len)), "1");
+        }
+      }
+    }
+  }
+
+ private:
+  std::size_t min_len_;
+  std::size_t max_len_;
+};
+
+}  // namespace
+
+JobSpec make_substr_job(const SubstrOptions& options) {
+  JobSpec job;
+  job.name = "substr";
+  job.mapper = std::make_shared<SubstrMapper>(options.min_len, options.max_len);
+  job.combiner = [](const std::string&, const std::string& a,
+                    const std::string& b) {
+    return encode_count(decode_count(a) + decode_count(b));
+  };
+  const std::uint64_t threshold = options.frequency_threshold;
+  job.reducer = [threshold](
+                    const std::string&,
+                    const std::string& combined) -> std::optional<std::string> {
+    const std::uint64_t count = decode_count(combined);
+    if (count < threshold) return std::nullopt;  // drop infrequent n-grams
+    return encode_count(count);
+  };
+  job.num_partitions = options.num_partitions;
+  job.costs.map_cpu_per_record = 2.5e-6;
+  job.costs.map_cpu_per_byte = 8.0e-9;
+  job.costs.combine_cpu_per_row = 3.0e-7;
+  job.costs.reduce_cpu_per_row = 9.0e-7;
+  return job;
+}
+
+}  // namespace slider::apps

@@ -1,0 +1,20 @@
+// subStr — frequently occurring sub-strings (paper §7.1, data-intensive).
+//
+// Counts every character n-gram (length range configurable) over the word
+// stream and keeps only n-grams above a frequency threshold.
+#pragma once
+
+#include "mapreduce/api.h"
+
+namespace slider::apps {
+
+struct SubstrOptions {
+  int min_len = 3;
+  int max_len = 4;
+  std::uint64_t frequency_threshold = 5;
+  int num_partitions = 8;
+};
+
+JobSpec make_substr_job(const SubstrOptions& options = {});
+
+}  // namespace slider::apps

@@ -1,0 +1,115 @@
+#include "apps/twitter.h"
+
+#include <algorithm>
+#include <map>
+
+#include "apps/codecs.h"
+#include "common/string_util.h"
+
+namespace slider::apps {
+namespace {
+
+class TwitterMapper final : public Mapper {
+ public:
+  void map(const Record& input, Emitter& out) const override {
+    // value = "url,user,parent"
+    const auto parts = split_view(input.value, ',');
+    if (parts.size() != 3) return;
+    std::uint64_t time = 0;
+    if (!parse_u64(input.key, &time)) return;
+    out.emit("url" + std::string(parts[0]),
+             encode_events({Event{
+                 time, std::string(parts[1]) + ">" + std::string(parts[2])}}));
+  }
+};
+
+}  // namespace
+
+JobSpec make_twitter_job(const TwitterOptions& options) {
+  JobSpec job;
+  job.name = "twitter-propagation";
+  job.mapper = std::make_shared<TwitterMapper>();
+  job.combiner = [](const std::string&, const std::string& a,
+                    const std::string& b) {
+    return encode_events(merge_events(decode_events(a), decode_events(b)));
+  };
+  job.reducer = [](const std::string&,
+                   const std::string& combined) -> std::optional<std::string> {
+    // Build the propagation tree: posting list is time-sorted, so a
+    // parent's depth is known before its children post.
+    const std::vector<Event> posts = decode_events(combined);
+    std::map<std::string, int> depth;     // user -> depth in tree
+    std::map<std::string, int> children;  // user -> fan-out
+    int max_depth = 0;
+    int max_fanout = 0;
+    for (const Event& post : posts) {
+      const auto sep = post.tag.find('>');
+      if (sep == std::string::npos) continue;
+      const std::string user = post.tag.substr(0, sep);
+      const std::string parent = post.tag.substr(sep + 1);
+      int d = 0;
+      if (parent != "-") {
+        const auto it = depth.find(parent);
+        d = (it == depth.end() ? 0 : it->second) + 1;
+        const int fanout = ++children[parent];
+        max_fanout = std::max(max_fanout, fanout);
+      }
+      // Keep the earliest depth if a user posts the URL twice.
+      depth.emplace(user, d);
+      max_depth = std::max(max_depth, d);
+    }
+    return "nodes=" + std::to_string(depth.size()) +
+           ",depth=" + std::to_string(max_depth) +
+           ",max_fanout=" + std::to_string(max_fanout);
+  };
+  job.num_partitions = options.num_partitions;
+  // Mixed profile: posting-list merges dominate for viral URLs.
+  job.costs.map_cpu_per_record = 3.0e-6;
+  job.costs.map_cpu_per_byte = 4.0e-9;
+  job.costs.combine_cpu_per_row = 5.0e-7;
+  job.costs.reduce_cpu_per_row = 1.2e-6;
+  return job;
+}
+
+TwitterGenerator::TwitterGenerator(TwitterGenOptions options)
+    : options_(options), rng_(options.seed) {}
+
+std::vector<Record> TwitterGenerator::next_batch(std::size_t tweets) {
+  std::vector<Record> batch;
+  batch.reserve(tweets);
+  for (std::size_t i = 0; i < tweets; ++i) {
+    const bool extend_cascade =
+        !cascades_.empty() && rng_.next_bool(options_.retweet_probability);
+    if (extend_cascade) {
+      Cascade& cascade =
+          cascades_[rng_.next_below(cascades_.size())];
+      // Hubs (low Zipf ranks) re-spread more: pick the parent among the
+      // earliest posters with skew.
+      const std::size_t parent_rank = static_cast<std::size_t>(rng_.next_zipf(
+          cascade.posters.size(), options_.hub_exponent));
+      const std::uint64_t parent = cascade.posters[parent_rank];
+      const std::uint64_t user = rng_.next_below(options_.users);
+      batch.push_back({zero_pad(next_time_++, 12),
+                       std::to_string(cascade.url) + "," +
+                           std::to_string(user) + "," +
+                           std::to_string(parent)});
+      if (cascade.posters.size() < options_.max_cascade) {
+        cascade.posters.push_back(user);
+      }
+    } else {
+      const std::uint64_t url = next_url_ < options_.urls
+                                    ? next_url_++
+                                    : rng_.next_below(options_.urls);
+      const std::uint64_t user = rng_.next_below(options_.users);
+      batch.push_back({zero_pad(next_time_++, 12),
+                       std::to_string(url) + "," + std::to_string(user) +
+                           ",-"});
+      cascades_.push_back(Cascade{url, {user}});
+      // Bound live-cascade state: retire the oldest beyond a few hundred.
+      if (cascades_.size() > 512) cascades_.erase(cascades_.begin());
+    }
+  }
+  return batch;
+}
+
+}  // namespace slider::apps

@@ -1,0 +1,65 @@
+// Case study 1 (paper §8.1): information propagation trees in Twitter —
+// append-only windowing.
+//
+// The paper replays the 2009 Twitter snapshot and builds, per posted URL,
+// a Krackhardt-style information-propagation tree (an edge from the
+// spreader of a URL to each receiver who re-posts it). We substitute a
+// synthetic preferential-attachment cascade generator: each URL starts at
+// a seed user and spreads along follow edges over time; every (re)post
+// record carries the user it was received from, exactly the information
+// the propagation-tree analysis extracts from the real snapshot.
+//
+// MapReduce formulation: Map emits (url, [time:child>parent]); the
+// Combiner merges time-sorted posting lists; Reduce walks each URL's
+// posting list (parents precede children in time) and reports the tree's
+// size, depth and maximum fan-out.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "data/record.h"
+#include "mapreduce/api.h"
+
+namespace slider::apps {
+
+struct TwitterOptions {
+  int num_partitions = 8;
+};
+
+JobSpec make_twitter_job(const TwitterOptions& options = {});
+
+struct TwitterGenOptions {
+  std::uint64_t users = 5'000;
+  std::uint64_t urls = 200;
+  // Cascade fan-out is Zipf-distributed over users (preferential
+  // attachment): a few "hub" users spread to many followers.
+  double hub_exponent = 1.2;
+  double retweet_probability = 0.35;
+  std::size_t max_cascade = 400;
+  std::uint64_t seed = 2009;
+};
+
+// Tweet records ordered by time; key = zero-padded timestamp, value =
+// "url,user,parent" (parent == "-" for the cascade root).
+class TwitterGenerator {
+ public:
+  explicit TwitterGenerator(TwitterGenOptions options = {});
+
+  // Next batch of tweets (one "week" of activity).
+  std::vector<Record> next_batch(std::size_t tweets);
+
+ private:
+  TwitterGenOptions options_;
+  Rng rng_;
+  std::uint64_t next_time_ = 0;
+  // Live cascades: url -> users who already posted it (spread frontier).
+  struct Cascade {
+    std::uint64_t url;
+    std::vector<std::uint64_t> posters;
+  };
+  std::vector<Cascade> cascades_;
+  std::uint64_t next_url_ = 0;
+};
+
+}  // namespace slider::apps

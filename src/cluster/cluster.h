@@ -1,0 +1,71 @@
+// Simulated cluster substrate.
+//
+// The paper evaluates on 25 machines running Hadoop (§7.1: 1 master + 24
+// workers, 2 map + 2 reduce slots each is the Hadoop-0.20 default). We
+// reproduce that shape: a Cluster is a set of machines with task slots, a
+// per-machine speed factor, and optional straggler / failure injection.
+// Machines execute *real* user code; the cluster only accounts for where
+// tasks run and how long they take in simulated time.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace slider {
+
+using MachineId = int;
+
+struct MachineState {
+  double speed = 1.0;             // >1 means faster
+  double straggler_factor = 1.0;  // >1 means slowed down by this factor
+  bool failed = false;            // failed machines lose their memo cache
+};
+
+struct ClusterConfig {
+  int num_machines = 24;
+  int slots_per_machine = 2;
+  std::uint64_t seed = 1;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig config = {});
+
+  int num_machines() const { return static_cast<int>(machines_.size()); }
+  int slots_per_machine() const { return config_.slots_per_machine; }
+
+  const MachineState& machine(MachineId id) const {
+    SLIDER_CHECK(id >= 0 && id < num_machines()) << "bad machine id " << id;
+    return machines_[id];
+  }
+
+  // Effective slowdown multiplier for task durations on this machine.
+  double duration_factor(MachineId id) const {
+    const MachineState& m = machine(id);
+    return m.straggler_factor / m.speed;
+  }
+
+  void set_straggler(MachineId id, double factor);
+  void clear_stragglers();
+
+  // Marks a machine failed. The storage layer observes failures through
+  // this flag and drops the machine's in-memory cache contents.
+  void fail_machine(MachineId id);
+  void recover_machine(MachineId id);
+
+  // Deterministic machine choice for data placement (split locality,
+  // memo-shard homes). Stable for a given key.
+  MachineId place(std::uint64_t key) const {
+    return static_cast<MachineId>(key % static_cast<std::uint64_t>(
+                                            num_machines()));
+  }
+
+ private:
+  ClusterConfig config_;
+  std::vector<MachineState> machines_;
+};
+
+}  // namespace slider

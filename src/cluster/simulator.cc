@@ -1,0 +1,127 @@
+#include "cluster/simulator.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace slider {
+namespace {
+
+struct Slot {
+  MachineId machine;
+  SimDuration free_at;
+};
+
+// Earliest-available slot, ties broken by machine id for determinism.
+std::size_t earliest_slot(const std::vector<Slot>& slots) {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < slots.size(); ++i) {
+    if (slots[i].free_at < slots[best].free_at) best = i;
+  }
+  return best;
+}
+
+// Earliest slot on one machine; slots are laid out machine-major.
+std::size_t earliest_slot_on(const std::vector<Slot>& slots, MachineId machine,
+                             int slots_per_machine) {
+  const std::size_t base =
+      static_cast<std::size_t>(machine) * static_cast<std::size_t>(slots_per_machine);
+  std::size_t best = base;
+  for (std::size_t i = base + 1; i < base + static_cast<std::size_t>(slots_per_machine);
+       ++i) {
+    if (slots[i].free_at < slots[best].free_at) best = i;
+  }
+  return best;
+}
+
+// Earliest slot NOT on the given machine; returns the machine's own slot
+// when the cluster has nowhere else to run (single machine).
+std::size_t earliest_slot_excluding(const std::vector<Slot>& slots,
+                                    MachineId excluded,
+                                    int slots_per_machine) {
+  std::size_t best = slots.size();
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    if (slots[i].machine == excluded) continue;
+    if (best == slots.size() || slots[i].free_at < slots[best].free_at) {
+      best = i;
+    }
+  }
+  if (best == slots.size()) {
+    return earliest_slot_on(slots, excluded, slots_per_machine);
+  }
+  return best;
+}
+
+}  // namespace
+
+StageResult StageSimulator::run_stage(std::span<const SimTask> tasks,
+                                      SchedulePolicy policy,
+                                      const HybridOptions& hybrid) const {
+  const int spm = cluster_->slots_per_machine();
+  std::vector<Slot> slots;
+  slots.reserve(static_cast<std::size_t>(cluster_->num_machines() * spm));
+  for (MachineId m = 0; m < cluster_->num_machines(); ++m) {
+    for (int s = 0; s < spm; ++s) slots.push_back({m, 0.0});
+  }
+
+  // Longest-processing-time-first gives stable, near-optimal packing and
+  // mirrors Hadoop's tendency to schedule big tasks early in a wave.
+  std::vector<std::size_t> order(tasks.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return tasks[a].duration > tasks[b].duration;
+  });
+
+  StageResult result;
+  for (const std::size_t idx : order) {
+    const SimTask& task = tasks[idx];
+    std::size_t chosen;
+    bool migrated = false;
+
+    if (task.preferred < 0 || policy == SchedulePolicy::kFirstFree) {
+      chosen = earliest_slot(slots);
+      migrated = task.preferred >= 0 && slots[chosen].machine != task.preferred;
+    } else if (policy == SchedulePolicy::kPreferredOnly) {
+      chosen = earliest_slot_on(slots, task.preferred, spm);
+    } else {  // kHybrid
+      // Compare estimated completion on the memo-local machine against the
+      // best remote alternative (which pays the data-fetch penalty), and
+      // migrate only when the remote finish beats local by more than the
+      // patience tolerance. This covers both backed-up queues and
+      // stragglers in one rule.
+      const std::size_t preferred_slot =
+          earliest_slot_on(slots, task.preferred, spm);
+      const std::size_t other_slot =
+          earliest_slot_excluding(slots, task.preferred, spm);
+      const SimDuration pref_finish =
+          slots[preferred_slot].free_at +
+          task.duration * cluster_->duration_factor(task.preferred);
+      const SimDuration other_finish =
+          slots[other_slot].free_at +
+          task.duration * cluster_->duration_factor(slots[other_slot].machine) +
+          task.migration_penalty;
+      const SimDuration tolerance =
+          hybrid.patience_floor + hybrid.patience_factor * task.duration;
+      if (slots[other_slot].machine != task.preferred &&
+          other_finish + tolerance < pref_finish) {
+        chosen = other_slot;
+        migrated = true;
+      } else {
+        chosen = preferred_slot;
+      }
+    }
+
+    Slot& slot = slots[chosen];
+    SimDuration effective =
+        task.duration * cluster_->duration_factor(slot.machine);
+    if (migrated) {
+      effective += task.migration_penalty;
+      ++result.migrations;
+    }
+    slot.free_at += effective;
+    result.work += effective;
+    result.makespan = std::max(result.makespan, slot.free_at);
+  }
+  return result;
+}
+
+}  // namespace slider

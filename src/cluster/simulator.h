@@ -1,0 +1,64 @@
+// Slot-based stage simulator.
+//
+// A MapReduce job executes as a sequence of stages (map wave, contraction,
+// reduce wave); within a stage, tasks are independent and run on machine
+// slots. The simulator assigns tasks to slots under a scheduling policy and
+// returns the stage makespan and total work. This is the substrate for the
+// paper's scheduler experiments:
+//   * kFirstFree     — vanilla Hadoop reduce placement: first available
+//                      slot, no locality; remote data is always fetched,
+//                      so off-preferred penalties always apply.
+//   * kPreferredOnly — strict memoization-aware placement (§6): wait for
+//                      the machine holding the memoized state, even if it
+//                      is slow.
+//   * kHybrid        — Slider's scheduler (§6): prefer the memo machine,
+//                      but migrate (paying the remote-fetch penalty) when
+//                      that machine is backed up, e.g. by a straggler.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/metrics.h"
+
+namespace slider {
+
+enum class SchedulePolicy { kFirstFree, kPreferredOnly, kHybrid };
+
+struct SimTask {
+  SimDuration duration = 0;  // nominal duration on a speed-1 machine
+  MachineId preferred = -1;  // -1: no placement preference
+  // Extra duration if the task runs off its preferred machine (remote
+  // fetch of input or memoized state).
+  SimDuration migration_penalty = 0;
+};
+
+struct StageResult {
+  SimDuration makespan = 0;
+  SimDuration work = 0;  // sum of effective task durations
+  std::uint64_t migrations = 0;
+};
+
+struct HybridOptions {
+  // Migrate if the best remote slot would finish the task more than this
+  // tolerance earlier than the preferred (memo-local) machine. The
+  // tolerance scales with the task's own duration plus a small floor, so
+  // short tasks flee stragglers too.
+  double patience_factor = 0.5;
+  SimDuration patience_floor = 0.02;  // absolute slack tolerated
+};
+
+class StageSimulator {
+ public:
+  explicit StageSimulator(const Cluster& cluster) : cluster_(&cluster) {}
+
+  StageResult run_stage(std::span<const SimTask> tasks, SchedulePolicy policy,
+                        const HybridOptions& hybrid = {}) const;
+
+ private:
+  const Cluster* cluster_;
+};
+
+}  // namespace slider

@@ -1,0 +1,44 @@
+// 64-bit hashing utilities.
+//
+// Contraction-tree node identities are stable content hashes (job id,
+// partition, child node ids), so memoized results survive across runs and
+// across tree rebuilds as long as the combined content is unchanged. The
+// hash does not need to be cryptographic, only well-mixed and stable across
+// platforms — we use FNV-1a with a splitmix64 finalizer.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace slider {
+
+inline constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+constexpr std::uint64_t fnv1a(std::string_view bytes,
+                              std::uint64_t seed = kFnvOffset) {
+  std::uint64_t h = seed;
+  for (const char c : bytes) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+// splitmix64 finalizer: turns a weakly mixed value into a well mixed one.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) {
+  return mix64(a ^ (b + 0x9e3779b97f4a7c15ull + (a << 6) + (a >> 2)));
+}
+
+inline std::uint64_t hash_string(std::string_view s) {
+  return mix64(fnv1a(s));
+}
+
+}  // namespace slider

@@ -1,0 +1,66 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+
+namespace slider {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarning)};
+std::mutex g_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+// Strips the directory part so log lines stay short.
+std::string_view basename_of(std::string_view file) {
+  const auto pos = file.find_last_of('/');
+  return pos == std::string_view::npos ? file : file.substr(pos + 1);
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+namespace internal {
+
+void log_write(LogLevel level, std::string_view file, int line,
+               std::string_view message) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::cerr << "[" << level_name(level) << " " << basename_of(file) << ":"
+            << line << "] " << message << "\n";
+}
+
+CheckFailure::CheckFailure(const char* file, int line, const char* cond) {
+  stream_ << "CHECK failed at " << basename_of(file) << ":" << line << ": "
+          << cond << " ";
+}
+
+CheckFailure::~CheckFailure() {
+  {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    std::cerr << stream_.str() << std::endl;
+  }
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace slider

@@ -1,0 +1,77 @@
+// Minimal leveled logger for the Slider reproduction.
+//
+// Deliberately tiny: the simulator is single-process, so we do not need
+// structured logging or sinks. Thread-safe via a single mutex; severity is
+// filtered before formatting.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace slider {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Global minimum severity; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace internal {
+
+void log_write(LogLevel level, std::string_view file, int line,
+               std::string_view message);
+
+// Collects one log statement's stream and flushes it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage() { log_write(level_, file_, line_, stream_.str()); }
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace slider
+
+#define SLIDER_LOG(level)                                                  \
+  if (static_cast<int>(::slider::LogLevel::k##level) <                     \
+      static_cast<int>(::slider::log_level())) {                           \
+  } else                                                                   \
+    ::slider::internal::LogMessage(::slider::LogLevel::k##level, __FILE__, \
+                                   __LINE__)                               \
+        .stream()
+
+#define SLIDER_CHECK(cond)                                           \
+  if (cond) {                                                        \
+  } else                                                             \
+    ::slider::internal::CheckFailure(__FILE__, __LINE__, #cond).stream()
+
+namespace slider::internal {
+
+// Aborts the process after streaming the failure message. Used by
+// SLIDER_CHECK for invariants that indicate a bug, never for user errors.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* cond);
+  CheckFailure(const CheckFailure&) = delete;
+  CheckFailure& operator=(const CheckFailure&) = delete;
+  [[noreturn]] ~CheckFailure();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace slider::internal

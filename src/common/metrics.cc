@@ -1,0 +1,49 @@
+#include "common/metrics.h"
+
+namespace slider {
+
+RunMetrics& RunMetrics::operator+=(const RunMetrics& other) {
+  map_work += other.map_work;
+  contraction_work += other.contraction_work;
+  reduce_work += other.reduce_work;
+  shuffle_work += other.shuffle_work;
+  memo_read_work += other.memo_read_work;
+  background_work += other.background_work;
+  time += other.time;
+  map_time += other.map_time;
+  background_time += other.background_time;
+  map_tasks += other.map_tasks;
+  combiner_invocations += other.combiner_invocations;
+  combiner_reused += other.combiner_reused;
+  reduce_tasks += other.reduce_tasks;
+  memo_bytes_written += other.memo_bytes_written;
+  return *this;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+void MetricsRegistry::add(const std::string& name, double delta) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_[name] += delta;
+}
+
+double MetricsRegistry::get(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0.0 : it->second;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_.clear();
+}
+
+std::map<std::string, double> MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+}  // namespace slider

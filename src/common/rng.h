@@ -1,0 +1,83 @@
+// Deterministic pseudo-random number generation.
+//
+// Everything in the reproduction (dataset generators, straggler injection,
+// the randomized folding tree's coin tosses) must be reproducible run to
+// run, so we use an explicit, seedable xoshiro256** generator instead of
+// std::mt19937 (whose distributions are not specified bit-exactly across
+// standard libraries).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/hash.h"
+
+namespace slider {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed) {
+    // splitmix64 seeding as recommended by the xoshiro authors.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ull;
+      word = mix64(x);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) {
+    // Lemire's multiply-shift rejection-free variant is overkill here; a
+    // modulo is fine because bounds are tiny relative to 2^64.
+    return next_u64() % bound;
+  }
+
+  // Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  bool next_bool(double probability_true) {
+    return next_double() < probability_true;
+  }
+
+  // Zipfian rank in [0, n) with exponent s, via inverse-CDF on a cached
+  // harmonic sum would be heavy; we use the standard rejection-free
+  // approximation adequate for workload skew.
+  std::uint64_t next_zipf(std::uint64_t n, double s);
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+};
+
+inline std::uint64_t Rng::next_zipf(std::uint64_t n, double s) {
+  // Approximate inverse CDF of the Zipf distribution: treat the CDF as that
+  // of the continuous bounded Pareto with the same exponent. Good enough to
+  // produce realistically skewed word frequencies.
+  const double u = next_double();
+  const double eff_s = (s == 1.0) ? 1.0000001 : s;  // avoid the 1/h pole
+  const double h = 1.0 - eff_s;
+  const double num = u * (std::pow(static_cast<double>(n), h) - 1.0) + 1.0;
+  const double value = std::pow(num, 1.0 / h);
+  auto rank = static_cast<std::uint64_t>(value) - 1;
+  if (rank >= n) rank = n - 1;
+  return rank;
+}
+
+}  // namespace slider

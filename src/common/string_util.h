@@ -1,0 +1,24 @@
+// Small string helpers shared across modules.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace slider {
+
+std::vector<std::string_view> split_view(std::string_view text, char sep);
+
+// Fixed-width unsigned decimal with leading zeros, e.g. zero_pad(42, 5) ==
+// "00042". Used to build sortable record keys.
+std::string zero_pad(std::uint64_t value, int width);
+
+// Parses a non-negative integer; returns false on any malformed input.
+bool parse_u64(std::string_view text, std::uint64_t* out);
+
+// "12.3%"-style formatting used by the bench table printers.
+std::string format_percent(double fraction, int decimals = 1);
+std::string format_double(double value, int decimals = 2);
+
+}  // namespace slider

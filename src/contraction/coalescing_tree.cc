@@ -1,0 +1,129 @@
+#include "contraction/coalescing_tree.h"
+
+#include <deque>
+
+#include "common/logging.h"
+#include "contraction/tree_common.h"
+
+namespace slider {
+
+CoalescingTree::Node CoalescingTree::fold_leaves(std::vector<Leaf> leaves,
+                                                 TreeUpdateStats* stats) {
+  SLIDER_CHECK(!leaves.empty()) << "empty append batch";
+  // The node's identity is the order-sensitive chain over the leaf ids
+  // (stable regardless of merge order); the payload is merged in balanced
+  // order so the batch combine costs O(rows · log n), like the single
+  // large Combiner invocation of Fig 5, not a quadratic left-fold.
+  Node node;
+  node.id = leaf_node_id(ctx_, leaves[0].split_id, *leaves[0].table);
+  std::deque<std::shared_ptr<const KVTable>> queue;
+  queue.push_back(leaves[0].table);
+  for (std::size_t i = 1; i < leaves.size(); ++i) {
+    node.id = internal_node_id(
+        ctx_, node.id, leaf_node_id(ctx_, leaves[i].split_id, *leaves[i].table));
+    queue.push_back(leaves[i].table);
+  }
+  while (queue.size() > 1) {
+    auto a = std::move(queue.front());
+    queue.pop_front();
+    auto b = std::move(queue.front());
+    queue.pop_front();
+    MergeStats merge_stats;
+    queue.push_back(std::make_shared<const KVTable>(
+        KVTable::merge(*a, *b, combiner_, &merge_stats)));
+    if (stats != nullptr) {
+      ++stats->combiner_invocations;
+      stats->rows_scanned += merge_stats.rows_scanned;
+    }
+  }
+  node.table = std::move(queue.front());
+  memoize_payload(ctx_, node.id, node.table, stats);
+  return node;
+}
+
+void CoalescingTree::initial_build(std::vector<Leaf> leaves,
+                                   TreeUpdateStats* stats) {
+  leaf_count_ = leaves.size();
+  height_ = 1;
+  pending_delta_.reset();
+  root_override_.reset();
+  if (leaves.empty()) {
+    root_node_ = Node{0, std::make_shared<const KVTable>()};
+    return;
+  }
+  root_node_ = fold_leaves(std::move(leaves), stats);
+}
+
+void CoalescingTree::coalesce_pending(TreeUpdateStats* stats) {
+  if (pending_delta_ == nullptr) return;
+  // Reuse of the previous root is a memoized read (it was produced by an
+  // earlier run's combiner).
+  auto prev = fetch_reused(ctx_, root_node_.id, root_node_.table, stats);
+  const NodeId id = internal_node_id(ctx_, root_node_.id, pending_delta_id_);
+  root_node_.table =
+      combine_and_memoize(ctx_, combiner_, id, *prev, *pending_delta_, stats);
+  root_node_.id = id;
+  pending_delta_.reset();
+  root_override_.reset();
+  ++height_;
+}
+
+void CoalescingTree::apply_delta(std::size_t remove_front,
+                                 std::vector<Leaf> added,
+                                 TreeUpdateStats* stats) {
+  SLIDER_CHECK(remove_front == 0)
+      << "coalescing tree is append-only; cannot remove " << remove_front;
+  if (added.empty()) return;
+  root_override_.reset();
+
+  // A skipped background phase leaves a pending delta: coalesce it now in
+  // the foreground before accepting the new batch.
+  if (pending_delta_ != nullptr) coalesce_pending(stats);
+
+  leaf_count_ += added.size();
+  Node delta = fold_leaves(std::move(added), stats);
+
+  if (split_processing_) {
+    pending_delta_ = std::move(delta.table);
+    pending_delta_id_ = delta.id;
+    return;
+  }
+  auto prev = fetch_reused(ctx_, root_node_.id, root_node_.table, stats);
+  const NodeId id = internal_node_id(ctx_, root_node_.id, delta.id);
+  root_node_.table =
+      combine_and_memoize(ctx_, combiner_, id, *prev, *delta.table, stats);
+  root_node_.id = id;
+  ++height_;
+}
+
+void CoalescingTree::background_preprocess(TreeUpdateStats* stats) {
+  if (!split_processing_) return;
+  coalesce_pending(stats);
+}
+
+std::shared_ptr<const KVTable> CoalescingTree::root() const {
+  SLIDER_CHECK(root_node_.table != nullptr) << "root() before build";
+  if (pending_delta_ == nullptr) return root_node_.table;
+  if (root_override_ == nullptr) {
+    // Materialized lazily and uncharged; the session prices the streaming
+    // merge as reduce-side work (see tree.h: reduce_inputs).
+    root_override_ = std::make_shared<const KVTable>(
+        KVTable::merge(*root_node_.table, *pending_delta_, combiner_));
+  }
+  return root_override_;
+}
+
+std::vector<std::shared_ptr<const KVTable>> CoalescingTree::reduce_inputs()
+    const {
+  if (pending_delta_ != nullptr) return {root_node_.table, pending_delta_};
+  return {root()};
+}
+
+void CoalescingTree::collect_live_ids(std::unordered_set<NodeId>& live) const {
+  if (root_node_.table != nullptr && root_node_.id != 0) {
+    live.insert(root_node_.id);
+  }
+  if (pending_delta_ != nullptr) live.insert(pending_delta_id_);
+}
+
+}  // namespace slider

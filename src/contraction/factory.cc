@@ -1,0 +1,33 @@
+#include "contraction/coalescing_tree.h"
+#include "contraction/folding_tree.h"
+#include "contraction/randomized_tree.h"
+#include "contraction/rotating_tree.h"
+#include "contraction/strawman_tree.h"
+#include "contraction/tree.h"
+
+namespace slider {
+
+std::unique_ptr<ContractionTree> make_tree(const TreeOptions& options,
+                                           MemoContext ctx,
+                                           CombineFn combiner) {
+  switch (options.kind) {
+    case TreeKind::kStrawman:
+      return std::make_unique<StrawmanTree>(ctx, std::move(combiner));
+    case TreeKind::kFolding:
+      return std::make_unique<FoldingTree>(ctx, std::move(combiner));
+    case TreeKind::kRandomizedFolding:
+      return std::make_unique<RandomizedFoldingTree>(
+          ctx, std::move(combiner), options.boundary_probability);
+    case TreeKind::kRotating:
+      return std::make_unique<RotatingTree>(ctx, std::move(combiner),
+                                            options.bucket_width,
+                                            options.split_processing);
+    case TreeKind::kCoalescing:
+      return std::make_unique<CoalescingTree>(ctx, std::move(combiner),
+                                              options.split_processing);
+  }
+  SLIDER_CHECK(false) << "unknown tree kind";
+  return nullptr;
+}
+
+}  // namespace slider

@@ -1,0 +1,217 @@
+#include "contraction/folding_tree.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "contraction/tree_common.h"
+
+namespace slider {
+namespace {
+
+std::size_t pow2_at_least(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+void FoldingTree::initial_build(std::vector<Leaf> leaves,
+                                TreeUpdateStats* stats) {
+  reset_to(std::move(leaves), stats);
+}
+
+void FoldingTree::reset_to(std::vector<Leaf> leaves, TreeUpdateStats* stats) {
+  levels_.clear();
+  first_ = 0;
+  end_ = leaves.size();
+  const std::size_t capacity = pow2_at_least(std::max<std::size_t>(1, end_));
+  levels_.emplace_back(capacity);
+  std::vector<std::size_t> dirty;
+  dirty.reserve(leaves.size());
+  for (std::size_t i = 0; i < leaves.size(); ++i) {
+    Slot& slot = levels_[0][i];
+    slot.id = leaf_node_id(ctx_, leaves[i].split_id, *leaves[i].table);
+    slot.table = std::move(leaves[i].table);
+    slot.recomputed_this_run = true;
+    memoize_payload(ctx_, slot.id, slot.table, stats);
+    dirty.push_back(i);
+  }
+  for (std::size_t size = capacity >> 1; size >= 1; size >>= 1) {
+    levels_.emplace_back(size);
+  }
+  recompute_paths(std::move(dirty), stats);
+}
+
+void FoldingTree::grow() {
+  // Merge with a fresh, same-sized, all-void tree: every level doubles and
+  // a new root level appears. Existing nodes keep their indices (left
+  // half), so nothing recomputes until leaves land in the new half.
+  for (auto& level : levels_) {
+    level.resize(level.size() * 2);
+  }
+  levels_.emplace_back(1);
+  // The new root is derived from the old root + void → recomputed as a
+  // passthrough by the path recompute of whichever insertion triggered the
+  // growth (the inserted leaf's path reaches the new root).
+}
+
+void FoldingTree::shrink(std::vector<std::size_t>& dirty_leaves) {
+  // The whole left half of the leaf level is void: promote the right child
+  // of the root. Indices shift down by half the capacity at the leaf
+  // level, halving per level above.
+  const std::size_t half = levels_[0].size() / 2;
+  SLIDER_CHECK(first_ >= half) << "shrink with occupied left half";
+  std::size_t level_half = half;
+  for (auto& level : levels_) {
+    if (level.size() == 1) break;  // root level handled by pop below
+    level.erase(level.begin(),
+                level.begin() + static_cast<std::ptrdiff_t>(level_half));
+    level_half /= 2;
+  }
+  levels_.pop_back();
+  first_ -= half;
+  end_ -= half;
+  // Dirt in the discarded half vanishes with its subtree; the rest shifts.
+  std::erase_if(dirty_leaves, [half](std::size_t idx) { return idx < half; });
+  for (std::size_t& idx : dirty_leaves) idx -= half;
+}
+
+void FoldingTree::apply_delta(std::size_t remove_front,
+                              std::vector<Leaf> added,
+                              TreeUpdateStats* stats) {
+  SLIDER_CHECK(!levels_.empty()) << "apply_delta before initial_build";
+  SLIDER_CHECK(remove_front <= leaf_count()) << "removing more than window";
+
+  std::vector<std::size_t> dirty;
+
+  // Drop old items: void the leftmost occupied slots.
+  for (std::size_t i = 0; i < remove_front; ++i) {
+    Slot& slot = levels_[0][first_];
+    slot = Slot{};
+    dirty.push_back(first_);
+    ++first_;
+  }
+
+  // Fold: reduce the height while the left half is entirely void. Dirty
+  // indices from the discarded half vanish with it (their ancestors are
+  // discarded too, except the root, whose promotion is free).
+  while (levels_.size() > 1 && first_ >= levels_[0].size() / 2) {
+    shrink(dirty);
+  }
+
+  // Insert new items into void slots on the right, unfolding as needed.
+  for (Leaf& leaf : added) {
+    if (end_ == levels_[0].size()) grow();
+    Slot& slot = levels_[0][end_];
+    slot.id = leaf_node_id(ctx_, leaf.split_id, *leaf.table);
+    slot.table = std::move(leaf.table);
+    slot.recomputed_this_run = true;
+    memoize_payload(ctx_, slot.id, slot.table, stats);
+    dirty.push_back(end_);
+    ++end_;
+  }
+
+  // Optional §3.2 rebalancing strategy: garbage-collect void slots with a
+  // fresh initial run when the window got far smaller than the leaf level.
+  if (rebalance_factor_ > 0 && leaf_count() > 0 &&
+      levels_[0].size() > rebalance_factor_ * leaf_count()) {
+    std::vector<Leaf> survivors;
+    survivors.reserve(leaf_count());
+    for (std::size_t i = first_; i < end_; ++i) {
+      // Split ids are not tracked per slot; reuse the node id as a stand-in
+      // (leaf ids are content-stable, so memoized payloads still hit).
+      survivors.push_back(Leaf{/*split_id=*/levels_[0][i].id,
+                               levels_[0][i].table});
+    }
+    // Rebuilding re-registers leaves under ids derived from `split_id`,
+    // which we just set to the old node id — stable across rebuilds.
+    reset_to(std::move(survivors), stats);
+    return;
+  }
+
+  recompute_paths(std::move(dirty), stats);
+}
+
+void FoldingTree::recompute_paths(std::vector<std::size_t> dirty_leaves,
+                                  TreeUpdateStats* stats) {
+  // Clear last run's recompute marks on the levels above the leaves; leaf
+  // marks were set by the caller for inserted leaves only.
+  std::sort(dirty_leaves.begin(), dirty_leaves.end());
+  dirty_leaves.erase(std::unique(dirty_leaves.begin(), dirty_leaves.end()),
+                     dirty_leaves.end());
+
+  std::vector<std::size_t> dirty = std::move(dirty_leaves);
+  for (std::size_t k = 1; k < levels_.size(); ++k) {
+    std::vector<std::size_t> next;
+    next.reserve(dirty.size() / 2 + 1);
+    for (std::size_t i = 0; i < dirty.size(); ++i) {
+      const std::size_t parent = dirty[i] / 2;
+      if (next.empty() || next.back() != parent) next.push_back(parent);
+    }
+    for (const std::size_t j : next) {
+      if (stats != nullptr) ++stats->nodes_visited;
+      Slot& left = levels_[k - 1][2 * j];
+      Slot& right = levels_[k - 1][2 * j + 1];
+      Slot& node = levels_[k][j];
+      if (left.table == nullptr && right.table == nullptr) {
+        node = Slot{};
+      } else if (left.table == nullptr || right.table == nullptr) {
+        // Passthrough: a combiner invocation over one live input. It is
+        // charged like a re-execution (Fig 2 recomputes these after
+        // removals); this is what makes an unbalanced tree genuinely cost
+        // extra and motivates §3.2's randomized variant.
+        const Slot& live = left.table != nullptr ? left : right;
+        if (node.id != live.id) {
+          charge_passthrough(ctx_, *live.table, stats);
+        }
+        node.id = live.id;
+        node.table = live.table;
+        node.recomputed_this_run = live.recomputed_this_run;
+      } else {
+        const NodeId id = internal_node_id(ctx_, left.id, right.id);
+        if (id == node.id && node.table != nullptr) {
+          // Content unchanged (e.g. dirt from a sibling void that was
+          // already void): nothing to do.
+          node.recomputed_this_run = false;
+          continue;
+        }
+        auto left_table =
+            left.recomputed_this_run
+                ? left.table
+                : fetch_reused(ctx_, left.id, left.table, stats);
+        auto right_table =
+            right.recomputed_this_run
+                ? right.table
+                : fetch_reused(ctx_, right.id, right.table, stats);
+        node.id = id;
+        node.table = combine_and_memoize(ctx_, combiner_, id, *left_table,
+                                         *right_table, stats);
+        node.recomputed_this_run = true;
+      }
+    }
+    dirty = std::move(next);
+  }
+
+  // Reset recompute marks for the next run.
+  for (auto& level : levels_) {
+    for (Slot& slot : level) slot.recomputed_this_run = false;
+  }
+}
+
+std::shared_ptr<const KVTable> FoldingTree::root() const {
+  SLIDER_CHECK(!levels_.empty()) << "root() before build";
+  const Slot& top = levels_.back()[0];
+  if (top.table == nullptr) return std::make_shared<const KVTable>();
+  return top.table;
+}
+
+void FoldingTree::collect_live_ids(std::unordered_set<NodeId>& live) const {
+  for (const auto& level : levels_) {
+    for (const Slot& slot : level) {
+      if (slot.table != nullptr) live.insert(slot.id);
+    }
+  }
+}
+
+}  // namespace slider

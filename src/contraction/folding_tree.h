@@ -1,0 +1,71 @@
+// Self-adjusting folding contraction tree (paper §3.1).
+//
+// A complete binary tree whose leaf slots hold the window's per-split map
+// outputs contiguously; slots outside [first, end) are *void*. The window
+// slides by voiding leaves on the left and filling void slots on the
+// right. When the right side runs out of void slots the tree doubles
+// ("merge with a fresh same-size tree", height +1); when the entire left
+// half of the leaf level is void the tree halves ("promote the right child
+// of the root", height −1). Only nodes on paths from changed leaves to the
+// root recompute; a node with one void child is a free passthrough of the
+// other child.
+#pragma once
+
+#include <optional>
+
+#include "contraction/tree.h"
+
+namespace slider {
+
+class FoldingTree final : public ContractionTree {
+ public:
+  // rebalance_factor > 0 enables the "initial run when the window is more
+  // than this factor smaller than the leaf level" strategy from §3.2.
+  FoldingTree(MemoContext ctx, CombineFn combiner,
+              std::size_t rebalance_factor = 0)
+      : ctx_(ctx),
+        combiner_(std::move(combiner)),
+        rebalance_factor_(rebalance_factor) {}
+
+  void initial_build(std::vector<Leaf> leaves,
+                     TreeUpdateStats* stats) override;
+  void apply_delta(std::size_t remove_front, std::vector<Leaf> added,
+                   TreeUpdateStats* stats) override;
+  std::shared_ptr<const KVTable> root() const override;
+  int height() const override { return static_cast<int>(levels_.size()) - 1; }
+  std::size_t leaf_count() const override { return end_ - first_; }
+  std::string_view kind() const override { return "folding"; }
+  void collect_live_ids(std::unordered_set<NodeId>& live) const override;
+
+  // Test hooks.
+  std::size_t capacity() const {
+    return levels_.empty() ? 0 : levels_[0].size();
+  }
+  std::size_t first_occupied() const { return first_; }
+
+ private:
+  // Void slots have a null table (and id 0).
+  struct Slot {
+    NodeId id = 0;
+    std::shared_ptr<const KVTable> table;
+    bool recomputed_this_run = false;
+  };
+
+  void reset_to(std::vector<Leaf> leaves, TreeUpdateStats* stats);
+  void grow();
+  void shrink(std::vector<std::size_t>& dirty_leaves);
+  void recompute_paths(std::vector<std::size_t> dirty_leaves,
+                       TreeUpdateStats* stats);
+
+  MemoContext ctx_;
+  CombineFn combiner_;
+  std::size_t rebalance_factor_;
+
+  // levels_[0] = leaf slots (size = capacity, a power of two);
+  // levels_[k] has capacity >> k slots; levels_.back() is the root.
+  std::vector<std::vector<Slot>> levels_;
+  std::size_t first_ = 0;  // index of oldest occupied leaf slot
+  std::size_t end_ = 0;    // one past newest occupied leaf slot
+};
+
+}  // namespace slider

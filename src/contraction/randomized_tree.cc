@@ -1,0 +1,199 @@
+#include "contraction/randomized_tree.h"
+
+#include "common/logging.h"
+#include "contraction/tree_common.h"
+
+namespace slider {
+
+bool RandomizedFoldingTree::closes_group(NodeId id, int level) const {
+  // Deterministic coin from the node id, salted by the level so that a
+  // chain of singleton groups cannot repeat the same outcome forever.
+  const std::uint64_t salted =
+      mix64(id ^ (0xBADC01Dull + static_cast<std::uint64_t>(level) * 0x9e37ull));
+  const double coin = static_cast<double>(salted >> 11) * 0x1.0p-53;
+  return coin < boundary_probability_;
+}
+
+void RandomizedFoldingTree::initial_build(std::vector<Leaf> leaves,
+                                          TreeUpdateStats* stats) {
+  leaf_ids_.clear();
+  std::vector<Entry> level;
+  level.reserve(leaves.size());
+  for (Leaf& leaf : leaves) {
+    Entry entry;
+    entry.id = leaf_node_id(ctx_, leaf.split_id, *leaf.table);
+    entry.table = std::move(leaf.table);
+    entry.recomputed = true;
+    memoize_payload(ctx_, entry.id, entry.table, stats);
+    memo_[entry.id] = entry.table;
+    leaf_ids_.push_back(entry.id);
+    level.push_back(std::move(entry));
+  }
+  contract(std::move(level), stats);
+}
+
+void RandomizedFoldingTree::apply_delta(std::size_t remove_front,
+                                        std::vector<Leaf> added,
+                                        TreeUpdateStats* stats) {
+  SLIDER_CHECK(remove_front <= leaf_ids_.size())
+      << "removing more than window";
+  leaf_ids_.erase(leaf_ids_.begin(),
+                  leaf_ids_.begin() + static_cast<std::ptrdiff_t>(remove_front));
+
+  std::vector<Entry> level;
+  level.reserve(leaf_ids_.size() + added.size());
+  for (const NodeId id : leaf_ids_) {
+    const auto it = memo_.find(id);
+    SLIDER_CHECK(it != memo_.end()) << "lost leaf payload " << id;
+    level.push_back(Entry{id, it->second, /*recomputed=*/false});
+  }
+  for (Leaf& leaf : added) {
+    Entry entry;
+    entry.id = leaf_node_id(ctx_, leaf.split_id, *leaf.table);
+    entry.table = std::move(leaf.table);
+    entry.recomputed = true;
+    memoize_payload(ctx_, entry.id, entry.table, stats);
+    memo_[entry.id] = entry.table;
+    leaf_ids_.push_back(entry.id);
+    level.push_back(std::move(entry));
+  }
+  contract(std::move(level), stats);
+}
+
+void RandomizedFoldingTree::contract(std::vector<Entry> level,
+                                     TreeUpdateStats* stats) {
+  live_.clear();
+  for (const Entry& e : level) live_.insert(e.id);
+  height_ = 0;
+  if (level.empty()) {
+    root_ = std::make_shared<const KVTable>();
+    return;
+  }
+
+  while (level.size() > 1) {
+    ++height_;
+    std::vector<Entry> next;
+    next.reserve(level.size() / 2 + 1);
+    std::size_t group_start = 0;
+    for (std::size_t i = 0; i < level.size(); ++i) {
+      if (stats != nullptr) ++stats->nodes_visited;
+      const bool at_end = i + 1 == level.size();
+      if (!closes_group(level[i].id, height_) && !at_end) continue;
+
+      // Group [group_start, i] becomes one node of the next level.
+      std::span<Entry> members(level.data() + group_start, i - group_start + 1);
+      NodeId group_id = members[0].id;
+      for (std::size_t m = 1; m < members.size(); ++m) {
+        group_id = internal_node_id(ctx_, group_id, members[m].id);
+      }
+      Entry parent;
+      parent.id = group_id;
+      bool member_changed = false;
+      for (const Entry& m : members) member_changed |= m.recomputed;
+
+      const auto it = memo_.find(group_id);
+      if (it != memo_.end() && !member_changed) {
+        parent.table = it->second;
+        parent.recomputed = false;
+        if (stats != nullptr) ++stats->combiner_reused;
+      } else if (members.size() == 1) {
+        // Singleton group: a passthrough combiner re-execution when its
+        // member changed (see folding_tree.cc).
+        if (members[0].recomputed) {
+          charge_passthrough(ctx_, *members[0].table, stats);
+        }
+        parent.table = members[0].table;
+        parent.recomputed = members[0].recomputed;
+        memo_[parent.id] = parent.table;
+      } else {
+        // Execute the group's combines left to right, restarting from the
+        // longest unchanged prefix whose chain node is memoized — groups
+        // whose tail changed (the common case when the window grows) then
+        // need one merge, not a re-merge of every member.
+        std::size_t start = 0;
+        NodeId best_prefix_id = 0;
+        std::size_t best_prefix_len = 0;
+        if (!members[0].recomputed) {
+          NodeId pid = members[0].id;
+          std::size_t len = 1;
+          if (memo_.count(pid) != 0) {
+            best_prefix_id = pid;
+            best_prefix_len = 1;
+          }
+          while (len < members.size() && !members[len].recomputed) {
+            pid = internal_node_id(ctx_, pid, members[len].id);
+            ++len;
+            if (memo_.count(pid) != 0) {
+              best_prefix_id = pid;
+              best_prefix_len = len;
+            }
+          }
+        }
+
+        std::shared_ptr<const KVTable> acc;
+        NodeId chain_id = members[0].id;
+        if (best_prefix_len > 0) {
+          acc = fetch_reused(ctx_, best_prefix_id, memo_[best_prefix_id],
+                             stats);
+          for (std::size_t m = 1; m < best_prefix_len; ++m) {
+            chain_id = internal_node_id(ctx_, chain_id, members[m].id);
+          }
+          start = best_prefix_len;
+        } else {
+          acc = members[0].recomputed
+                    ? members[0].table
+                    : fetch_reused(ctx_, members[0].id, members[0].table,
+                                   stats);
+          start = 1;
+        }
+
+        for (std::size_t m = start; m < members.size(); ++m) {
+          auto rhs = members[m].recomputed
+                         ? members[m].table
+                         : fetch_reused(ctx_, members[m].id, members[m].table,
+                                        stats);
+          MergeStats merge_stats;
+          acc = std::make_shared<const KVTable>(
+              KVTable::merge(*acc, *rhs, combiner_, &merge_stats));
+          chain_id = internal_node_id(ctx_, chain_id, members[m].id);
+          if (stats != nullptr) {
+            ++stats->combiner_invocations;
+            stats->rows_scanned += merge_stats.rows_scanned;
+          }
+          // Memoize the partial chain too, so a future run whose group
+          // extends this one restarts from here. Partials stay live until
+          // their group dissolves.
+          memoize_payload(ctx_, chain_id, acc, stats);
+          memo_[chain_id] = acc;
+          live_.insert(chain_id);
+        }
+        SLIDER_CHECK(chain_id == parent.id) << "group chain id mismatch";
+        parent.table = acc;
+        parent.recomputed = true;
+      }
+      live_.insert(parent.id);
+      next.push_back(std::move(parent));
+      group_start = i + 1;
+    }
+    level = std::move(next);
+  }
+
+  root_ = level[0].table;
+
+  // Prune the memo to live nodes (mirrors the master-side GC).
+  for (auto it = memo_.begin(); it != memo_.end();) {
+    it = live_.count(it->first) == 0 ? memo_.erase(it) : std::next(it);
+  }
+}
+
+std::shared_ptr<const KVTable> RandomizedFoldingTree::root() const {
+  SLIDER_CHECK(root_ != nullptr) << "root() before build";
+  return root_;
+}
+
+void RandomizedFoldingTree::collect_live_ids(
+    std::unordered_set<NodeId>& live) const {
+  live.insert(live_.begin(), live_.end());
+}
+
+}  // namespace slider

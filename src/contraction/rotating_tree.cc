@@ -1,0 +1,308 @@
+#include "contraction/rotating_tree.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/logging.h"
+#include "contraction/tree_common.h"
+
+namespace slider {
+namespace {
+
+std::size_t pow2_at_least(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+RotatingTree::Bucket RotatingTree::build_bucket(std::span<Leaf> leaves,
+                                                TreeUpdateStats* stats) {
+  SLIDER_CHECK(!leaves.empty()) << "empty bucket";
+  // Identity: order-sensitive chain over the leaf ids; payload: balanced
+  // merge, O(rows · log w) instead of a quadratic left-fold.
+  Bucket bucket;
+  bucket.split_count = leaves.size();
+  bucket.id = leaf_node_id(ctx_, leaves[0].split_id, *leaves[0].table);
+  std::deque<std::shared_ptr<const KVTable>> queue;
+  queue.push_back(leaves[0].table);
+  for (std::size_t i = 1; i < leaves.size(); ++i) {
+    bucket.id = internal_node_id(
+        ctx_, bucket.id, leaf_node_id(ctx_, leaves[i].split_id, *leaves[i].table));
+    queue.push_back(leaves[i].table);
+  }
+  while (queue.size() > 1) {
+    auto a = std::move(queue.front());
+    queue.pop_front();
+    auto b = std::move(queue.front());
+    queue.pop_front();
+    MergeStats merge_stats;
+    queue.push_back(std::make_shared<const KVTable>(
+        KVTable::merge(*a, *b, combiner_, &merge_stats)));
+    if (stats != nullptr) {
+      ++stats->combiner_invocations;
+      stats->rows_scanned += merge_stats.rows_scanned;
+    }
+  }
+  bucket.table = std::move(queue.front());
+  memoize_payload(ctx_, bucket.id, bucket.table, stats);
+  return bucket;
+}
+
+void RotatingTree::initial_build(std::vector<Leaf> leaves,
+                                 TreeUpdateStats* stats) {
+  // Group leaves into buckets.
+  std::vector<std::size_t> sizes = initial_bucket_sizes_;
+  if (sizes.empty()) {
+    SLIDER_CHECK(bucket_width_ > 0) << "bucket_width must be positive";
+    for (std::size_t done = 0; done < leaves.size(); done += bucket_width_) {
+      sizes.push_back(std::min(bucket_width_, leaves.size() - done));
+    }
+  }
+  std::size_t total = 0;
+  for (const std::size_t s : sizes) total += s;
+  SLIDER_CHECK(total == leaves.size())
+      << "bucket sizes (" << total << ") must cover all leaves ("
+      << leaves.size() << ")";
+
+  buckets_ = sizes.size();
+  window_splits_ = leaves.size();
+  next_victim_ = 0;
+  pending_install_.reset();
+  intermediate_.reset();
+  fresh_bucket_table_.reset();
+  root_override_.reset();
+
+  const std::size_t capacity = pow2_at_least(std::max<std::size_t>(1, buckets_));
+  levels_.assign(1, std::vector<Slot>(capacity));
+  for (std::size_t size = capacity >> 1; size >= 1; size >>= 1) {
+    levels_.emplace_back(size);
+  }
+
+  std::size_t offset = 0;
+  std::vector<std::size_t> dirty;
+  for (std::size_t b = 0; b < buckets_; ++b) {
+    Bucket bucket =
+        build_bucket(std::span<Leaf>(leaves.data() + offset, sizes[b]), stats);
+    offset += sizes[b];
+    Slot& slot = levels_[0][b];
+    slot.id = bucket.id;
+    slot.table = std::move(bucket.table);
+    slot.split_count = bucket.split_count;
+    slot.recomputed_this_run = true;
+    dirty.push_back(b);
+  }
+
+  // Recompute all internal levels (same passthrough/void rules as the
+  // folding tree, but the shape is static).
+  std::vector<std::size_t> level_dirty = std::move(dirty);
+  for (std::size_t k = 1; k < levels_.size(); ++k) {
+    std::vector<std::size_t> next;
+    for (std::size_t i = 0; i < level_dirty.size(); ++i) {
+      const std::size_t parent = level_dirty[i] / 2;
+      if (next.empty() || next.back() != parent) next.push_back(parent);
+    }
+    for (const std::size_t j : next) {
+      if (stats != nullptr) ++stats->nodes_visited;
+      Slot& left = levels_[k - 1][2 * j];
+      Slot& right = levels_[k - 1][2 * j + 1];
+      Slot& node = levels_[k][j];
+      if (left.table == nullptr && right.table == nullptr) {
+        node = Slot{};
+      } else if (left.table == nullptr || right.table == nullptr) {
+        // Recomputed passthrough: priced as a combiner re-execution
+        // (see folding_tree.cc).
+        const Slot& live = left.table != nullptr ? left : right;
+        if (node.id != live.id) {
+          charge_passthrough(ctx_, *live.table, stats);
+        }
+        node.id = live.id;
+        node.table = live.table;
+        node.recomputed_this_run = live.recomputed_this_run;
+      } else {
+        const NodeId id = internal_node_id(ctx_, left.id, right.id);
+        if (id == node.id && node.table != nullptr) {
+          node.recomputed_this_run = false;
+          continue;
+        }
+        auto left_table = left.recomputed_this_run
+                              ? left.table
+                              : fetch_reused(ctx_, left.id, left.table, stats);
+        auto right_table =
+            right.recomputed_this_run
+                ? right.table
+                : fetch_reused(ctx_, right.id, right.table, stats);
+        node.id = id;
+        node.table = combine_and_memoize(ctx_, combiner_, id, *left_table,
+                                         *right_table, stats);
+        node.recomputed_this_run = true;
+      }
+    }
+    level_dirty = std::move(next);
+  }
+  for (auto& level : levels_) {
+    for (Slot& slot : level) slot.recomputed_this_run = false;
+  }
+}
+
+void RotatingTree::install_bucket(std::size_t slot_index, Bucket bucket,
+                                  TreeUpdateStats* stats) {
+  Slot& leaf = levels_[0][slot_index];
+  leaf.id = bucket.id;
+  leaf.table = std::move(bucket.table);
+  leaf.split_count = bucket.split_count;
+  leaf.recomputed_this_run = true;
+
+  std::size_t index = slot_index;
+  for (std::size_t k = 1; k < levels_.size(); ++k) {
+    index /= 2;
+    if (stats != nullptr) ++stats->nodes_visited;
+    Slot& left = levels_[k - 1][2 * index];
+    Slot& right = levels_[k - 1][2 * index + 1];
+    Slot& node = levels_[k][index];
+    if (left.table == nullptr || right.table == nullptr) {
+      const Slot& live = left.table != nullptr ? left : right;
+      if (node.id != live.id) {
+        charge_passthrough(ctx_, *live.table, stats);
+      }
+      node.id = live.id;
+      node.table = live.table;
+      node.recomputed_this_run = live.recomputed_this_run;
+      continue;
+    }
+    const NodeId id = internal_node_id(ctx_, left.id, right.id);
+    auto left_table = left.recomputed_this_run
+                          ? left.table
+                          : fetch_reused(ctx_, left.id, left.table, stats);
+    auto right_table = right.recomputed_this_run
+                           ? right.table
+                           : fetch_reused(ctx_, right.id, right.table, stats);
+    node.id = id;
+    node.table = combine_and_memoize(ctx_, combiner_, id, *left_table,
+                                     *right_table, stats);
+    node.recomputed_this_run = true;
+  }
+  for (auto& level : levels_) {
+    for (Slot& slot : level) slot.recomputed_this_run = false;
+  }
+}
+
+void RotatingTree::apply_delta(std::size_t remove_front,
+                               std::vector<Leaf> added,
+                               TreeUpdateStats* stats) {
+  SLIDER_CHECK(!levels_.empty()) << "apply_delta before initial_build";
+  root_override_.reset();
+  fresh_bucket_table_.reset();
+  if (remove_front == 0 && added.empty()) return;
+
+  // A best-effort background phase may have been skipped: catch up in the
+  // foreground before handling this slide.
+  if (pending_install_.has_value()) {
+    install_bucket(pending_install_->first, std::move(pending_install_->second),
+                   stats);
+    pending_install_.reset();
+    intermediate_.reset();
+  }
+
+  const Slot& victim = levels_[0][next_victim_];
+  SLIDER_CHECK(victim.table != nullptr) << "victim bucket is void";
+  SLIDER_CHECK(remove_front == victim.split_count)
+      << "fixed-width slide must drop exactly the oldest bucket ("
+      << victim.split_count << " splits), got " << remove_front;
+  SLIDER_CHECK(!added.empty()) << "fixed-width slide must add a bucket";
+
+  window_splits_ += added.size() - remove_front;
+  Bucket bucket = build_bucket(std::span<Leaf>(added), stats);
+  fresh_bucket_table_ = bucket.table;
+
+  const bool can_use_intermediate =
+      split_processing_ && intermediate_.has_value() &&
+      intermediate_->victim == next_victim_;
+  if (can_use_intermediate) {
+    // Foreground: Reduce will stream over {I, fresh bucket}. The tree
+    // itself is updated in the next background phase.
+    pending_install_ = {next_victim_, std::move(bucket)};
+  } else {
+    intermediate_.reset();
+    install_bucket(next_victim_, std::move(bucket), stats);
+  }
+  next_victim_ = (next_victim_ + 1) % buckets_;
+}
+
+void RotatingTree::compute_intermediate(TreeUpdateStats* stats) {
+  // Fold the off-path sibling node outputs of the next victim, bottom-up.
+  std::shared_ptr<const KVTable> acc;
+  NodeId acc_id = 0;
+  std::size_t index = next_victim_;
+  for (std::size_t k = 0; k + 1 < levels_.size(); ++k) {
+    const std::size_t sibling_index = index ^ 1;
+    const Slot& sibling = levels_[k][sibling_index];
+    index /= 2;
+    if (sibling.table == nullptr) continue;  // void padding
+    auto sibling_table = fetch_reused(ctx_, sibling.id, sibling.table, stats);
+    if (acc == nullptr) {
+      acc = std::move(sibling_table);
+      acc_id = sibling.id;
+      continue;
+    }
+    acc_id = internal_node_id(ctx_, acc_id, sibling.id);
+    acc = combine_and_memoize(ctx_, combiner_, acc_id, *acc, *sibling_table,
+                              stats);
+  }
+  if (acc == nullptr) acc = std::make_shared<const KVTable>();  // N == 1
+  intermediate_ = Intermediate{next_victim_, acc_id, std::move(acc)};
+}
+
+void RotatingTree::background_preprocess(TreeUpdateStats* stats) {
+  if (!split_processing_) return;
+  if (pending_install_.has_value()) {
+    install_bucket(pending_install_->first, std::move(pending_install_->second),
+                   stats);
+    pending_install_.reset();
+  }
+  compute_intermediate(stats);
+}
+
+std::shared_ptr<const KVTable> RotatingTree::root() const {
+  if (pending_install_.has_value()) {
+    // Foreground split mode: the authoritative window content is
+    // I ⊕ fresh bucket. Materialize lazily and uncharged — the session
+    // prices the equivalent streaming merge as reduce-side work.
+    if (root_override_ == nullptr) {
+      SLIDER_CHECK(intermediate_.has_value()) << "pending without I";
+      root_override_ = std::make_shared<const KVTable>(KVTable::merge(
+          *intermediate_->table, *fresh_bucket_table_, combiner_));
+    }
+    return root_override_;
+  }
+  const Slot& top = levels_.back()[0];
+  if (top.table == nullptr) return std::make_shared<const KVTable>();
+  return top.table;
+}
+
+std::vector<std::shared_ptr<const KVTable>> RotatingTree::reduce_inputs()
+    const {
+  if (pending_install_.has_value()) {
+    SLIDER_CHECK(intermediate_.has_value() && fresh_bucket_table_ != nullptr)
+        << "split-mode reduce inputs unavailable";
+    return {intermediate_->table, fresh_bucket_table_};
+  }
+  return {root()};
+}
+
+void RotatingTree::collect_live_ids(std::unordered_set<NodeId>& live) const {
+  for (const auto& level : levels_) {
+    for (const Slot& slot : level) {
+      if (slot.table != nullptr) live.insert(slot.id);
+    }
+  }
+  // Split-processing state must survive GC until the background phase
+  // folds it into the tree.
+  if (pending_install_.has_value()) live.insert(pending_install_->second.id);
+  if (intermediate_.has_value() && intermediate_->id != 0) {
+    live.insert(intermediate_->id);
+  }
+}
+
+}  // namespace slider

@@ -1,0 +1,100 @@
+#include "contraction/strawman_tree.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "contraction/tree_common.h"
+
+namespace slider {
+
+void StrawmanTree::initial_build(std::vector<Leaf> leaves,
+                                 TreeUpdateStats* stats) {
+  leaves_ = std::move(leaves);
+  rebuild(stats);
+}
+
+void StrawmanTree::apply_delta(std::size_t remove_front,
+                               std::vector<Leaf> added,
+                               TreeUpdateStats* stats) {
+  SLIDER_CHECK(remove_front <= leaves_.size()) << "removing more than window";
+  leaves_.erase(leaves_.begin(),
+                leaves_.begin() + static_cast<std::ptrdiff_t>(remove_front));
+  for (Leaf& leaf : added) leaves_.push_back(std::move(leaf));
+  rebuild(stats);
+}
+
+StrawmanTree::Built StrawmanTree::build_range(std::size_t lo, std::size_t hi,
+                                              TreeUpdateStats* stats) {
+  if (stats != nullptr) ++stats->nodes_visited;
+  if (hi - lo == 1) {
+    const Leaf& leaf = leaves_[lo];
+    Built built;
+    built.id = leaf_node_id(ctx_, leaf.split_id, *leaf.table);
+    const auto it = memo_.find(built.id);
+    if (it != memo_.end()) {
+      built.table = it->second;
+      if (stats != nullptr) ++stats->combiner_reused;
+    } else {
+      built.table = leaf.table;
+      built.recomputed = true;  // fresh leaf: map output newly memoized
+      memoize_payload(ctx_, built.id, built.table, stats);
+      memo_.emplace(built.id, built.table);
+    }
+    live_.insert(built.id);
+    return built;
+  }
+
+  const std::size_t mid = lo + (hi - lo + 1) / 2;
+  Built left = build_range(lo, mid, stats);
+  Built right = build_range(mid, hi, stats);
+  Built built;
+  built.id = internal_node_id(ctx_, left.id, right.id);
+
+  const auto it = memo_.find(built.id);
+  if (it != memo_.end() && !left.recomputed && !right.recomputed) {
+    built.table = it->second;
+    if (stats != nullptr) ++stats->combiner_reused;
+    live_.insert(built.id);
+    return built;
+  }
+
+  // Executing this merge: reused children must be fetched from the memo
+  // layer (that is the strawman's residual data movement).
+  auto left_table = left.recomputed
+                        ? left.table
+                        : fetch_reused(ctx_, left.id, left.table, stats);
+  auto right_table = right.recomputed
+                         ? right.table
+                         : fetch_reused(ctx_, right.id, right.table, stats);
+  built.table = combine_and_memoize(ctx_, combiner_, built.id, *left_table,
+                                    *right_table, stats);
+  built.recomputed = true;
+  memo_[built.id] = built.table;
+  live_.insert(built.id);
+  return built;
+}
+
+void StrawmanTree::rebuild(TreeUpdateStats* stats) {
+  live_.clear();
+  if (leaves_.empty()) {
+    root_ = std::make_shared<const KVTable>();
+    height_ = 0;
+    return;
+  }
+  const Built top = build_range(0, leaves_.size(), stats);
+  root_ = top.table;
+  height_ = static_cast<int>(
+      std::ceil(std::log2(static_cast<double>(leaves_.size()))));
+
+  // Prune the memo to live nodes: anything unreachable from the current
+  // window is garbage (mirrors the master-side GC).
+  for (auto it = memo_.begin(); it != memo_.end();) {
+    it = live_.count(it->first) == 0 ? memo_.erase(it) : std::next(it);
+  }
+}
+
+void StrawmanTree::collect_live_ids(std::unordered_set<NodeId>& live) const {
+  live.insert(live_.begin(), live_.end());
+}
+
+}  // namespace slider

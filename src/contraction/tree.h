@@ -1,0 +1,139 @@
+// Self-adjusting contraction trees — the paper's core contribution (§3–5).
+//
+// A contraction tree structures the Reduce-side aggregation of one reduce
+// partition as a balanced tree of Combiner invocations over per-split map
+// outputs (the leaves). When the window slides, only nodes on paths from
+// changed leaves to the root recompute; everything else is reused from the
+// memoization layer. Concrete variants:
+//
+//   StrawmanTree    (§2)   memoized balanced tree, rebuilt per run —
+//                          visits every node (linear, small constant)
+//   FoldingTree     (§3.1) variable-width windows; void leaves,
+//                          fold/unfold by doubling/halving
+//   RandomizedFoldingTree (§3.2) skip-list-style grouping, robust to
+//                          drastic window-size changes
+//   RotatingTree    (§4.1) fixed-width windows; circular buckets,
+//                          one root path per slide, split processing
+//   CoalescingTree  (§4.2) append-only windows; split processing
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/metrics.h"
+#include "data/record.h"
+#include "data/split.h"
+#include "storage/memo_store.h"
+
+namespace slider {
+
+// One tree leaf: the locally-combined map output of one split for this
+// reduce partition.
+struct Leaf {
+  SplitId split_id = 0;
+  std::shared_ptr<const KVTable> table;
+};
+
+// Accounting for one tree operation (initial build, delta, background).
+struct TreeUpdateStats {
+  std::uint64_t combiner_invocations = 0;  // merges actually executed
+  std::uint64_t combiner_reused = 0;       // memoized nodes reused as-is
+  // Nodes touched at all (id computation + memo lookup). The strawman's
+  // linear-with-small-constant behaviour shows up here: it visits every
+  // node every run even when almost nothing recomputes.
+  std::uint64_t nodes_visited = 0;
+  std::uint64_t rows_scanned = 0;          // rows read by executed merges
+  std::uint64_t memo_reads = 0;
+  SimDuration memo_read_cost = 0;
+  std::uint64_t memo_bytes_read = 0;
+  std::uint64_t memo_bytes_written = 0;
+  SimDuration memo_write_cost = 0;
+
+  TreeUpdateStats& operator+=(const TreeUpdateStats& o) {
+    combiner_invocations += o.combiner_invocations;
+    combiner_reused += o.combiner_reused;
+    nodes_visited += o.nodes_visited;
+    rows_scanned += o.rows_scanned;
+    memo_reads += o.memo_reads;
+    memo_read_cost += o.memo_read_cost;
+    memo_bytes_read += o.memo_bytes_read;
+    memo_bytes_written += o.memo_bytes_written;
+    memo_write_cost += o.memo_write_cost;
+    return *this;
+  }
+};
+
+// Binds a tree to its job/partition identity and (optionally) the
+// memoization layer. With a null store the tree still works — it just
+// keeps payloads purely in process memory and charges no I/O.
+struct MemoContext {
+  MemoStore* store = nullptr;
+  std::uint64_t job_hash = 0;
+  int partition = 0;
+  // Machine running this partition's contraction + reduce; memo reads are
+  // priced relative to it.
+  MachineId reduce_home = 0;
+};
+
+class ContractionTree {
+ public:
+  virtual ~ContractionTree() = default;
+
+  // From-scratch build over the initial window (initial run).
+  virtual void initial_build(std::vector<Leaf> leaves,
+                             TreeUpdateStats* stats) = 0;
+
+  // Slide: drop `remove_front` oldest leaves, append `added` at the end.
+  virtual void apply_delta(std::size_t remove_front, std::vector<Leaf> added,
+                           TreeUpdateStats* stats) = 0;
+
+  // Combined table over the whole current window; input of the final
+  // Reduce. Never null after a build.
+  virtual std::shared_ptr<const KVTable> root() const = 0;
+
+  // Tables the final Reduce should consume. Usually {root()}; with split
+  // processing (§4) the foreground skips materializing the last combine
+  // and Reduce streams over {pre-computed intermediate, fresh delta} —
+  // that skipped pass is exactly the foreground latency saving of Fig 11.
+  virtual std::vector<std::shared_ptr<const KVTable>> reduce_inputs() const {
+    return {root()};
+  }
+
+  // Split-processing background phase (§4): prepare intermediate results
+  // for the *next* slide. No-op for trees without split processing.
+  virtual void background_preprocess(TreeUpdateStats* /*stats*/) {}
+
+  virtual int height() const = 0;
+  virtual std::size_t leaf_count() const = 0;
+  virtual std::string_view kind() const = 0;
+
+  // Node ids this tree still needs; everything else is garbage (§6 GC).
+  virtual void collect_live_ids(std::unordered_set<NodeId>& live) const = 0;
+};
+
+enum class TreeKind {
+  kStrawman,
+  kFolding,
+  kRandomizedFolding,
+  kRotating,
+  kCoalescing,
+};
+
+struct TreeOptions {
+  TreeKind kind = TreeKind::kFolding;
+  // RotatingTree: splits per bucket (= the fixed slide width w).
+  std::size_t bucket_width = 1;
+  // Rotating/Coalescing: enable split processing (§4).
+  bool split_processing = false;
+  // RandomizedFoldingTree: group-boundary probability.
+  double boundary_probability = 0.5;
+};
+
+std::unique_ptr<ContractionTree> make_tree(const TreeOptions& options,
+                                           MemoContext ctx,
+                                           CombineFn combiner);
+
+}  // namespace slider

@@ -1,0 +1,88 @@
+#include "contraction/tree_common.h"
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace slider {
+namespace {
+
+std::uint64_t context_seed(const MemoContext& ctx) {
+  return hash_combine(ctx.job_hash,
+                      static_cast<std::uint64_t>(ctx.partition) + 0x9e37);
+}
+
+}  // namespace
+
+NodeId leaf_node_id(const MemoContext& ctx, SplitId split,
+                    const KVTable& table) {
+  return hash_combine(hash_combine(context_seed(ctx), split),
+                      table.content_hash());
+}
+
+NodeId internal_node_id(const MemoContext& ctx, NodeId left, NodeId right) {
+  return hash_combine(hash_combine(context_seed(ctx), left),
+                      hash_combine(0x1357, right));
+}
+
+std::shared_ptr<const KVTable> combine_and_memoize(
+    const MemoContext& ctx, const CombineFn& combiner, NodeId id,
+    const KVTable& left, const KVTable& right, TreeUpdateStats* stats) {
+  MergeStats merge_stats;
+  auto combined = std::make_shared<const KVTable>(
+      KVTable::merge(left, right, combiner, &merge_stats));
+  if (stats != nullptr) {
+    ++stats->combiner_invocations;
+    stats->rows_scanned += merge_stats.rows_scanned;
+  }
+  memoize_payload(ctx, id, combined, stats);
+  return combined;
+}
+
+void charge_passthrough(const MemoContext& ctx, const KVTable& table,
+                        TreeUpdateStats* stats) {
+  if (stats == nullptr) return;
+  ++stats->combiner_invocations;
+  stats->rows_scanned += table.size();
+  if (ctx.store != nullptr) {
+    stats->memo_write_cost += ctx.store->estimate_write_cost(table.byte_size());
+  }
+}
+
+void memoize_payload(const MemoContext& ctx, NodeId id,
+                     const std::shared_ptr<const KVTable>& table,
+                     TreeUpdateStats* stats) {
+  if (ctx.store == nullptr) return;
+  const MemoWriteResult write = ctx.store->put(id, table);
+  if (stats != nullptr) {
+    stats->memo_bytes_written += write.bytes_written;
+    stats->memo_write_cost += write.cost;
+  }
+}
+
+std::shared_ptr<const KVTable> fetch_reused(
+    const MemoContext& ctx, NodeId id,
+    const std::shared_ptr<const KVTable>& fallback, TreeUpdateStats* stats) {
+  SLIDER_CHECK(fallback != nullptr) << "reused node without in-tree payload";
+  if (stats != nullptr) ++stats->combiner_reused;
+  if (ctx.store == nullptr) return fallback;
+
+  const MemoReadResult read = ctx.store->get(id, ctx.reduce_home);
+  if (stats != nullptr) {
+    ++stats->memo_reads;
+    stats->memo_read_cost += read.cost;
+    if (read.found) stats->memo_bytes_read += read.table->byte_size();
+  }
+  if (read.found) return read.table;
+
+  // Total loss (all replicas down or GC raced the window): recompute.
+  // The fallback is bit-identical to what a recompute would produce; we
+  // charge the recompute as a fresh merge over the payload's rows.
+  if (stats != nullptr) {
+    ++stats->combiner_invocations;
+    stats->rows_scanned += fallback->size() * 2;
+  }
+  memoize_payload(ctx, id, fallback, stats);
+  return fallback;
+}
+
+}  // namespace slider

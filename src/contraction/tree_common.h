@@ -1,0 +1,46 @@
+// Shared plumbing for contraction-tree implementations: stable node ids,
+// priced merge execution, and priced reuse of memoized payloads.
+#pragma once
+
+#include "contraction/tree.h"
+
+namespace slider {
+
+// Stable identity of a leaf node. Content-hashed so that identical map
+// output re-appearing (e.g. re-run after failure) maps to the same entry.
+NodeId leaf_node_id(const MemoContext& ctx, SplitId split,
+                    const KVTable& table);
+
+// Identity of an internal node from its children's identities.
+NodeId internal_node_id(const MemoContext& ctx, NodeId left, NodeId right);
+
+// Executes combine(left, right), charges the merge to `stats`, and
+// memoizes the result under `id`. Returns the combined payload.
+std::shared_ptr<const KVTable> combine_and_memoize(
+    const MemoContext& ctx, const CombineFn& combiner, NodeId id,
+    const KVTable& left, const KVTable& right, TreeUpdateStats* stats);
+
+// Charges a *passthrough* combiner re-execution: a node whose only live
+// input is one child (the other is void) still executes as a task in the
+// paper's design (Fig 2 recomputes such nodes after removals) — it reads
+// the payload, applies the identity combine, and writes its level output.
+// The output is content-identical to the child, so no new memo entry is
+// created; only the cost is charged.
+void charge_passthrough(const MemoContext& ctx, const KVTable& table,
+                        TreeUpdateStats* stats);
+
+// Memoizes a payload that was produced without a merge (leaves).
+void memoize_payload(const MemoContext& ctx, NodeId id,
+                     const std::shared_ptr<const KVTable>& table,
+                     TreeUpdateStats* stats);
+
+// Charges the read of a reused node's payload from the memo layer and
+// returns it. `fallback` is the in-tree copy: it is returned (and the
+// entry re-installed) when the store lost the payload on every tier, which
+// models "recompute after total loss" at the cost level while keeping the
+// output deterministic.
+std::shared_ptr<const KVTable> fetch_reused(
+    const MemoContext& ctx, NodeId id,
+    const std::shared_ptr<const KVTable>& fallback, TreeUpdateStats* stats);
+
+}  // namespace slider

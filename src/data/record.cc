@@ -1,0 +1,94 @@
+#include "data/record.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace slider {
+namespace {
+
+// Framing overhead per record in the serialized form (two 32-bit length
+// prefixes); keep in sync with serde.cc.
+constexpr std::size_t kRecordFraming = 8;
+
+std::size_t serialized_size(std::span<const Record> rows) {
+  std::size_t total = 0;
+  for (const Record& r : rows) {
+    total += r.key.size() + r.value.size() + kRecordFraming;
+  }
+  return total;
+}
+
+}  // namespace
+
+KVTable::KVTable(std::vector<Record> sorted_unique_rows)
+    : rows_(std::move(sorted_unique_rows)),
+      byte_size_(serialized_size(rows_)) {}
+
+KVTable KVTable::from_records(std::vector<Record> rows,
+                              const CombineFn& combine) {
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const Record& a, const Record& b) { return a.key < b.key; });
+  std::vector<Record> out;
+  out.reserve(rows.size());
+  for (Record& r : rows) {
+    if (!out.empty() && out.back().key == r.key) {
+      out.back().value = combine(r.key, out.back().value, r.value);
+    } else {
+      out.push_back(std::move(r));
+    }
+  }
+  return KVTable(std::move(out));
+}
+
+KVTable KVTable::merge(const KVTable& a, const KVTable& b,
+                       const CombineFn& combine, MergeStats* stats) {
+  std::vector<Record> out;
+  out.reserve(a.size() + b.size());
+  std::size_t i = 0;
+  std::size_t j = 0;
+  std::uint64_t combines = 0;
+  while (i < a.rows_.size() && j < b.rows_.size()) {
+    const Record& ra = a.rows_[i];
+    const Record& rb = b.rows_[j];
+    if (ra.key < rb.key) {
+      out.push_back(ra);
+      ++i;
+    } else if (rb.key < ra.key) {
+      out.push_back(rb);
+      ++j;
+    } else {
+      out.push_back({ra.key, combine(ra.key, ra.value, rb.value)});
+      ++combines;
+      ++i;
+      ++j;
+    }
+  }
+  out.insert(out.end(), a.rows_.begin() + i, a.rows_.end());
+  out.insert(out.end(), b.rows_.begin() + j, b.rows_.end());
+  if (stats != nullptr) {
+    stats->rows_scanned += a.size() + b.size();
+    stats->combines_applied += combines;
+  }
+  return KVTable(std::move(out));
+}
+
+const std::string* KVTable::find(const std::string& key) const {
+  const auto it = std::lower_bound(
+      rows_.begin(), rows_.end(), key,
+      [](const Record& r, const std::string& k) { return r.key < k; });
+  if (it == rows_.end() || it->key != key) return nullptr;
+  return &it->value;
+}
+
+std::uint64_t KVTable::content_hash() const {
+  std::uint64_t h = kFnvOffset;
+  for (const Record& r : rows_) {
+    h = hash_combine(h, hash_string(r.key));
+    h = hash_combine(h, hash_string(r.value));
+  }
+  return h;
+}
+
+}  // namespace slider

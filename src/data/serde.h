@@ -1,0 +1,21 @@
+// Serialization of KVTables for the persistent memoization tier.
+//
+// Format: u32 row count, then per row (u32 key length, key bytes, u32 value
+// length, value bytes). Little-endian, length-prefixed — simple, and the
+// per-record framing matches KVTable::byte_size() so cost-model bytes and
+// real bytes agree.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "data/record.h"
+
+namespace slider {
+
+std::string serialize_table(const KVTable& table);
+
+// Returns nullopt on malformed input (truncated buffer, overlong lengths).
+std::optional<KVTable> deserialize_table(std::string_view bytes);
+
+}  // namespace slider

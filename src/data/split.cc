@@ -1,0 +1,43 @@
+#include "data/split.h"
+
+#include "common/logging.h"
+
+namespace slider {
+
+std::size_t InputSplit::compute_byte_size(const std::vector<Record>& records) {
+  std::size_t total = 0;
+  for (const Record& r : records) {
+    total += r.key.size() + r.value.size() + 8;
+  }
+  return total;
+}
+
+SplitPtr make_split(SplitId id, std::vector<Record> records) {
+  auto split = std::make_shared<InputSplit>();
+  split->id = id;
+  split->byte_size = InputSplit::compute_byte_size(records);
+  split->records = std::move(records);
+  return split;
+}
+
+std::vector<SplitPtr> make_splits(std::vector<Record> records,
+                                  std::size_t records_per_split,
+                                  SplitId first_id) {
+  SLIDER_CHECK(records_per_split > 0) << "records_per_split must be positive";
+  std::vector<SplitPtr> splits;
+  std::vector<Record> chunk;
+  chunk.reserve(records_per_split);
+  SplitId next_id = first_id;
+  for (Record& r : records) {
+    chunk.push_back(std::move(r));
+    if (chunk.size() == records_per_split) {
+      splits.push_back(make_split(next_id++, std::move(chunk)));
+      chunk = {};
+      chunk.reserve(records_per_split);
+    }
+  }
+  if (!chunk.empty()) splits.push_back(make_split(next_id++, std::move(chunk)));
+  return splits;
+}
+
+}  // namespace slider

@@ -1,0 +1,39 @@
+// Input splits.
+//
+// As in Hadoop, the input of a job is a sequence of fixed-size "splits",
+// each processed by one Map task (paper §2.1). Sliding-window deltas are
+// expressed in whole splits: the window drops splits at the front and
+// appends splits at the back.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/record.h"
+
+namespace slider {
+
+using SplitId = std::uint64_t;
+
+struct InputSplit {
+  SplitId id = 0;
+  std::vector<Record> records;
+  // Serialized payload size; drives map-task I/O cost and locality value.
+  std::size_t byte_size = 0;
+
+  static std::size_t compute_byte_size(const std::vector<Record>& records);
+};
+
+using SplitPtr = std::shared_ptr<const InputSplit>;
+
+SplitPtr make_split(SplitId id, std::vector<Record> records);
+
+// Chops a record stream into splits of `records_per_split`, assigning
+// consecutive ids starting at `first_id`.
+std::vector<SplitPtr> make_splits(std::vector<Record> records,
+                                  std::size_t records_per_split,
+                                  SplitId first_id);
+
+}  // namespace slider

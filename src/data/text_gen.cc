@@ -1,0 +1,42 @@
+#include "data/text_gen.h"
+
+#include "common/string_util.h"
+
+namespace slider {
+
+TextGenerator::TextGenerator(TextGenOptions options)
+    : options_(options), rng_(options.seed) {}
+
+std::string TextGenerator::word_for_rank(std::uint64_t rank) {
+  // Fixed-width base-26 spelling prefixed with 'w': distinct, free of
+  // separator characters, and long enough (5 chars) that the subStr
+  // benchmark sees a realistic n-gram population per word.
+  std::string word = "wAAAA";
+  for (int i = 4; i >= 1; --i) {
+    word[static_cast<std::size_t>(i)] = static_cast<char>('a' + rank % 26);
+    rank /= 26;
+  }
+  return word;
+}
+
+std::string TextGenerator::next_document() {
+  std::string doc;
+  doc.reserve(options_.words_per_document * 6);
+  for (std::size_t i = 0; i < options_.words_per_document; ++i) {
+    if (i != 0) doc.push_back(' ');
+    doc += word_for_rank(
+        rng_.next_zipf(options_.vocabulary_size, options_.zipf_exponent));
+  }
+  return doc;
+}
+
+std::vector<Record> TextGenerator::documents(std::size_t count) {
+  std::vector<Record> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back({zero_pad(next_doc_id_++, 10), next_document()});
+  }
+  return out;
+}
+
+}  // namespace slider

@@ -1,0 +1,44 @@
+// Synthetic text corpus generator.
+//
+// Substitutes for the Wikipedia dataset the paper feeds to its
+// data-intensive micro-benchmarks (HCT, Matrix, subStr). Produces
+// documents of Zipf-distributed words over a bounded vocabulary, which
+// preserves the property those benchmarks depend on: heavily skewed word
+// frequencies with a long tail.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/record.h"
+
+namespace slider {
+
+struct TextGenOptions {
+  std::uint64_t vocabulary_size = 10'000;
+  double zipf_exponent = 1.1;
+  std::size_t words_per_document = 40;
+  std::uint64_t seed = 0xC0FFEE;
+};
+
+class TextGenerator {
+ public:
+  explicit TextGenerator(TextGenOptions options = {});
+
+  // One document: space-separated words. Keys of the produced records are
+  // sequential document ids (zero-padded so they sort chronologically).
+  std::string next_document();
+  std::vector<Record> documents(std::size_t count);
+
+  // Deterministic word spelling for a vocabulary rank.
+  static std::string word_for_rank(std::uint64_t rank);
+
+ private:
+  TextGenOptions options_;
+  Rng rng_;
+  std::uint64_t next_doc_id_ = 0;
+};
+
+}  // namespace slider

@@ -1,0 +1,62 @@
+// User-facing programming model.
+//
+// Applications are written exactly once, in plain (non-incremental)
+// MapReduce style — a Mapper, an associative Combiner and a Reducer — and
+// run unchanged under the vanilla engine, the strawman memoizer and every
+// Slider contraction tree. That transparency is the paper's headline
+// property.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/cost_model.h"
+#include "common/hash.h"
+#include "data/record.h"
+
+namespace slider {
+
+class Emitter {
+ public:
+  void emit(std::string key, std::string value) {
+    records_.push_back({std::move(key), std::move(value)});
+  }
+  std::vector<Record> take() { return std::move(records_); }
+  std::size_t size() const { return records_.size(); }
+
+ private:
+  std::vector<Record> records_;
+};
+
+class Mapper {
+ public:
+  virtual ~Mapper() = default;
+  virtual void map(const Record& input, Emitter& out) const = 0;
+};
+
+// Final reduction applied per key to the fully combined value. Returning
+// nullopt drops the key from the output (e.g. below-threshold substrings).
+using ReduceFn = std::function<std::optional<std::string>(
+    const std::string& key, const std::string& combined)>;
+
+struct JobSpec {
+  std::string name;
+  std::shared_ptr<const Mapper> mapper;
+  CombineFn combiner;
+  ReduceFn reducer;
+  int num_partitions = 4;
+  AppCostProfile costs;
+
+  std::uint64_t job_hash() const { return hash_string(name); }
+};
+
+inline int partition_of(const std::string& key, int num_partitions) {
+  return static_cast<int>(hash_string(key) %
+                          static_cast<std::uint64_t>(num_partitions));
+}
+
+}  // namespace slider

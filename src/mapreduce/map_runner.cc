@@ -1,0 +1,47 @@
+#include "mapreduce/map_runner.h"
+
+#include <cmath>
+
+namespace slider {
+
+MapOutput run_map_task(const JobSpec& job, const InputSplit& split) {
+  Emitter emitter;
+  for (const Record& r : split.records) {
+    job.mapper->map(r, emitter);
+  }
+  std::vector<Record> emitted = emitter.take();
+  const std::uint64_t emitted_count = emitted.size();
+
+  std::vector<std::vector<Record>> by_partition(
+      static_cast<std::size_t>(job.num_partitions));
+  for (Record& r : emitted) {
+    by_partition[static_cast<std::size_t>(
+                     partition_of(r.key, job.num_partitions))]
+        .push_back(std::move(r));
+  }
+
+  MapOutput out;
+  out.records_in = split.records.size();
+  out.partitions.reserve(by_partition.size());
+  for (auto& bucket : by_partition) {
+    auto table = std::make_shared<const KVTable>(
+        KVTable::from_records(std::move(bucket), job.combiner));
+    out.records_out += table->size();
+    out.bytes_out += table->byte_size();
+    out.partitions.push_back(std::move(table));
+  }
+
+  // Pricing: the user map function per record/byte, plus the local
+  // sort-and-combine pass over everything emitted (n log n-ish; the log
+  // factor matters little at split granularity, so charge it explicitly).
+  const double sort_factor =
+      emitted_count > 1 ? std::log2(static_cast<double>(emitted_count)) : 1.0;
+  out.cpu_cost =
+      job.costs.map_cpu_per_record * static_cast<double>(out.records_in) +
+      job.costs.map_cpu_per_byte * static_cast<double>(split.byte_size) +
+      job.costs.combine_cpu_per_row * static_cast<double>(emitted_count) *
+          sort_factor;
+  return out;
+}
+
+}  // namespace slider

@@ -1,0 +1,38 @@
+// Reduce-side helpers: balanced multi-way merge of shuffled map outputs
+// (Hadoop's merge-sort stage expressed as pairwise combiner merges) and the
+// final per-key Reduce application.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/metrics.h"
+#include "data/record.h"
+#include "mapreduce/api.h"
+
+namespace slider {
+
+struct MergeCost {
+  std::uint64_t rows_scanned = 0;
+  std::uint64_t merges = 0;
+};
+
+// Balanced pairwise merge of `tables` into one combined table. Balanced
+// (queue) order keeps total scanned rows at O(total · log n_tables), the
+// same asymptotics as Hadoop's multi-way merge-sort.
+std::shared_ptr<const KVTable> merge_tables(
+    std::vector<std::shared_ptr<const KVTable>> tables,
+    const CombineFn& combiner, MergeCost* cost = nullptr);
+
+struct ReduceOutput {
+  KVTable table;
+  SimDuration cpu_cost = 0;
+  std::uint64_t keys_in = 0;
+  std::uint64_t keys_out = 0;
+};
+
+// Applies the job's Reduce function to every key of the combined table.
+ReduceOutput run_reduce(const JobSpec& job, const KVTable& combined);
+
+}  // namespace slider

@@ -1,0 +1,140 @@
+#include "query/operators.h"
+
+#include "apps/codecs.h"
+#include "common/string_util.h"
+
+namespace slider::query {
+namespace {
+
+AppCostProfile query_stage_costs() {
+  AppCostProfile costs;
+  costs.map_cpu_per_record = 2.0e-6;
+  costs.map_cpu_per_byte = 4.0e-9;
+  costs.combine_cpu_per_row = 3.0e-7;
+  costs.reduce_cpu_per_row = 8.0e-7;
+  return costs;
+}
+
+// Keep-one combiner for operators whose duplicate values are identical by
+// construction (filter/distinct).
+CombineFn first_value_combiner() {
+  return [](const std::string&, const std::string& a, const std::string&) {
+    return a;
+  };
+}
+
+}  // namespace
+
+JobSpec filter_project_job(
+    std::string name,
+    std::function<std::optional<Record>(const Record&)> project,
+    int num_partitions) {
+  JobSpec job;
+  job.name = std::move(name);
+  job.mapper = std::make_shared<LambdaMapper>(
+      [project = std::move(project)](const Record& r, Emitter& out) {
+        if (auto projected = project(r)) {
+          out.emit(std::move(projected->key), std::move(projected->value));
+        }
+      });
+  job.combiner = first_value_combiner();
+  job.reducer = [](const std::string&,
+                   const std::string& v) -> std::optional<std::string> {
+    return v;
+  };
+  job.num_partitions = num_partitions;
+  job.costs = query_stage_costs();
+  return job;
+}
+
+JobSpec group_sum_job(std::string name,
+                      std::function<std::optional<Record>(const Record&)>
+                          key_value_extract,
+                      int num_partitions) {
+  JobSpec job;
+  job.name = std::move(name);
+  job.mapper = std::make_shared<LambdaMapper>(
+      [extract = std::move(key_value_extract)](const Record& r, Emitter& out) {
+        if (auto kv = extract(r)) {
+          out.emit(std::move(kv->key), std::move(kv->value));
+        }
+      });
+  job.combiner = [](const std::string&, const std::string& a,
+                    const std::string& b) {
+    return apps::encode_count(apps::decode_count(a) + apps::decode_count(b));
+  };
+  job.reducer = [](const std::string&,
+                   const std::string& v) -> std::optional<std::string> {
+    return v;
+  };
+  job.num_partitions = num_partitions;
+  job.costs = query_stage_costs();
+  return job;
+}
+
+JobSpec distinct_job(std::string name,
+                     std::function<std::optional<std::string>(const Record&)>
+                         key_extract,
+                     int num_partitions) {
+  JobSpec job;
+  job.name = std::move(name);
+  job.mapper = std::make_shared<LambdaMapper>(
+      [extract = std::move(key_extract)](const Record& r, Emitter& out) {
+        if (auto key = extract(r)) out.emit(*std::move(key), "1");
+      });
+  job.combiner = first_value_combiner();
+  job.reducer = [](const std::string&,
+                   const std::string& v) -> std::optional<std::string> {
+    return v;
+  };
+  job.num_partitions = num_partitions;
+  job.costs = query_stage_costs();
+  return job;
+}
+
+JobSpec top_k_job(std::string name, std::size_t k, int num_partitions) {
+  JobSpec job;
+  job.name = std::move(name);
+  job.mapper = std::make_shared<LambdaMapper>(
+      [](const Record& r, Emitter& out) {
+        const std::uint64_t score = apps::decode_count(r.value);
+        // Negate so the bounded "k smallest" merge keeps the k largest.
+        out.emit("top", apps::encode_topk({apps::ScoredTag{
+                            -static_cast<double>(score), r.key}}));
+      });
+  job.combiner = [k](const std::string&, const std::string& a,
+                     const std::string& b) {
+    return apps::encode_topk(
+        apps::merge_topk(apps::decode_topk(a), apps::decode_topk(b), k));
+  };
+  job.reducer = [](const std::string&,
+                   const std::string& v) -> std::optional<std::string> {
+    std::string out;
+    for (const apps::ScoredTag& e : apps::decode_topk(v)) {
+      if (!out.empty()) out.push_back(';');
+      out += e.tag + "=" + std::to_string(
+                               static_cast<std::uint64_t>(-e.score));
+    }
+    return out;
+  };
+  job.num_partitions = num_partitions;
+  job.costs = query_stage_costs();
+  return job;
+}
+
+MapFn fr_join(std::shared_ptr<const std::map<std::string, std::string>>
+                  side_table,
+              int field, MapFn inner) {
+  return [side_table = std::move(side_table), field,
+          inner = std::move(inner)](const Record& r, Emitter& out) {
+    const auto parts = split_view(r.value, ',');
+    if (static_cast<std::size_t>(field) >= parts.size()) return;
+    const auto it = side_table->find(std::string(parts[field]));
+    if (it == side_table->end()) return;  // inner join: no match, drop
+    Record joined = r;
+    joined.value += "," + it->second;
+    inner(joined, out);
+  };
+}
+
+}  // namespace slider::query

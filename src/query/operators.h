@@ -1,0 +1,62 @@
+// Data-flow query operators (paper §5).
+//
+// Pig-Latin-style primitives, each compiled to one MapReduce JobSpec so a
+// query becomes a pipeline of jobs — exactly how Pig compiles to Hadoop.
+// Binary joins are fragment-replicate (map-side) joins against a small
+// broadcast table, Pig's standard strategy when one side is small.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "mapreduce/api.h"
+
+namespace slider::query {
+
+using MapFn = std::function<void(const Record&, Emitter&)>;
+
+// Adapts a lambda to the engine's Mapper interface.
+class LambdaMapper final : public Mapper {
+ public:
+  explicit LambdaMapper(MapFn fn) : fn_(std::move(fn)) {}
+  void map(const Record& input, Emitter& out) const override {
+    fn_(input, out);
+  }
+
+ private:
+  MapFn fn_;
+};
+
+// FILTER + FOREACH projection: keeps records matching `predicate`,
+// re-keyed/projected by `project` (returning nullopt drops the record).
+JobSpec filter_project_job(
+    std::string name,
+    std::function<std::optional<Record>(const Record&)> project,
+    int num_partitions = 4);
+
+// GROUP key BY extract, aggregate COUNT/SUM of the numeric value field.
+JobSpec group_sum_job(std::string name,
+                      std::function<std::optional<Record>(const Record&)>
+                          key_value_extract,
+                      int num_partitions = 4);
+
+// DISTINCT over the projected record's key (value is dropped).
+JobSpec distinct_job(std::string name,
+                     std::function<std::optional<std::string>(const Record&)>
+                         key_extract,
+                     int num_partitions = 4);
+
+// ORDER BY score DESC LIMIT k, over (key, numeric value) rows.
+JobSpec top_k_job(std::string name, std::size_t k, int num_partitions = 1);
+
+// Fragment-replicate join: wraps `inner` so that each record is first
+// enriched from the broadcast `side_table` (joined on the record key's
+// `field`-th ','-separated value component); records with no match are
+// dropped (inner-join semantics).
+MapFn fr_join(std::shared_ptr<const std::map<std::string, std::string>>
+                  side_table,
+              int field, MapFn inner);
+
+}  // namespace slider::query

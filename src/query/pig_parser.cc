@@ -1,0 +1,602 @@
+#include "query/pig_parser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <optional>
+
+#include "apps/codecs.h"
+#include "common/string_util.h"
+#include "query/operators.h"
+
+namespace slider::query {
+namespace {
+
+// --- tokenizer ---------------------------------------------------------------
+
+struct Token {
+  enum Kind { kWord, kField, kKeyRef, kLiteral, kSymbol, kNumber } kind;
+  std::string text;  // word / literal text / symbol / digits
+  int field = 0;     // for kField
+};
+
+class Tokenizer {
+ public:
+  Tokenizer(std::string_view text, int line) : text_(text), line_(line) {}
+
+  std::optional<Token> next() {
+    skip_space();
+    if (pos_ >= text_.size()) return std::nullopt;
+    const char c = text_[pos_];
+    if (c == '\'') return quoted();
+    if (c == '$') return field_ref();
+    if (std::isdigit(static_cast<unsigned char>(c))) return number();
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') return word();
+    return symbol();
+  }
+
+  Token expect(Token::Kind kind, const std::string& what) {
+    auto token = next();
+    if (!token.has_value() || token->kind != kind) {
+      throw PigParseError(line_, "expected " + what);
+    }
+    return *std::move(token);
+  }
+
+  Token expect_word(const std::string& keyword) {
+    const Token token = expect(Token::kWord, "'" + keyword + "'");
+    if (token.text != keyword) {
+      throw PigParseError(line_, "expected '" + keyword + "', got '" +
+                                     token.text + "'");
+    }
+    return token;
+  }
+
+  void expect_symbol(const std::string& symbol) {
+    auto token = next();
+    if (!token.has_value() || token->kind != Token::kSymbol ||
+        token->text != symbol) {
+      throw PigParseError(line_, "expected '" + symbol + "'");
+    }
+  }
+
+  void expect_end() {
+    if (next().has_value()) throw PigParseError(line_, "trailing tokens");
+  }
+
+  int line() const { return line_; }
+
+ private:
+  void skip_space() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  Token quoted() {
+    ++pos_;  // opening quote
+    std::string value;
+    while (pos_ < text_.size() && text_[pos_] != '\'') {
+      value.push_back(text_[pos_++]);
+    }
+    if (pos_ >= text_.size()) throw PigParseError(line_, "unterminated string");
+    ++pos_;  // closing quote
+    return Token{Token::kLiteral, std::move(value)};
+  }
+
+  Token field_ref() {
+    ++pos_;  // '$'
+    if (pos_ < text_.size() && text_.compare(pos_, 3, "key") == 0) {
+      pos_ += 3;
+      return Token{Token::kKeyRef, "$key"};
+    }
+    std::string digits;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      digits.push_back(text_[pos_++]);
+    }
+    if (digits.empty()) throw PigParseError(line_, "bad field reference");
+    Token token{Token::kField, "$" + digits};
+    token.field = std::stoi(digits);
+    return token;
+  }
+
+  Token number() {
+    std::string digits;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      digits.push_back(text_[pos_++]);
+    }
+    return Token{Token::kNumber, std::move(digits)};
+  }
+
+  Token word() {
+    std::string name;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      name.push_back(text_[pos_++]);
+    }
+    return Token{Token::kWord, std::move(name)};
+  }
+
+  Token symbol() {
+    static const char* kTwoChar[] = {"==", "!="};
+    for (const char* s : kTwoChar) {
+      if (text_.compare(pos_, 2, s) == 0) {
+        pos_ += 2;
+        return Token{Token::kSymbol, s};
+      }
+    }
+    return Token{Token::kSymbol, std::string(1, text_[pos_++])};
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int line_;
+};
+
+// --- AST ----------------------------------------------------------------------
+
+struct Expr {
+  enum Kind { kField, kKey, kLiteral } kind = kLiteral;
+  int field = 0;
+  std::string literal;
+};
+
+// One GENERATE position: one or more exprs concatenated.
+using ExprChain = std::vector<Expr>;
+
+struct Stmt {
+  enum Op {
+    kLoad,
+    kFilter,
+    kForeach,
+    kJoin,
+    kGroupSum,
+    kGroupCount,
+    kDistinct,
+    kOrderLimit,
+  } op = kLoad;
+  int line = 0;
+  std::string name;  // defined relation
+  std::string src;   // input relation (except LOAD)
+  // FILTER
+  Expr filter_lhs;
+  std::string filter_cmp;
+  std::string filter_rhs;
+  // FOREACH
+  ExprChain gen_key;
+  ExprChain gen_value;
+  // JOIN
+  int join_field = 0;
+  std::string join_table;
+  // ORDER ... LIMIT
+  std::size_t limit = 0;
+};
+
+Expr parse_expr_atom(Tokenizer& t) {
+  auto token = t.next();
+  if (!token.has_value()) throw PigParseError(t.line(), "expected expression");
+  switch (token->kind) {
+    case Token::kField:
+      return Expr{Expr::kField, token->field, {}};
+    case Token::kKeyRef:
+      return Expr{Expr::kKey, 0, {}};
+    case Token::kLiteral:
+    case Token::kNumber:
+      return Expr{Expr::kLiteral, 0, token->text};
+    default:
+      throw PigParseError(t.line(), "bad expression token '" + token->text +
+                                        "'");
+  }
+}
+
+// expr ('&' expr)*  — '&' concatenates.
+ExprChain parse_expr_chain(Tokenizer& t, bool* saw_comma, bool* at_end) {
+  ExprChain chain;
+  chain.push_back(parse_expr_atom(t));
+  for (;;) {
+    auto token = t.next();
+    if (!token.has_value()) {
+      *at_end = true;
+      return chain;
+    }
+    if (token->kind == Token::kSymbol && token->text == "&") {
+      chain.push_back(parse_expr_atom(t));
+      continue;
+    }
+    if (token->kind == Token::kSymbol && token->text == ",") {
+      *saw_comma = true;
+      return chain;
+    }
+    throw PigParseError(t.line(), "unexpected token '" + token->text + "'");
+  }
+}
+
+// --- evaluation ---------------------------------------------------------------
+
+std::string eval_expr(const Expr& e, const Record& r,
+                      const std::vector<std::string_view>& fields) {
+  switch (e.kind) {
+    case Expr::kField:
+      if (static_cast<std::size_t>(e.field) >= fields.size()) return "";
+      return std::string(fields[static_cast<std::size_t>(e.field)]);
+    case Expr::kKey:
+      return r.key;
+    case Expr::kLiteral:
+      return e.literal;
+  }
+  return "";
+}
+
+std::string eval_chain(const ExprChain& chain, const Record& r,
+                       const std::vector<std::string_view>& fields) {
+  std::string out;
+  for (const Expr& e : chain) out += eval_expr(e, r, fields);
+  return out;
+}
+
+bool compare(const std::string& lhs, const std::string& cmp,
+             const std::string& rhs) {
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  if (parse_u64(lhs, &a) && parse_u64(rhs, &b)) {
+    if (cmp == "==") return a == b;
+    if (cmp == "!=") return a != b;
+    if (cmp == "<") return a < b;
+    return a > b;
+  }
+  if (cmp == "==") return lhs == rhs;
+  if (cmp == "!=") return lhs != rhs;
+  if (cmp == "<") return lhs < rhs;
+  return lhs > rhs;
+}
+
+// Composable record-at-a-time transform; nullopt drops the record.
+using Transform = std::function<std::optional<Record>(const Record&)>;
+
+Transform identity_transform() {
+  return [](const Record& r) -> std::optional<Record> { return r; };
+}
+
+// --- statement parsing ---------------------------------------------------------
+
+Stmt parse_statement(std::string_view text, int line) {
+  Tokenizer t(text, line);
+  Stmt stmt;
+  stmt.line = line;
+
+  const Token first = t.expect(Token::kWord, "relation name or STORE");
+  if (first.text == "STORE") {
+    // Handled by the caller; represent as a LOAD-shaped marker.
+    stmt.op = Stmt::kLoad;
+    stmt.name = "";
+    stmt.src = t.expect(Token::kWord, "relation name").text;
+    t.expect_end();
+    return stmt;
+  }
+
+  stmt.name = first.text;
+  t.expect_symbol("=");
+  const Token op = t.expect(Token::kWord, "operator");
+
+  if (op.text == "LOAD") {
+    stmt.op = Stmt::kLoad;
+    stmt.src = t.expect(Token::kLiteral, "input name").text;
+    t.expect_end();
+  } else if (op.text == "FILTER") {
+    stmt.op = Stmt::kFilter;
+    stmt.src = t.expect(Token::kWord, "source relation").text;
+    t.expect_word("BY");
+    stmt.filter_lhs = parse_expr_atom(t);
+    const Token cmp = t.expect(Token::kSymbol, "comparison");
+    if (cmp.text != "==" && cmp.text != "!=" && cmp.text != "<" &&
+        cmp.text != ">") {
+      throw PigParseError(line, "unsupported comparison '" + cmp.text + "'");
+    }
+    stmt.filter_cmp = cmp.text;
+    auto rhs = t.next();
+    if (!rhs.has_value() ||
+        (rhs->kind != Token::kLiteral && rhs->kind != Token::kNumber)) {
+      throw PigParseError(line, "expected literal after comparison");
+    }
+    stmt.filter_rhs = rhs->text;
+    t.expect_end();
+  } else if (op.text == "FOREACH") {
+    stmt.op = Stmt::kForeach;
+    stmt.src = t.expect(Token::kWord, "source relation").text;
+    t.expect_word("GENERATE");
+    bool saw_comma = false;
+    bool at_end = false;
+    stmt.gen_key = parse_expr_chain(t, &saw_comma, &at_end);
+    if (!saw_comma) throw PigParseError(line, "GENERATE needs key, value");
+    saw_comma = false;
+    stmt.gen_value = parse_expr_chain(t, &saw_comma, &at_end);
+    if (saw_comma) throw PigParseError(line, "GENERATE takes two positions");
+  } else if (op.text == "JOIN") {
+    stmt.op = Stmt::kJoin;
+    stmt.src = t.expect(Token::kWord, "source relation").text;
+    t.expect_word("BY");
+    const Token field = t.expect(Token::kField, "join field");
+    stmt.join_field = field.field;
+    t.expect_word("WITH");
+    stmt.join_table = t.expect(Token::kLiteral, "side-table name").text;
+    t.expect_end();
+  } else if (op.text == "GROUP") {
+    stmt.src = t.expect(Token::kWord, "source relation").text;
+    const Token agg = t.expect(Token::kWord, "SUM or COUNT");
+    if (agg.text == "SUM") {
+      stmt.op = Stmt::kGroupSum;
+    } else if (agg.text == "COUNT") {
+      stmt.op = Stmt::kGroupCount;
+    } else {
+      throw PigParseError(line, "GROUP supports SUM or COUNT");
+    }
+    t.expect_end();
+  } else if (op.text == "DISTINCT") {
+    stmt.op = Stmt::kDistinct;
+    stmt.src = t.expect(Token::kWord, "source relation").text;
+    t.expect_end();
+  } else if (op.text == "ORDER") {
+    stmt.op = Stmt::kOrderLimit;
+    stmt.src = t.expect(Token::kWord, "source relation").text;
+    t.expect_word("DESC");
+    t.expect_word("LIMIT");
+    const Token n = t.expect(Token::kNumber, "limit");
+    stmt.limit = static_cast<std::size_t>(std::stoull(n.text));
+    t.expect_end();
+  } else {
+    throw PigParseError(line, "unknown operator '" + op.text + "'");
+  }
+  return stmt;
+}
+
+AppCostProfile pig_stage_costs() {
+  AppCostProfile costs;
+  costs.map_cpu_per_record = 2.0e-6;
+  costs.map_cpu_per_byte = 4.0e-9;
+  costs.combine_cpu_per_row = 3.0e-7;
+  costs.reduce_cpu_per_row = 8.0e-7;
+  return costs;
+}
+
+}  // namespace
+
+void PigCompiler::register_table(std::string name,
+                                 std::shared_ptr<const SideTable> table) {
+  tables_[std::move(name)] = std::move(table);
+}
+
+CompiledQuery PigCompiler::compile(const std::string& script) const {
+  // Strip '--' comments first (a comment may contain ';'), preserving
+  // newlines so reported line numbers stay correct.
+  std::string stripped;
+  stripped.reserve(script.size());
+  for (const auto raw_line : split_view(script, '\n')) {
+    const auto comment = raw_line.find("--");
+    stripped += std::string(raw_line.substr(
+        0, comment == std::string_view::npos ? raw_line.size() : comment));
+    stripped.push_back('\n');
+  }
+
+  // Parse statement by statement (';'-separated).
+  std::vector<Stmt> stmts;
+  std::string store_target;
+  int store_line = 0;
+  int line = 1;
+  std::string current;
+  for (std::size_t i = 0; i <= stripped.size(); ++i) {
+    const char c = i < stripped.size() ? stripped[i] : ';';
+    if (c == '\n') ++line;
+    if (c != ';') {
+      current.push_back(c == '\n' ? ' ' : c);
+      continue;
+    }
+    std::string cleaned = std::move(current);
+    current.clear();
+    if (cleaned.find_first_not_of(" \t\r") == std::string::npos) continue;
+
+    Stmt stmt = parse_statement(cleaned, line);
+    if (stmt.name.empty()) {  // STORE
+      if (!store_target.empty()) {
+        throw PigParseError(line, "multiple STORE statements");
+      }
+      store_target = stmt.src;
+      store_line = line;
+      continue;
+    }
+    for (const Stmt& existing : stmts) {
+      if (existing.name == stmt.name) {
+        throw PigParseError(line, "relation '" + stmt.name + "' redefined");
+      }
+    }
+    stmts.push_back(std::move(stmt));
+  }
+  if (store_target.empty()) throw PigParseError(line, "missing STORE");
+
+  // Resolve the chain STORE -> ... -> LOAD.
+  std::vector<const Stmt*> chain;
+  std::string cursor = store_target;
+  while (true) {
+    const auto it = std::find_if(
+        stmts.begin(), stmts.end(),
+        [&](const Stmt& s) { return s.name == cursor; });
+    if (it == stmts.end()) {
+      throw PigParseError(store_line, "unknown relation '" + cursor + "'");
+    }
+    chain.push_back(&*it);
+    if (it->op == Stmt::kLoad) break;
+    cursor = it->src;
+  }
+  std::reverse(chain.begin(), chain.end());
+
+  // Compile: fuse record ops into the Map of the next blocking op.
+  CompiledQuery result;
+  result.output_relation = store_target;
+  Transform transform = identity_transform();
+  int stage_index = 0;
+
+  auto compose_record_op = [&](const Stmt& stmt) {
+    Transform prev = std::move(transform);
+    switch (stmt.op) {
+      case Stmt::kFilter: {
+        const Expr lhs = stmt.filter_lhs;
+        const std::string cmp = stmt.filter_cmp;
+        const std::string rhs = stmt.filter_rhs;
+        transform = [prev, lhs, cmp, rhs](
+                        const Record& in) -> std::optional<Record> {
+          auto r = prev(in);
+          if (!r.has_value()) return std::nullopt;
+          const auto fields = split_view(r->value, ',');
+          if (!compare(eval_expr(lhs, *r, fields), cmp, rhs)) {
+            return std::nullopt;
+          }
+          return r;
+        };
+        break;
+      }
+      case Stmt::kForeach: {
+        const ExprChain key = stmt.gen_key;
+        const ExprChain value = stmt.gen_value;
+        transform = [prev, key, value](
+                        const Record& in) -> std::optional<Record> {
+          auto r = prev(in);
+          if (!r.has_value()) return std::nullopt;
+          const auto fields = split_view(r->value, ',');
+          return Record{eval_chain(key, *r, fields),
+                        eval_chain(value, *r, fields)};
+        };
+        break;
+      }
+      case Stmt::kJoin: {
+        const auto it = tables_.find(stmt.join_table);
+        if (it == tables_.end()) {
+          throw PigParseError(stmt.line, "unregistered side table '" +
+                                             stmt.join_table + "'");
+        }
+        auto table = it->second;
+        const int field = stmt.join_field;
+        transform = [prev, table, field](
+                        const Record& in) -> std::optional<Record> {
+          auto r = prev(in);
+          if (!r.has_value()) return std::nullopt;
+          const auto fields = split_view(r->value, ',');
+          if (static_cast<std::size_t>(field) >= fields.size()) {
+            return std::nullopt;
+          }
+          const auto match =
+              table->find(std::string(fields[static_cast<std::size_t>(field)]));
+          if (match == table->end()) return std::nullopt;  // inner join
+          r->value += "," + match->second;
+          return r;
+        };
+        break;
+      }
+      default:
+        break;
+    }
+  };
+
+  auto emit_blocking_stage = [&](const Stmt& stmt) {
+    const std::string stage_name = result.output_relation + "_s" +
+                                   std::to_string(stage_index++) + "_" +
+                                   stmt.name;
+    Transform stage_transform = std::move(transform);
+    transform = identity_transform();
+    switch (stmt.op) {
+      case Stmt::kGroupSum:
+        result.stages.push_back(group_sum_job(
+            stage_name,
+            [stage_transform](const Record& r) -> std::optional<Record> {
+              auto out = stage_transform(r);
+              if (!out.has_value()) return std::nullopt;
+              std::uint64_t n = 0;
+              if (!parse_u64(out->value, &n)) return std::nullopt;
+              return out;
+            },
+            /*num_partitions=*/8));
+        break;
+      case Stmt::kGroupCount:
+        result.stages.push_back(group_sum_job(
+            stage_name,
+            [stage_transform](const Record& r) -> std::optional<Record> {
+              auto out = stage_transform(r);
+              if (!out.has_value()) return std::nullopt;
+              return Record{out->key, "1"};
+            },
+            /*num_partitions=*/8));
+        break;
+      case Stmt::kDistinct:
+        result.stages.push_back(distinct_job(
+            stage_name,
+            [stage_transform](const Record& r) -> std::optional<std::string> {
+              auto out = stage_transform(r);
+              if (!out.has_value()) return std::nullopt;
+              return out->key;
+            },
+            /*num_partitions=*/8));
+        break;
+      case Stmt::kOrderLimit: {
+        JobSpec job = top_k_job(stage_name, stmt.limit);
+        // Wrap the stock top-k mapper so fused record ops apply first.
+        auto inner = job.mapper;
+        job.mapper = std::make_shared<LambdaMapper>(
+            [stage_transform, inner](const Record& r, Emitter& out) {
+              auto t = stage_transform(r);
+              if (!t.has_value()) return;
+              std::uint64_t n = 0;
+              if (!parse_u64(t->value, &n)) return;
+              inner->map(*t, out);
+            });
+        result.stages.push_back(std::move(job));
+        break;
+      }
+      default:
+        break;
+    }
+  };
+
+  for (const Stmt* stmt : chain) {
+    switch (stmt->op) {
+      case Stmt::kLoad:
+        break;  // the window is the input
+      case Stmt::kFilter:
+      case Stmt::kForeach:
+      case Stmt::kJoin:
+        compose_record_op(*stmt);
+        break;
+      case Stmt::kGroupSum:
+      case Stmt::kGroupCount:
+      case Stmt::kDistinct:
+      case Stmt::kOrderLimit:
+        emit_blocking_stage(*stmt);
+        break;
+    }
+  }
+
+  // Trailing record ops (or a record-only query): a map-only stage.
+  // Detect by checking whether the last chain op was non-blocking.
+  if (!chain.empty()) {
+    const Stmt::Op last = chain.back()->op;
+    if (last == Stmt::kLoad || last == Stmt::kFilter ||
+        last == Stmt::kForeach || last == Stmt::kJoin) {
+      Transform stage_transform = std::move(transform);
+      transform = identity_transform();
+      JobSpec job = filter_project_job(
+          result.output_relation + "_s" + std::to_string(stage_index++) +
+              "_maponly",
+          [stage_transform](const Record& r) { return stage_transform(r); },
+          /*num_partitions=*/8);
+      result.stages.push_back(std::move(job));
+    }
+  }
+
+  for (JobSpec& stage : result.stages) stage.costs = pig_stage_costs();
+  if (result.stages.empty()) {
+    throw PigParseError(store_line, "query produces no stages");
+  }
+  return result;
+}
+
+}  // namespace slider::query

@@ -1,0 +1,81 @@
+// A Pig-Latin front end for the query layer (paper §5).
+//
+// The paper's query interface is Pig: a high-level language compiled to a
+// workflow of pipelined MapReduce jobs, each of which Slider runs
+// incrementally. This module implements a small but real subset of
+// Pig-Latin and the stage compiler:
+//
+//   views  = LOAD 'pageviews';
+//   pure   = FILTER views BY $2 == 'v';
+//   pairs  = FOREACH pure GENERATE $1, 1;
+//   counts = GROUP pairs SUM;
+//   top    = ORDER counts DESC LIMIT 25;
+//   STORE top;
+//
+// Record model: a record's value is a ','-separated tuple; `$i` is field
+// i, `$key` is the record key. Relational operators:
+//
+//   LOAD 'name'                       input relation (the window)
+//   FILTER src BY $i <op> 'lit'       op ∈ {==, !=, <, >} (string compare;
+//                                     numeric if both sides parse)
+//   FOREACH src GENERATE <e>, <e>     project to (key, value); exprs are
+//                                     $i / $key / 'literal' / e & e (concat)
+//   JOIN src BY $i WITH 'table'       fragment-replicate join against a
+//                                     registered side table; appends the
+//                                     matched value as a new last field
+//   GROUP src SUM | GROUP src COUNT   blocking: sum numeric values / count
+//                                     rows per key
+//   DISTINCT src                      blocking: unique keys
+//   ORDER src DESC LIMIT n            blocking: top-n keys by numeric value
+//   STORE src                         marks the query output
+//
+// Compilation follows Pig's plan shape: consecutive record-at-a-time ops
+// (LOAD/FILTER/FOREACH/JOIN) fuse into the Map phase of the next blocking
+// op; every blocking op becomes one MapReduce stage. The resulting
+// pipeline runs incrementally via QueryPipeline (window tree at stage 1,
+// strawman change propagation afterwards).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mapreduce/api.h"
+
+namespace slider::query {
+
+using SideTable = std::map<std::string, std::string>;
+
+struct CompiledQuery {
+  std::string output_relation;
+  std::vector<JobSpec> stages;
+};
+
+class PigParseError : public std::runtime_error {
+ public:
+  PigParseError(int line, const std::string& message)
+      : std::runtime_error("pig: line " + std::to_string(line) + ": " +
+                           message),
+        line_(line) {}
+  int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+class PigCompiler {
+ public:
+  // Registers a broadcast side table for JOIN ... WITH 'name'.
+  void register_table(std::string name,
+                      std::shared_ptr<const SideTable> table);
+
+  // Parses and compiles a script. Throws PigParseError on malformed
+  // input, unknown relations, or a missing/ambiguous STORE.
+  CompiledQuery compile(const std::string& script) const;
+
+ private:
+  std::map<std::string, std::shared_ptr<const SideTable>> tables_;
+};
+
+}  // namespace slider::query

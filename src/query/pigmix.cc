@@ -1,0 +1,149 @@
+#include "query/pigmix.h"
+
+#include "apps/codecs.h"
+#include "common/string_util.h"
+#include "query/operators.h"
+
+namespace slider::query {
+namespace {
+
+// Field layout of a page-view record value.
+constexpr int kUser = 0;
+constexpr int kPage = 1;
+constexpr int kAction = 2;
+constexpr int kTimespent = 3;
+constexpr int kRevenue = 4;
+
+std::optional<std::string> field(const Record& r, int index) {
+  const auto parts = split_view(r.value, ',');
+  if (static_cast<std::size_t>(index) >= parts.size()) return std::nullopt;
+  return std::string(parts[static_cast<std::size_t>(index)]);
+}
+
+// Static user → segment table for the fragment-replicate join (L2-style).
+std::shared_ptr<const std::map<std::string, std::string>> user_segments(
+    std::uint64_t users) {
+  auto table = std::make_shared<std::map<std::string, std::string>>();
+  for (std::uint64_t u = 0; u < users; ++u) {
+    (*table)["u" + std::to_string(u)] = "seg" + std::to_string(u % 8);
+  }
+  return table;
+}
+
+PigMixQuery q1_top_pages() {
+  // L1/L6-style: count views per page, then ORDER BY count DESC LIMIT 25.
+  PigMixQuery q;
+  q.name = "q1_top_pages_by_views";
+  q.stages.push_back(group_sum_job(
+      "q1s1_views_per_page",
+      [](const Record& r) -> std::optional<Record> {
+        if (field(r, kAction) != "v") return std::nullopt;
+        auto page = field(r, kPage);
+        if (!page) return std::nullopt;
+        return Record{*std::move(page), "1"};
+      },
+      /*num_partitions=*/8));
+  q.stages.push_back(top_k_job("q1s2_top25", 25));
+  return q;
+}
+
+PigMixQuery q2_segment_engagement() {
+  // L2-style: FR-join page views with the user-segment table, then SUM
+  // timespent per segment.
+  PigMixQuery q;
+  q.name = "q2_segment_engagement";
+  JobSpec stage1 = group_sum_job(
+      "q2s1_segment_time",
+      // Placeholder extract; the mapper below overrides it via fr_join.
+      [](const Record&) -> std::optional<Record> { return std::nullopt; },
+      /*num_partitions=*/8);
+  stage1.mapper = std::make_shared<LambdaMapper>(fr_join(
+      user_segments(2'000), kUser, [](const Record& r, Emitter& out) {
+        const auto parts = split_view(r.value, ',');
+        // fr_join appended the segment as the last field.
+        if (parts.size() < 6) return;
+        std::uint64_t timespent = 0;
+        if (!parse_u64(parts[kTimespent], &timespent)) return;
+        out.emit(std::string(parts.back()), std::to_string(timespent));
+      }));
+  q.stages.push_back(std::move(stage1));
+  q.stages.push_back(top_k_job("q2s2_rank_segments", 8));
+  return q;
+}
+
+PigMixQuery q3_distinct_visitors() {
+  // L4-style: DISTINCT (page, user), then count distinct users per page,
+  // then top-10 pages.
+  PigMixQuery q;
+  q.name = "q3_distinct_visitors_per_page";
+  q.stages.push_back(distinct_job(
+      "q3s1_distinct_pairs", [](const Record& r) -> std::optional<std::string> {
+        auto page = field(r, kPage);
+        auto user = field(r, kUser);
+        if (!page || !user) return std::nullopt;
+        return *page + "/" + *user;
+      },
+      /*num_partitions=*/8));
+  q.stages.push_back(group_sum_job(
+      "q3s2_count_per_page",
+      [](const Record& r) -> std::optional<Record> {
+        const auto slash = r.key.find('/');
+        if (slash == std::string::npos) return std::nullopt;
+        return Record{r.key.substr(0, slash), "1"};
+      },
+      /*num_partitions=*/8));
+  q.stages.push_back(top_k_job("q3s3_top10", 10));
+  return q;
+}
+
+PigMixQuery q4_revenue() {
+  // L3-style: FILTER purchases, project (page, revenue), SUM per page,
+  // top-10 pages by revenue.
+  PigMixQuery q;
+  q.name = "q4_revenue_per_page";
+  q.stages.push_back(group_sum_job(
+      "q4s1_revenue_per_page",
+      [](const Record& r) -> std::optional<Record> {
+        if (field(r, kAction) != "p") return std::nullopt;
+        auto page = field(r, kPage);
+        auto revenue = field(r, kRevenue);
+        if (!page || !revenue) return std::nullopt;
+        return Record{*std::move(page), *std::move(revenue)};
+      },
+      /*num_partitions=*/8));
+  q.stages.push_back(top_k_job("q4s2_top10_revenue", 10));
+  return q;
+}
+
+}  // namespace
+
+std::vector<PigMixQuery> pigmix_queries() {
+  return {q1_top_pages(), q2_segment_engagement(), q3_distinct_visitors(),
+          q4_revenue()};
+}
+
+PageViewGenerator::PageViewGenerator(PageViewGenOptions options)
+    : options_(options), rng_(options.seed) {}
+
+std::vector<Record> PageViewGenerator::next_batch(std::size_t views) {
+  std::vector<Record> batch;
+  batch.reserve(views);
+  for (std::size_t i = 0; i < views; ++i) {
+    const std::uint64_t user =
+        rng_.next_zipf(options_.users, options_.zipf_exponent);
+    const std::uint64_t page =
+        rng_.next_zipf(options_.pages, options_.zipf_exponent);
+    const bool purchase = rng_.next_bool(0.08);
+    const std::uint64_t timespent = 1 + rng_.next_below(300);
+    const std::uint64_t revenue = purchase ? 1 + rng_.next_below(200) : 0;
+    batch.push_back({zero_pad(next_seq_++, 12),
+                     "u" + std::to_string(user) + ",pg" +
+                         std::to_string(page) + "," +
+                         (purchase ? "p" : "v") + "," +
+                         std::to_string(timespent) + "," +
+                         std::to_string(revenue)});
+  }
+  return batch;
+}
+
+}  // namespace slider::query

@@ -1,0 +1,50 @@
+// PigMix-like query workload (paper §7.3, Fig 10).
+//
+// The paper drives its query-processing evaluation with PigMix, a suite of
+// Pig-Latin scripts compiled to multi-job MapReduce pipelines over a page-
+// view log. We reproduce the workload shape: a synthetic page-view dataset
+// (Zipf-skewed users and pages) and four representative scripts covering
+// the PigMix operator mix — filter/project, fragment-replicate join +
+// aggregation, distinct, and group + order-by-limit — each compiling to a
+// 2–3 stage pipeline.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/record.h"
+#include "mapreduce/api.h"
+
+namespace slider::query {
+
+struct PigMixQuery {
+  std::string name;
+  std::vector<JobSpec> stages;
+};
+
+// The full query set.
+std::vector<PigMixQuery> pigmix_queries();
+
+struct PageViewGenOptions {
+  std::uint64_t users = 2'000;
+  std::uint64_t pages = 500;
+  double zipf_exponent = 1.1;
+  std::uint64_t seed = 77;
+};
+
+// Page-view records: key = zero-padded sequence number, value =
+// "user,page,action,timespent,revenue" where action ∈ {v,p} (view or
+// purchase).
+class PageViewGenerator {
+ public:
+  explicit PageViewGenerator(PageViewGenOptions options = {});
+  std::vector<Record> next_batch(std::size_t views);
+
+ private:
+  PageViewGenOptions options_;
+  Rng rng_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace slider::query

@@ -1,0 +1,239 @@
+#include "slider/session.h"
+
+#include <algorithm>
+
+#include "contraction/rotating_tree.h"
+
+namespace slider {
+
+SliderSession::SliderSession(const VanillaEngine& engine, MemoStore& memo,
+                             const JobSpec& job, SliderConfig config)
+    : engine_(&engine), memo_(&memo), job_(job), config_(std::move(config)) {
+  const TreeKind kind = config_.tree_kind.value_or(default_tree_for(config_.mode));
+  TreeOptions options;
+  options.kind = kind;
+  options.bucket_width = config_.bucket_width;
+  options.split_processing = config_.split_processing;
+  options.boundary_probability = config_.boundary_probability;
+
+  partitions_.reserve(static_cast<std::size_t>(job_.num_partitions));
+  for (int p = 0; p < job_.num_partitions; ++p) {
+    MemoContext ctx;
+    ctx.store = memo_;
+    ctx.job_hash = job_.job_hash();
+    ctx.partition = p;
+    ctx.reduce_home = engine_->cluster().place(
+        hash_combine(job_.job_hash(), static_cast<std::uint64_t>(p)));
+    PartitionState state;
+    state.home = ctx.reduce_home;
+    state.tree = make_tree(options, ctx, job_.combiner);
+    if (kind == TreeKind::kRotating && !config_.initial_bucket_sizes.empty()) {
+      static_cast<RotatingTree*>(state.tree.get())
+          ->set_initial_bucket_sizes(config_.initial_bucket_sizes);
+    }
+    partitions_.push_back(std::move(state));
+  }
+  output_.resize(static_cast<std::size_t>(job_.num_partitions));
+}
+
+RunMetrics SliderSession::initial_run(std::vector<SplitPtr> splits) {
+  SLIDER_CHECK(!initialized_) << "initial_run called twice";
+  initialized_ = true;
+  RunMetrics metrics;
+
+  const VanillaEngine::MapStage maps = engine_->run_map_stage(job_, splits);
+  metrics.map_work = maps.sim.work;
+  metrics.map_tasks = splits.size();
+  metrics.time = maps.sim.makespan;
+  metrics.map_time = maps.sim.makespan;
+
+  std::vector<TreeUpdateStats> tree_stats(partitions_.size());
+  std::vector<std::size_t> new_leaf_bytes(partitions_.size(), 0);
+  for (std::size_t p = 0; p < partitions_.size(); ++p) {
+    std::vector<Leaf> leaves;
+    leaves.reserve(splits.size());
+    for (std::size_t i = 0; i < splits.size(); ++i) {
+      const auto& table = maps.outputs[i].partitions[p];
+      new_leaf_bytes[p] += table->byte_size();
+      leaves.push_back(Leaf{splits[i]->id, table});
+    }
+    partitions_[p].tree->initial_build(std::move(leaves), &tree_stats[p]);
+  }
+  for (SplitPtr& split : splits) window_.push_back(std::move(split));
+
+  contraction_and_reduce(tree_stats, new_leaf_bytes, metrics);
+  return metrics;
+}
+
+RunMetrics SliderSession::slide(std::size_t remove_front,
+                                std::vector<SplitPtr> added) {
+  SLIDER_CHECK(initialized_) << "slide before initial_run";
+  SLIDER_CHECK(remove_front <= window_.size()) << "removing beyond window";
+  if (config_.mode == WindowMode::kAppendOnly) {
+    SLIDER_CHECK(remove_front == 0) << "append-only window cannot drop";
+  }
+  RunMetrics metrics;
+
+  // Map only the appended splits; live splits' map outputs are reused
+  // (they sit in the trees / memo layer).
+  const VanillaEngine::MapStage maps = engine_->run_map_stage(job_, added);
+  metrics.map_work = maps.sim.work;
+  metrics.map_tasks = added.size();
+  metrics.time = maps.sim.makespan;
+  metrics.map_time = maps.sim.makespan;
+
+  std::vector<TreeUpdateStats> tree_stats(partitions_.size());
+  std::vector<std::size_t> new_leaf_bytes(partitions_.size(), 0);
+  for (std::size_t p = 0; p < partitions_.size(); ++p) {
+    std::vector<Leaf> leaves;
+    leaves.reserve(added.size());
+    for (std::size_t i = 0; i < added.size(); ++i) {
+      const auto& table = maps.outputs[i].partitions[p];
+      new_leaf_bytes[p] += table->byte_size();
+      leaves.push_back(Leaf{added[i]->id, table});
+    }
+    partitions_[p].tree->apply_delta(remove_front, std::move(leaves),
+                                     &tree_stats[p]);
+  }
+  for (std::size_t i = 0; i < remove_front; ++i) window_.pop_front();
+  for (SplitPtr& split : added) window_.push_back(std::move(split));
+
+  contraction_and_reduce(tree_stats, new_leaf_bytes, metrics);
+  return metrics;
+}
+
+void SliderSession::contraction_and_reduce(
+    const std::vector<TreeUpdateStats>& tree_stats,
+    const std::vector<std::size_t>& new_leaf_bytes, RunMetrics& metrics) {
+  const CostModel& cost = engine_->cost_model();
+  std::vector<SimTask> tasks(partitions_.size());
+  for (std::size_t p = 0; p < partitions_.size(); ++p) {
+    const TreeUpdateStats& ts = tree_stats[p];
+
+    // Contraction phase: combiner merges + memo traffic + lookups.
+    const SimDuration merge_cpu =
+        job_.costs.combine_cpu_per_row * static_cast<double>(ts.rows_scanned);
+    const SimDuration lookup_cpu =
+        config_.memo_lookup_sec * static_cast<double>(ts.nodes_visited);
+    const SimDuration contraction = merge_cpu + lookup_cpu +
+                                    ts.memo_read_cost + ts.memo_write_cost;
+    // Critical path: combiner CPU parallelizes across the level's
+    // subtasks; memo I/O also spreads across machines' disks but loses
+    // half its parallelism to replication fan-out and store contention.
+    const SimDuration contraction_path =
+        contraction_critical_path(ts, merge_cpu + lookup_cpu) +
+        (ts.memo_read_cost + ts.memo_write_cost) /
+            std::max(1.0, contraction_breadth(ts) / 2.0);
+
+    // Shuffle: fresh map outputs travel to the reduce machine.
+    const SimDuration shuffle = cost.net_transfer(new_leaf_bytes[p]);
+
+    // Final reduce streams over the tree's reduce inputs; with split
+    // processing there are two streams and the merge happens on the fly.
+    const auto inputs = partitions_[p].tree->reduce_inputs();
+    SimDuration stream_merge_cpu = 0;
+    std::shared_ptr<const KVTable> reduce_table;
+    if (inputs.size() == 1) {
+      reduce_table = inputs[0];
+    } else {
+      std::size_t stream_rows = 0;
+      for (const auto& t : inputs) stream_rows += t->size();
+      stream_merge_cpu = job_.costs.combine_cpu_per_row *
+                         static_cast<double>(stream_rows);
+      reduce_table = partitions_[p].tree->root();
+    }
+    ReduceOutput reduced = run_reduce(job_, *reduce_table);
+    output_[p] = std::move(reduced.table);
+
+    SimTask& task = tasks[p];
+    task.duration = cost.task_overhead_sec + contraction_path + shuffle +
+                    stream_merge_cpu + reduced.cpu_cost;
+    task.preferred = partitions_[p].home;
+    task.migration_penalty = cost.net_transfer(ts.memo_bytes_read);
+
+    metrics.contraction_work += contraction;
+    metrics.shuffle_work += shuffle;
+    metrics.reduce_work += stream_merge_cpu + reduced.cpu_cost;
+    metrics.memo_read_work += ts.memo_read_cost;
+    metrics.combiner_invocations += ts.combiner_invocations;
+    metrics.combiner_reused += ts.combiner_reused;
+    metrics.memo_bytes_written += ts.memo_bytes_written;
+  }
+  metrics.reduce_tasks = partitions_.size();
+
+  const StageResult stage =
+      engine_->simulator().run_stage(tasks, config_.reduce_policy);
+  metrics.time += stage.makespan;
+
+  if (config_.run_gc) garbage_collect();
+}
+
+RunMetrics SliderSession::run_background() {
+  RunMetrics metrics;
+  if (!config_.split_processing) return metrics;
+  const CostModel& cost = engine_->cost_model();
+  std::vector<SimTask> tasks(partitions_.size());
+  for (std::size_t p = 0; p < partitions_.size(); ++p) {
+    TreeUpdateStats ts;
+    partitions_[p].tree->background_preprocess(&ts);
+    const SimDuration cpu =
+        job_.costs.combine_cpu_per_row * static_cast<double>(ts.rows_scanned) +
+        config_.memo_lookup_sec * static_cast<double>(ts.nodes_visited);
+    const SimDuration work = cpu + ts.memo_read_cost + ts.memo_write_cost;
+    tasks[p].duration = cost.task_overhead_sec +
+                        contraction_critical_path(ts, cpu) +
+                        (ts.memo_read_cost + ts.memo_write_cost) /
+                            std::max(1.0, contraction_breadth(ts) / 2.0);
+    tasks[p].preferred = partitions_[p].home;
+    tasks[p].migration_penalty = cost.net_transfer(ts.memo_bytes_read);
+    metrics.background_work += work;
+    metrics.memo_bytes_written += ts.memo_bytes_written;
+  }
+  const StageResult stage =
+      engine_->simulator().run_stage(tasks, config_.reduce_policy);
+  metrics.background_time = stage.makespan;
+  if (config_.run_gc) garbage_collect();
+  return metrics;
+}
+
+double SliderSession::contraction_breadth(const TreeUpdateStats& ts) const {
+  // The contraction phase is not one serial task: recomputed combiner
+  // nodes within a tree level run as parallel tasks across the cluster
+  // (paper §2.2/§6); only the levels are sequential. The usable breadth is
+  // the per-level node count, bounded by the slots one partition can
+  // realistically occupy.
+  const double invocations = static_cast<double>(ts.combiner_invocations);
+  if (invocations <= 1.0) return 1.0;
+  const double levels = static_cast<double>(
+      std::max(1, partitions_.empty() ? 1 : partitions_[0].tree->height()));
+  const double slots_per_partition = std::max(
+      1.0, static_cast<double>(engine_->cluster().num_machines() *
+                               engine_->cluster().slots_per_machine()) /
+               static_cast<double>(partitions_.size()));
+  return std::clamp(invocations / levels, 1.0, slots_per_partition);
+}
+
+SimDuration SliderSession::contraction_critical_path(
+    const TreeUpdateStats& ts, SimDuration total) const {
+  return total / contraction_breadth(ts);
+}
+
+void SliderSession::garbage_collect() {
+  std::unordered_set<NodeId> live;
+  collect_live_ids(live);
+  memo_->retain_only(live);
+}
+
+void SliderSession::collect_live_ids(std::unordered_set<NodeId>& live) const {
+  for (const PartitionState& p : partitions_) {
+    p.tree->collect_live_ids(live);
+  }
+}
+
+int SliderSession::tree_height(int partition) const {
+  return partitions_[static_cast<std::size_t>(partition)].tree->height();
+}
+
+std::size_t SliderSession::live_memo_entries() const { return memo_->size(); }
+
+}  // namespace slider

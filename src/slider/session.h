@@ -1,0 +1,110 @@
+// SliderSession — the incremental sliding-window runtime (paper §6).
+//
+// One session = one standing job over one sliding window. The first call
+// (initial_run) executes like a normal MapReduce job but builds the
+// per-partition self-adjusting contraction trees; every subsequent slide()
+// maps only the freshly appended splits and propagates the delta through
+// the trees, reusing memoized sub-computations for everything else. The
+// optional background phase (run_background) performs split-processing
+// pre-computation on a best-effort basis.
+//
+// The session also owns the §6 systems glue: the memoization-aware /
+// hybrid reduce scheduling, the master-side garbage collector, and the
+// interaction with the fault-tolerant memo store.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "contraction/tree.h"
+#include "mapreduce/engine.h"
+#include "slider/window.h"
+
+namespace slider {
+
+struct SliderConfig {
+  WindowMode mode = WindowMode::kVariableWidth;
+  // Tree variant; defaults (kDefault) to the paper's pairing for `mode`.
+  std::optional<TreeKind> tree_kind;
+  bool split_processing = false;
+  // Fixed-width: splits per bucket (= slide width). Ignored otherwise.
+  std::size_t bucket_width = 1;
+  // Fixed-width with uneven slides (e.g. calendar months): per-bucket
+  // split counts of the initial window; overrides bucket_width grouping.
+  std::vector<std::size_t> initial_bucket_sizes;
+  double boundary_probability = 0.5;  // randomized folding tree
+  // Folding tree: §3.2 rebalancing factor (0 = never rebuild).
+  std::size_t rebalance_factor = 0;
+  bool run_gc = true;
+  SchedulePolicy reduce_policy = SchedulePolicy::kHybrid;
+  // Cost of visiting one contraction node during change propagation: the
+  // memo-index RPC + per-subtask dispatch that every visited node pays in
+  // the distributed implementation. This is the strawman's "linear with a
+  // small constant" — it visits every node every run, while the
+  // self-adjusting trees only visit dirty paths.
+  double memo_lookup_sec = 2.0e-6;
+};
+
+class SliderSession {
+ public:
+  SliderSession(const VanillaEngine& engine, MemoStore& memo,
+                const JobSpec& job, SliderConfig config);
+
+  // Runs the job from scratch over the initial window.
+  RunMetrics initial_run(std::vector<SplitPtr> splits);
+
+  // Slides the window: drops `remove_front` splits, appends `added`.
+  // Returns foreground metrics only.
+  RunMetrics slide(std::size_t remove_front, std::vector<SplitPtr> added);
+
+  // Best-effort background pre-processing (§4). Returns metrics with only
+  // the background_* fields populated. No-op without split processing.
+  RunMetrics run_background();
+
+  // Final reduced output, one table per partition (stable across calls
+  // until the next run).
+  const std::vector<KVTable>& output() const { return output_; }
+
+  // Current window contents, oldest first.
+  const std::deque<SplitPtr>& window() const { return window_; }
+
+  const JobSpec& job() const { return job_; }
+  const SliderConfig& config() const { return config_; }
+  int tree_height(int partition) const;
+  std::size_t live_memo_entries() const;
+
+  // Node ids the session's trees still need. Exposed so that a composite
+  // runtime (e.g. a multi-stage query pipeline sharing this MemoStore)
+  // can run a global GC instead of the session's own (set run_gc=false).
+  void collect_live_ids(std::unordered_set<NodeId>& live) const;
+
+ private:
+  struct PartitionState {
+    std::unique_ptr<ContractionTree> tree;
+    MachineId home = 0;
+  };
+
+  // Shared tail of initial_run/slide: run the contraction + reduce stage
+  // from the per-partition deltas gathered in `stats`, then GC.
+  void contraction_and_reduce(const std::vector<TreeUpdateStats>& tree_stats,
+                              const std::vector<std::size_t>& new_leaf_bytes,
+                              RunMetrics& metrics);
+  // Critical-path estimate of a partition's contraction phase: nodes
+  // within a level run as parallel combiner tasks, levels are sequential.
+  double contraction_breadth(const TreeUpdateStats& ts) const;
+  SimDuration contraction_critical_path(const TreeUpdateStats& ts,
+                                        SimDuration total) const;
+  void garbage_collect();
+
+  const VanillaEngine* engine_;
+  MemoStore* memo_;
+  JobSpec job_;
+  SliderConfig config_;
+  std::vector<PartitionState> partitions_;
+  std::deque<SplitPtr> window_;
+  std::vector<KVTable> output_;
+  bool initialized_ = false;
+};
+
+}  // namespace slider

@@ -1,0 +1,29 @@
+#include "slider/window.h"
+
+namespace slider {
+
+std::string_view to_string(WindowMode mode) {
+  switch (mode) {
+    case WindowMode::kAppendOnly:
+      return "append-only";
+    case WindowMode::kFixedWidth:
+      return "fixed-width";
+    case WindowMode::kVariableWidth:
+      return "variable-width";
+  }
+  return "?";
+}
+
+TreeKind default_tree_for(WindowMode mode) {
+  switch (mode) {
+    case WindowMode::kAppendOnly:
+      return TreeKind::kCoalescing;
+    case WindowMode::kFixedWidth:
+      return TreeKind::kRotating;
+    case WindowMode::kVariableWidth:
+      return TreeKind::kFolding;
+  }
+  return TreeKind::kFolding;
+}
+
+}  // namespace slider

@@ -1,0 +1,31 @@
+// Sliding-window model.
+//
+// The paper distinguishes three ways a window may move (§3–4):
+//   * variable-width: shrink at the front and grow at the back by
+//     arbitrary, possibly different amounts (general case, §3);
+//   * fixed-width: drop exactly as much as is appended (§4.1);
+//   * append-only: grow monotonically, never drop (§4.2).
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+#include "contraction/tree.h"
+
+namespace slider {
+
+enum class WindowMode { kAppendOnly, kFixedWidth, kVariableWidth };
+
+std::string_view to_string(WindowMode mode);
+
+// The tree variant the paper pairs with each window mode.
+TreeKind default_tree_for(WindowMode mode);
+
+// A window change: drop `remove_front` splits from the front, append
+// `add` splits at the back.
+struct WindowDelta {
+  std::size_t remove_front = 0;
+  std::size_t add = 0;
+};
+
+}  // namespace slider

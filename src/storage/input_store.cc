@@ -1,0 +1,18 @@
+#include "storage/input_store.h"
+
+namespace slider {
+
+void InputStore::add(SplitPtr split) {
+  SLIDER_CHECK(split != nullptr) << "null split";
+  splits_[split->id] = std::move(split);
+}
+
+void InputStore::remove(SplitId id) { splits_.erase(id); }
+
+std::optional<SplitPtr> InputStore::get(SplitId id) const {
+  const auto it = splits_.find(id);
+  if (it == splits_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace slider

@@ -1,0 +1,33 @@
+// Input store: HDFS-like home for input splits.
+//
+// Splits are placed on machines by stable hashing; Map tasks prefer their
+// split's home machine (data locality), paying a network fetch when they
+// run elsewhere, just like Hadoop's HDFS-local scheduling.
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "cluster/cluster.h"
+#include "data/split.h"
+
+namespace slider {
+
+class InputStore {
+ public:
+  explicit InputStore(const Cluster& cluster) : cluster_(&cluster) {}
+
+  void add(SplitPtr split);
+  void remove(SplitId id);
+  bool contains(SplitId id) const { return splits_.count(id) != 0; }
+  std::optional<SplitPtr> get(SplitId id) const;
+
+  MachineId home_of(SplitId id) const { return cluster_->place(id); }
+  std::size_t size() const { return splits_.size(); }
+
+ private:
+  const Cluster* cluster_;
+  std::map<SplitId, SplitPtr> splits_;
+};
+
+}  // namespace slider

@@ -1,0 +1,196 @@
+#include "storage/memo_store.h"
+
+#include "data/serde.h"
+
+namespace slider {
+
+void MemoStore::install_memory(NodeId id, Entry& entry,
+                               std::shared_ptr<const KVTable> table) {
+  if (!memory_enabled_ || entry.memory != nullptr) return;
+  entry.memory = std::move(table);
+  lru_.push_front(id);
+  entry.lru_position = lru_.begin();
+  memory_bytes_ += entry.bytes;
+  evict_to_capacity();
+}
+
+void MemoStore::drop_memory(Entry& entry) {
+  if (entry.memory == nullptr) return;
+  entry.memory = nullptr;
+  lru_.erase(entry.lru_position);
+  memory_bytes_ -= entry.bytes;
+}
+
+void MemoStore::touch(Entry& entry) {
+  if (entry.memory == nullptr) return;
+  lru_.splice(lru_.begin(), lru_, entry.lru_position);
+  entry.lru_position = lru_.begin();
+}
+
+void MemoStore::evict_to_capacity() {
+  if (memory_capacity_bytes_ == 0) return;
+  while (memory_bytes_ > memory_capacity_bytes_ && !lru_.empty()) {
+    const NodeId victim = lru_.back();
+    const auto it = index_.find(victim);
+    SLIDER_CHECK(it != index_.end()) << "LRU entry not in index";
+    drop_memory(it->second);
+    ++stats_.memory_evictions;
+  }
+}
+
+void MemoStore::enforce_entry_budget() {
+  if (entry_budget_ == 0 || index_.size() <= entry_budget_) return;
+  // Drop the oldest-written entries entirely. Linear scan is fine: the
+  // budget policy fires rarely and the index is window-bounded.
+  while (index_.size() > entry_budget_) {
+    auto oldest = index_.begin();
+    for (auto it = index_.begin(); it != index_.end(); ++it) {
+      if (it->second.write_seq < oldest->second.write_seq) oldest = it;
+    }
+    drop_memory(oldest->second);
+    total_bytes_ -= oldest->second.bytes;
+    index_.erase(oldest);
+    ++stats_.budget_evictions;
+  }
+}
+
+void MemoStore::set_memory_capacity_bytes(std::uint64_t capacity) {
+  memory_capacity_bytes_ = capacity;
+  evict_to_capacity();
+}
+
+void MemoStore::set_entry_budget(std::size_t budget) {
+  entry_budget_ = budget;
+  enforce_entry_budget();
+}
+
+MemoWriteResult MemoStore::put(NodeId id,
+                               std::shared_ptr<const KVTable> table) {
+  SLIDER_CHECK(table != nullptr) << "memoizing a null table";
+  MemoWriteResult result;
+  auto [it, inserted] = index_.try_emplace(id);
+  Entry& entry = it->second;
+  if (!inserted) {
+    // Content-addressed: a re-put of the same id re-installs the memory
+    // copy (e.g. after a failure) but pays no persistent write.
+    if (memory_enabled_ && entry.memory == nullptr &&
+        !cluster_->machine(entry.home).failed) {
+      install_memory(id, entry, std::move(table));
+      result.cost = cost_->mem_read(entry.bytes);  // repopulate cache
+    }
+    return result;
+  }
+
+  entry.persistent = serialize_table(*table);
+  entry.bytes = entry.persistent.size();
+  entry.home = home_of(id);
+  entry.write_seq = next_write_seq_++;
+  for (int r = 0; r < kReplicas; ++r) {
+    entry.replica_homes[r] = static_cast<MachineId>(
+        (entry.home + 1 + r) % cluster_->num_machines());
+  }
+  install_memory(id, entry, std::move(table));
+  total_bytes_ += entry.bytes;
+
+  // One memory install + a pipelined replica chain (HDFS-style): the
+  // writer streams the bytes once over the network and the replicas write
+  // to disk in parallel, so the charged critical path is one disk write
+  // plus one network transfer, not kReplicas of each.
+  result.bytes_written = entry.bytes;
+  result.cost = estimate_write_cost(entry.bytes);
+  stats_.write_time += result.cost;
+  enforce_entry_budget();
+  return result;
+}
+
+MemoReadResult MemoStore::get(NodeId id, MachineId reader) {
+  MemoReadResult result;
+  const auto it = index_.find(id);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return result;
+  }
+  Entry& entry = it->second;
+
+  const bool home_alive = !cluster_->machine(entry.home).failed;
+  if (memory_enabled_ && entry.memory != nullptr && home_alive) {
+    result.found = true;
+    result.table = entry.memory;
+    if (reader == entry.home) {
+      result.tier = ReadTier::kLocalMemory;
+      result.cost = cost_->mem_read(entry.bytes);
+    } else {
+      result.tier = ReadTier::kRemoteMemory;
+      result.cost = cost_->mem_read(entry.bytes) +
+                    cost_->net_transfer(entry.bytes);
+    }
+    touch(entry);
+    ++stats_.reads_memory;
+    stats_.read_time += result.cost;
+    return result;
+  }
+
+  // Fall back to the persistent tier: nearest live replica.
+  MachineId source = -1;
+  for (const MachineId replica : entry.replica_homes) {
+    if (cluster_->machine(replica).failed) continue;
+    if (replica == reader) {
+      source = replica;
+      break;
+    }
+    if (source < 0) source = replica;
+  }
+  if (source < 0) {
+    ++stats_.misses;  // all replicas down: behaves like a miss (recompute)
+    return result;
+  }
+
+  auto table = deserialize_table(entry.persistent);
+  SLIDER_CHECK(table.has_value()) << "corrupt persistent memo entry " << id;
+  result.found = true;
+  result.table = std::make_shared<const KVTable>(*std::move(table));
+  result.cost = cost_->disk_read(entry.bytes);
+  if (source != reader) {
+    result.cost += cost_->net_transfer(entry.bytes);
+    result.tier = ReadTier::kRemoteDisk;
+  } else {
+    result.tier = ReadTier::kLocalDisk;
+  }
+  ++stats_.reads_disk;
+  stats_.read_time += result.cost;
+
+  // Re-populate the memory tier on the home machine if it is alive again.
+  if (home_alive) install_memory(id, entry, result.table);
+  return result;
+}
+
+void MemoStore::erase(NodeId id) {
+  const auto it = index_.find(id);
+  if (it == index_.end()) return;
+  drop_memory(it->second);
+  total_bytes_ -= it->second.bytes;
+  index_.erase(it);
+}
+
+std::size_t MemoStore::retain_only(const std::unordered_set<NodeId>& live) {
+  std::size_t collected = 0;
+  for (auto it = index_.begin(); it != index_.end();) {
+    if (live.count(it->first) == 0) {
+      drop_memory(it->second);
+      total_bytes_ -= it->second.bytes;
+      it = index_.erase(it);
+      ++collected;
+    } else {
+      ++it;
+    }
+  }
+  return collected;
+}
+
+void MemoStore::drop_memory_on_failed() {
+  for (auto& [id, entry] : index_) {
+    if (cluster_->machine(entry.home).failed) drop_memory(entry);
+  }
+}
+
+}  // namespace slider

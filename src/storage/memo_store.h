@@ -1,0 +1,151 @@
+// Fault-tolerant memoization layer (paper §6).
+//
+// Memoized sub-computation results (contraction-tree node payloads and map
+// outputs) live in two tiers:
+//   * an in-memory cache on the entry's home machine — fast, lost if the
+//     machine fails;
+//   * a persistent tier with two replicas on distinct machines — slower
+//     (disk + possibly network), survives single failures.
+// A shim I/O layer serves reads from the cheapest live tier and charges the
+// simulated read cost accordingly; this tiering is exactly what Table 2
+// measures. A master-side index tracks every entry so the garbage
+// collector can free state that fell out of the window.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "cluster/cluster.h"
+#include "cluster/cost_model.h"
+#include "common/metrics.h"
+#include "data/record.h"
+
+namespace slider {
+
+using NodeId = std::uint64_t;
+
+enum class ReadTier { kLocalMemory, kRemoteMemory, kLocalDisk, kRemoteDisk };
+
+struct MemoReadResult {
+  bool found = false;
+  std::shared_ptr<const KVTable> table;
+  SimDuration cost = 0;
+  ReadTier tier = ReadTier::kLocalMemory;
+};
+
+struct MemoWriteResult {
+  SimDuration cost = 0;
+  std::uint64_t bytes_written = 0;
+};
+
+struct MemoStoreStats {
+  std::uint64_t reads_memory = 0;
+  std::uint64_t reads_disk = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t memory_evictions = 0;  // LRU drops from the memory tier
+  std::uint64_t budget_evictions = 0;  // whole entries dropped by policy
+  SimDuration read_time = 0;
+  SimDuration write_time = 0;
+};
+
+class MemoStore {
+ public:
+  static constexpr int kReplicas = 2;
+
+  MemoStore(const Cluster& cluster, const CostModel& cost)
+      : cluster_(&cluster), cost_(&cost) {}
+
+  // Table 2 toggles this: with the in-memory cache disabled, every read is
+  // served from the persistent tier.
+  void set_memory_cache_enabled(bool enabled) { memory_enabled_ = enabled; }
+  bool memory_cache_enabled() const { return memory_enabled_; }
+
+  // Bounds the in-memory tier (aggregate bytes across machines); least
+  // recently used memory copies are dropped first. Their persistent
+  // replicas keep serving, so this only trades read latency for RAM.
+  // 0 = unbounded (default).
+  void set_memory_capacity_bytes(std::uint64_t capacity);
+  std::uint64_t memory_bytes() const { return memory_bytes_; }
+
+  // Aggressive user-defined GC policy (§6): cap the total number of
+  // memoized entries; the oldest-written entries are discarded entirely
+  // (memory + persistent) when the cap is exceeded. 0 = unbounded.
+  void set_entry_budget(std::size_t budget);
+
+  // Home machine of an entry (where its in-memory copy lives and where the
+  // memo-aware scheduler wants the consuming task to run).
+  MachineId home_of(NodeId id) const { return cluster_->place(id); }
+
+  bool contains(NodeId id) const { return index_.count(id) != 0; }
+  std::size_t size() const { return index_.size(); }
+  std::uint64_t total_bytes() const { return total_bytes_; }
+
+  // Writes memory copy (home machine) + kReplicas persistent copies.
+  // Idempotent for an existing id (contents are content-addressed).
+  MemoWriteResult put(NodeId id, std::shared_ptr<const KVTable> table);
+
+  // Cost of writing `bytes` through the layer without performing the
+  // write. Used to price passthrough combiner re-executions whose output
+  // is content-identical to an already-stored node.
+  SimDuration estimate_write_cost(std::size_t bytes) const {
+    return cost_->mem_read(bytes) + cost_->disk_write(bytes) +
+           cost_->net_transfer(bytes);
+  }
+
+  // Reads for a consumer running on `reader`. On a memory hit the cost is a
+  // memory read (+ network if remote); otherwise a disk read from the
+  // nearest live replica. Failed machines serve nothing.
+  MemoReadResult get(NodeId id, MachineId reader);
+
+  void erase(NodeId id);
+
+  // Garbage collection: frees every entry not in `live`. Returns the
+  // number of entries collected. This is the master-side GC of §6 driven
+  // by the trees' live-node sets.
+  std::size_t retain_only(const std::unordered_set<NodeId>& live);
+
+  // Drops in-memory copies homed on failed machines (called after failure
+  // injection); persistent replicas on live machines keep serving.
+  void drop_memory_on_failed();
+
+  const MemoStoreStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const KVTable> memory;  // null if evicted / lost
+    std::string persistent;                 // serialized form
+    MachineId home = 0;
+    MachineId replica_homes[kReplicas] = {0, 0};
+    std::uint64_t bytes = 0;
+    std::uint64_t write_seq = 0;                 // insertion order (budget GC)
+    std::list<NodeId>::iterator lru_position;    // valid iff memory != null
+  };
+
+  void install_memory(NodeId id, Entry& entry,
+                      std::shared_ptr<const KVTable> table);
+  void drop_memory(Entry& entry);
+  void touch(Entry& entry);
+  void evict_to_capacity();
+  void enforce_entry_budget();
+
+  const Cluster* cluster_;
+  const CostModel* cost_;
+  bool memory_enabled_ = true;
+  std::unordered_map<NodeId, Entry> index_;
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t memory_bytes_ = 0;
+  std::uint64_t memory_capacity_bytes_ = 0;  // 0 = unbounded
+  std::size_t entry_budget_ = 0;             // 0 = unbounded
+  std::uint64_t next_write_seq_ = 0;
+  std::list<NodeId> lru_;  // front = most recently used
+  MemoStoreStats stats_;
+};
+
+}  // namespace slider

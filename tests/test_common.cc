@@ -1,0 +1,136 @@
+// Unit tests for common utilities: hashing, RNG, string helpers, metrics.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/hash.h"
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace slider {
+namespace {
+
+TEST(Hash, StableAcrossCalls) {
+  EXPECT_EQ(hash_string("slider"), hash_string("slider"));
+  EXPECT_NE(hash_string("slider"), hash_string("slidef"));
+  EXPECT_NE(hash_string(""), hash_string(std::string_view("\0", 1)));
+}
+
+TEST(Hash, CombineIsOrderSensitive) {
+  const std::uint64_t a = hash_string("a");
+  const std::uint64_t b = hash_string("b");
+  EXPECT_NE(hash_combine(a, b), hash_combine(b, a));
+}
+
+TEST(Hash, Mix64Disperses) {
+  // Consecutive inputs must land far apart (avalanche sanity check).
+  std::set<std::uint64_t> high_bytes;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    high_bytes.insert(mix64(i) >> 56);
+  }
+  EXPECT_GT(high_bytes.size(), 32u);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(a.next_u64(), b.next_u64());
+  }
+  Rng c(43);
+  EXPECT_NE(Rng(42).next_u64(), c.next_u64());
+}
+
+TEST(Rng, DoublesInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, ZipfIsSkewedTowardLowRanks) {
+  Rng rng(11);
+  std::uint64_t low = 0;
+  constexpr int kSamples = 10'000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (rng.next_zipf(1000, 1.1) < 10) ++low;
+  }
+  // The 1% lowest ranks should absorb far more than 1% of the mass.
+  EXPECT_GT(low, kSamples / 10);
+}
+
+TEST(Rng, ZipfStaysInRange) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_LT(rng.next_zipf(50, 1.0), 50u);  // s == 1 pole handled
+  }
+}
+
+TEST(StringUtil, SplitView) {
+  const auto parts = split_view("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+  EXPECT_EQ(split_view("", ',').size(), 1u);
+  EXPECT_EQ(split_view("xyz", ',').size(), 1u);
+}
+
+TEST(StringUtil, ZeroPad) {
+  EXPECT_EQ(zero_pad(42, 5), "00042");
+  EXPECT_EQ(zero_pad(123456, 3), "123456");
+  EXPECT_EQ(zero_pad(0, 4), "0000");
+}
+
+TEST(StringUtil, ParseU64) {
+  std::uint64_t v = 0;
+  EXPECT_TRUE(parse_u64("12345", &v));
+  EXPECT_EQ(v, 12345u);
+  EXPECT_FALSE(parse_u64("", &v));
+  EXPECT_FALSE(parse_u64("12a", &v));
+  EXPECT_FALSE(parse_u64("-3", &v));
+}
+
+TEST(StringUtil, Formatting) {
+  EXPECT_EQ(format_percent(0.1234), "12.3%");
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+}
+
+TEST(RunMetrics, AccumulatesAllFields) {
+  RunMetrics a;
+  a.map_work = 1;
+  a.contraction_work = 2;
+  a.reduce_work = 3;
+  a.time = 4;
+  a.map_tasks = 5;
+  RunMetrics b = a;
+  b += a;
+  EXPECT_DOUBLE_EQ(b.map_work, 2);
+  EXPECT_DOUBLE_EQ(b.time, 8);
+  EXPECT_EQ(b.map_tasks, 10u);
+  EXPECT_DOUBLE_EQ(a.work(), 1 + 2 + 3);
+}
+
+TEST(MetricsRegistry, AddGetReset) {
+  MetricsRegistry registry;
+  registry.add("reads", 2);
+  registry.add("reads", 3);
+  EXPECT_DOUBLE_EQ(registry.get("reads"), 5);
+  EXPECT_DOUBLE_EQ(registry.get("absent"), 0);
+  registry.reset();
+  EXPECT_DOUBLE_EQ(registry.get("reads"), 0);
+}
+
+}  // namespace
+}  // namespace slider

@@ -1,0 +1,152 @@
+// Unit tests for the MapReduce engine: map runner, reduce helpers, and the
+// vanilla end-to-end path, using an inline word-count job.
+
+#include <gtest/gtest.h>
+
+#include "common/string_util.h"
+#include "mapreduce/engine.h"
+#include "tests/test_util.h"
+
+namespace slider {
+namespace {
+
+class WordCountMapper final : public Mapper {
+ public:
+  void map(const Record& input, Emitter& out) const override {
+    for (const auto word : split_view(input.value, ' ')) {
+      if (!word.empty()) out.emit(std::string(word), "1");
+    }
+  }
+};
+
+JobSpec word_count_job(int partitions = 2) {
+  JobSpec job;
+  job.name = "wordcount-test";
+  job.mapper = std::make_shared<WordCountMapper>();
+  job.combiner = testing::sum_combiner();
+  job.reducer = [](const std::string&,
+                   const std::string& v) -> std::optional<std::string> {
+    return v;
+  };
+  job.num_partitions = partitions;
+  return job;
+}
+
+TEST(MapRunner, PartitionsAndLocallyCombines) {
+  const JobSpec job = word_count_job(4);
+  const auto split = make_split(0, {{"d0", "a b a"}, {"d1", "b c"}});
+  const MapOutput out = run_map_task(job, *split);
+  ASSERT_EQ(out.partitions.size(), 4u);
+  EXPECT_EQ(out.records_in, 2u);
+  EXPECT_EQ(out.records_out, 3u);  // a, b, c after local combine
+  EXPECT_GT(out.cpu_cost, 0.0);
+
+  // Each word landed in exactly its hash partition with combined counts.
+  std::map<std::string, std::string> flat;
+  for (const auto& table : out.partitions) {
+    for (const Record& r : table->rows()) flat[r.key] = r.value;
+  }
+  EXPECT_EQ(flat["a"], "2");
+  EXPECT_EQ(flat["b"], "2");
+  EXPECT_EQ(flat["c"], "1");
+}
+
+TEST(MapRunner, EmptySplit) {
+  const JobSpec job = word_count_job();
+  const auto split = make_split(0, {});
+  const MapOutput out = run_map_task(job, *split);
+  EXPECT_EQ(out.records_out, 0u);
+  for (const auto& table : out.partitions) EXPECT_TRUE(table->empty());
+}
+
+TEST(ReduceRunner, MergeTablesBalances) {
+  const CombineFn combiner = testing::sum_combiner();
+  std::vector<std::shared_ptr<const KVTable>> tables;
+  for (int i = 0; i < 8; ++i) {
+    tables.push_back(std::make_shared<const KVTable>(
+        KVTable::from_records({{"k", "1"}}, combiner)));
+  }
+  MergeCost cost;
+  const auto merged = merge_tables(tables, combiner, &cost);
+  EXPECT_EQ(*merged->find("k"), "8");
+  EXPECT_EQ(cost.merges, 7u);
+}
+
+TEST(ReduceRunner, ReduceAppliesAndFilters) {
+  JobSpec job = word_count_job();
+  job.reducer = [](const std::string& key,
+                   const std::string& v) -> std::optional<std::string> {
+    if (key == "drop-me") return std::nullopt;
+    return "[" + v + "]";
+  };
+  const KVTable combined = KVTable::from_records(
+      {{"drop-me", "1"}, {"keep", "5"}}, job.combiner);
+  const ReduceOutput out = run_reduce(job, combined);
+  EXPECT_EQ(out.keys_in, 2u);
+  EXPECT_EQ(out.keys_out, 1u);
+  EXPECT_EQ(*out.table.find("keep"), "[5]");
+}
+
+TEST(VanillaEngine, EndToEndWordCount) {
+  CostModel cost;
+  Cluster cluster(ClusterConfig{.num_machines = 4, .slots_per_machine = 2});
+  VanillaEngine engine(cluster, cost);
+  const JobSpec job = word_count_job(2);
+
+  std::vector<SplitPtr> splits = {
+      make_split(0, {{"d0", "x y"}, {"d1", "x"}}),
+      make_split(1, {{"d2", "y z y"}}),
+  };
+  const JobResult result = engine.run(job, splits);
+
+  std::map<std::string, std::string> flat;
+  for (const KVTable& table : result.partition_outputs) {
+    for (const Record& r : table.rows()) flat[r.key] = r.value;
+  }
+  EXPECT_EQ(flat["x"], "2");
+  EXPECT_EQ(flat["y"], "3");
+  EXPECT_EQ(flat["z"], "1");
+
+  EXPECT_EQ(result.metrics.map_tasks, 2u);
+  EXPECT_EQ(result.metrics.reduce_tasks, 2u);
+  EXPECT_GT(result.metrics.map_work, 0.0);
+  EXPECT_GT(result.metrics.time, 0.0);
+  // Work is at least map + reduce with per-task overheads.
+  EXPECT_GE(result.metrics.work(), 0.0);
+}
+
+TEST(VanillaEngine, WorkScalesWithInput) {
+  CostModel cost;
+  Cluster cluster(ClusterConfig{.num_machines = 4, .slots_per_machine = 2});
+  VanillaEngine engine(cluster, cost);
+  const JobSpec job = word_count_job(2);
+
+  auto make_docs = [](std::size_t n, SplitId first) {
+    std::vector<SplitPtr> splits;
+    for (std::size_t i = 0; i < n; ++i) {
+      splits.push_back(make_split(first + i, {{"d", "w x y z"}}));
+    }
+    return splits;
+  };
+  const auto small = engine.run(job, make_docs(4, 0));
+  const auto large = engine.run(job, make_docs(32, 100));
+  EXPECT_GT(large.metrics.work(), small.metrics.work() * 3);
+}
+
+TEST(VanillaEngine, DeterministicAcrossRuns) {
+  CostModel cost;
+  Cluster cluster(ClusterConfig{.num_machines = 4, .slots_per_machine = 2});
+  VanillaEngine engine(cluster, cost);
+  const JobSpec job = word_count_job(3);
+  std::vector<SplitPtr> splits = {make_split(0, {{"d", "p q p"}})};
+  const JobResult a = engine.run(job, splits);
+  const JobResult b = engine.run(job, splits);
+  for (std::size_t p = 0; p < a.partition_outputs.size(); ++p) {
+    EXPECT_EQ(a.partition_outputs[p], b.partition_outputs[p]);
+  }
+  EXPECT_DOUBLE_EQ(a.metrics.work(), b.metrics.work());
+  EXPECT_DOUBLE_EQ(a.metrics.time, b.metrics.time);
+}
+
+}  // namespace
+}  // namespace slider

@@ -1,0 +1,139 @@
+// Scheduling-policy behaviour: the properties behind Table 1, expressed as
+// deterministic tests over the stage simulator and full Slider sessions.
+
+#include <gtest/gtest.h>
+
+#include "apps/microbench.h"
+#include "slider/session.h"
+
+namespace slider {
+namespace {
+
+std::vector<SimTask> homed_tasks(int count, SimDuration duration,
+                                 MachineId home, SimDuration penalty) {
+  return std::vector<SimTask>(
+      static_cast<std::size_t>(count),
+      SimTask{.duration = duration, .preferred = home,
+              .migration_penalty = penalty});
+}
+
+TEST(Schedulers, MemoAwareBeatsFirstFreeWhenFetchesAreExpensive) {
+  Cluster cluster(ClusterConfig{.num_machines = 4, .slots_per_machine = 2});
+  StageSimulator sim(cluster);
+  // 8 tasks homed across machines, with a fetch penalty comparable to the
+  // task itself: locality-obliviousness is costly.
+  std::vector<SimTask> tasks;
+  for (int i = 0; i < 8; ++i) {
+    tasks.push_back(SimTask{.duration = 1.0,
+                            .preferred = static_cast<MachineId>(i % 4),
+                            .migration_penalty = 0.8});
+  }
+  const StageResult first_free =
+      sim.run_stage(tasks, SchedulePolicy::kFirstFree);
+  const StageResult memo_aware =
+      sim.run_stage(tasks, SchedulePolicy::kPreferredOnly);
+  EXPECT_LT(memo_aware.work, first_free.work);
+  EXPECT_LE(memo_aware.makespan, first_free.makespan + 1e-9);
+}
+
+TEST(Schedulers, StrictMemoAwareSuffersUnderStragglers) {
+  Cluster cluster(ClusterConfig{.num_machines = 4, .slots_per_machine = 2});
+  cluster.set_straggler(1, 8.0);
+  StageSimulator sim(cluster);
+  const auto tasks = homed_tasks(4, 1.0, /*home=*/1, /*penalty=*/0.2);
+  const StageResult strict =
+      sim.run_stage(tasks, SchedulePolicy::kPreferredOnly);
+  const StageResult hybrid = sim.run_stage(tasks, SchedulePolicy::kHybrid);
+  // Strict waits on the straggler (8x tasks, serialized on 2 slots);
+  // hybrid migrates and pays only the fetch penalty.
+  EXPECT_GT(strict.makespan, 3.0 * hybrid.makespan);
+  EXPECT_GT(hybrid.migrations, 0u);
+}
+
+TEST(Schedulers, HybridIsNeverMuchWorseThanEitherExtreme) {
+  Cluster cluster(ClusterConfig{.num_machines = 6, .slots_per_machine = 2});
+  cluster.set_straggler(2, 4.0);
+  StageSimulator sim(cluster);
+  Rng rng(3);
+  std::vector<SimTask> tasks;
+  for (int i = 0; i < 24; ++i) {
+    tasks.push_back(
+        SimTask{.duration = 0.5 + rng.next_double(),
+                .preferred = static_cast<MachineId>(rng.next_below(6)),
+                .migration_penalty = 0.3 * rng.next_double()});
+  }
+  const double first_free =
+      sim.run_stage(tasks, SchedulePolicy::kFirstFree).makespan;
+  const double strict =
+      sim.run_stage(tasks, SchedulePolicy::kPreferredOnly).makespan;
+  const double hybrid = sim.run_stage(tasks, SchedulePolicy::kHybrid).makespan;
+  EXPECT_LE(hybrid, 1.15 * std::min(first_free, strict));
+}
+
+TEST(Schedulers, SessionHybridNoSlowerThanFirstFreeUnderStragglers) {
+  const auto bench = apps::make_microbenchmark(apps::MicroApp::kMatrix);
+  JobSpec job = bench.job;
+  job.num_partitions = 12;
+
+  auto total_time = [&](SchedulePolicy policy) {
+    CostModel cost;
+    cost.task_overhead_sec = 0.01;
+    Cluster cluster(ClusterConfig{.num_machines = 12, .slots_per_machine = 2});
+    cluster.set_straggler(2, 3.0);
+    cluster.set_straggler(7, 4.0);
+    VanillaEngine engine(cluster, cost);
+    MemoStore memo(cluster, cost);
+
+    SliderConfig config;
+    config.mode = WindowMode::kFixedWidth;
+    config.bucket_width = 2;
+    config.reduce_policy = policy;
+    SliderSession session(engine, memo, job, config);
+
+    Rng rng(21);
+    auto splits = make_splits(
+        apps::generate_input(apps::MicroApp::kMatrix, 40 * 40, rng, 0), 40, 0);
+    session.initial_run(splits);
+    SimDuration total = 0;
+    SplitId next_id = 40;
+    for (int i = 0; i < 6; ++i) {
+      auto added = make_splits(
+          apps::generate_input(apps::MicroApp::kMatrix, 2 * 40, rng,
+                               next_id * 1'000'000),
+          40, next_id);
+      next_id += 2;
+      total += session.slide(2, std::move(added)).time;
+    }
+    return total;
+  };
+
+  const SimDuration hybrid = total_time(SchedulePolicy::kHybrid);
+  const SimDuration hadoop = total_time(SchedulePolicy::kFirstFree);
+  // Data-intensive app with memoized state: locality + straggler evasion
+  // must not lose to locality-oblivious placement.
+  EXPECT_LE(hybrid, hadoop * 1.02);
+}
+
+TEST(Schedulers, MapStagePrefersSplitLocality) {
+  CostModel cost;
+  Cluster cluster(ClusterConfig{.num_machines = 4, .slots_per_machine = 2});
+  VanillaEngine engine(cluster, cost);
+
+  // All splits homed by hash; with as many slots as tasks, every map task
+  // should run locally (no penalty in the stage work).
+  JobSpec job = apps::make_microbenchmark(apps::MicroApp::kHct).job;
+  Rng rng(5);
+  auto splits = make_splits(
+      apps::generate_input(apps::MicroApp::kHct, 8 * 10, rng, 0), 10, 0);
+  const auto stage = engine.run_map_stage(job, splits);
+
+  SimDuration nominal = 0;
+  for (const auto& split : splits) {
+    nominal += cost.task_overhead_sec + cost.disk_read(split->byte_size);
+  }
+  // Work should be close to the nominal local cost: no big fetch premium.
+  EXPECT_LT(stage.sim.work, nominal * 1.6);
+}
+
+}  // namespace
+}  // namespace slider

@@ -1,0 +1,177 @@
+// Unit tests for the storage layer: input store locality, memoization
+// tiers, replication-backed failure handling, and garbage collection.
+
+#include <gtest/gtest.h>
+
+#include "storage/input_store.h"
+#include "storage/memo_store.h"
+#include "tests/test_util.h"
+
+namespace slider {
+namespace {
+
+using testing::sum_combiner;
+
+struct StorageHarness {
+  StorageHarness()
+      : cluster(ClusterConfig{.num_machines = 4, .slots_per_machine = 2}),
+        memo(cluster, cost) {}
+
+  CostModel cost{};
+  Cluster cluster;
+  MemoStore memo;
+};
+
+std::shared_ptr<const KVTable> table_of(std::initializer_list<Record> rows) {
+  return std::make_shared<const KVTable>(
+      KVTable::from_records(rows, sum_combiner()));
+}
+
+TEST(InputStore, AddGetRemove) {
+  Cluster cluster(ClusterConfig{.num_machines = 3, .slots_per_machine = 1});
+  InputStore store(cluster);
+  store.add(make_split(7, {{"k", "v"}}));
+  EXPECT_TRUE(store.contains(7));
+  ASSERT_TRUE(store.get(7).has_value());
+  EXPECT_EQ((*store.get(7))->records[0].key, "k");
+  EXPECT_EQ(store.home_of(7), cluster.place(7));
+  store.remove(7);
+  EXPECT_FALSE(store.contains(7));
+  EXPECT_FALSE(store.get(7).has_value());
+}
+
+TEST(MemoStore, PutThenLocalMemoryRead) {
+  StorageHarness h;
+  auto t = table_of({{"a", "1"}});
+  const NodeId id = 1234;
+  const MemoWriteResult w = h.memo.put(id, t);
+  EXPECT_GT(w.bytes_written, 0u);
+  EXPECT_GT(w.cost, 0.0);
+
+  const MachineId home = h.memo.home_of(id);
+  const MemoReadResult local = h.memo.get(id, home);
+  ASSERT_TRUE(local.found);
+  EXPECT_EQ(*local.table, *t);
+  EXPECT_EQ(local.tier, ReadTier::kLocalMemory);
+
+  const MemoReadResult remote = h.memo.get(id, (home + 1) % 4);
+  ASSERT_TRUE(remote.found);
+  EXPECT_EQ(remote.tier, ReadTier::kRemoteMemory);
+  EXPECT_GT(remote.cost, local.cost);
+}
+
+TEST(MemoStore, MissingEntryIsAMiss) {
+  StorageHarness h;
+  const MemoReadResult r = h.memo.get(999, 0);
+  EXPECT_FALSE(r.found);
+  EXPECT_EQ(h.memo.stats().misses, 1u);
+}
+
+TEST(MemoStore, RepeatedPutIsIdempotent) {
+  StorageHarness h;
+  auto t = table_of({{"a", "1"}});
+  h.memo.put(42, t);
+  const std::uint64_t bytes = h.memo.total_bytes();
+  const MemoWriteResult again = h.memo.put(42, t);
+  EXPECT_EQ(again.bytes_written, 0u);
+  EXPECT_EQ(h.memo.total_bytes(), bytes);
+  EXPECT_EQ(h.memo.size(), 1u);
+}
+
+TEST(MemoStore, DisabledMemoryCacheServesFromDisk) {
+  StorageHarness h;
+  h.memo.set_memory_cache_enabled(false);
+  auto t = table_of({{"a", "1"}, {"b", "2"}});
+  h.memo.put(7, t);
+  const MemoReadResult r = h.memo.get(7, h.memo.home_of(7));
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(*r.table, *t);
+  EXPECT_TRUE(r.tier == ReadTier::kLocalDisk || r.tier == ReadTier::kRemoteDisk);
+  EXPECT_EQ(h.memo.stats().reads_disk, 1u);
+  EXPECT_EQ(h.memo.stats().reads_memory, 0u);
+}
+
+TEST(MemoStore, DiskReadsCostMoreThanMemoryReads) {
+  StorageHarness h;
+  auto t = table_of({{"key", std::string(4000, 'x')}});
+
+  h.memo.put(1, t);
+  const SimDuration mem_cost = h.memo.get(1, h.memo.home_of(1)).cost;
+
+  h.memo.set_memory_cache_enabled(false);
+  h.memo.put(2, t);
+  const SimDuration disk_cost = h.memo.get(2, h.memo.home_of(2)).cost;
+  EXPECT_GT(disk_cost, mem_cost * 5);
+}
+
+TEST(MemoStore, FailureFallsBackToReplicaAndRepopulates) {
+  StorageHarness h;
+  auto t = table_of({{"a", "1"}});
+  const NodeId id = 55;
+  h.memo.put(id, t);
+  const MachineId home = h.memo.home_of(id);
+
+  h.cluster.fail_machine(home);
+  h.memo.drop_memory_on_failed();
+  const MemoReadResult r = h.memo.get(id, home == 0 ? 1 : 0);
+  ASSERT_TRUE(r.found);  // served by a persistent replica
+  EXPECT_EQ(*r.table, *t);
+  EXPECT_TRUE(r.tier == ReadTier::kLocalDisk || r.tier == ReadTier::kRemoteDisk);
+
+  // After recovery, the next read re-installs the memory copy.
+  h.cluster.recover_machine(home);
+  (void)h.memo.get(id, home);
+  const MemoReadResult back = h.memo.get(id, home);
+  EXPECT_EQ(back.tier, ReadTier::kLocalMemory);
+}
+
+TEST(MemoStore, AllReplicasDownBehavesAsMiss) {
+  // A 3-machine cluster: home + 2 replicas covers every machine.
+  CostModel cost;
+  Cluster cluster(ClusterConfig{.num_machines = 3, .slots_per_machine = 1});
+  MemoStore memo(cluster, cost);
+  auto t = table_of({{"a", "1"}});
+  memo.put(9, t);
+  for (MachineId m = 0; m < 3; ++m) cluster.fail_machine(m);
+  memo.drop_memory_on_failed();
+  const MemoReadResult r = memo.get(9, 0);
+  EXPECT_FALSE(r.found);
+}
+
+TEST(MemoStore, RetainOnlyCollectsGarbage) {
+  StorageHarness h;
+  for (NodeId id = 0; id < 10; ++id) {
+    h.memo.put(id, table_of({{"k" + std::to_string(id), "1"}}));
+  }
+  EXPECT_EQ(h.memo.size(), 10u);
+  const std::uint64_t bytes_before = h.memo.total_bytes();
+
+  std::unordered_set<NodeId> live = {1, 3, 5};
+  EXPECT_EQ(h.memo.retain_only(live), 7u);
+  EXPECT_EQ(h.memo.size(), 3u);
+  EXPECT_LT(h.memo.total_bytes(), bytes_before);
+  EXPECT_TRUE(h.memo.contains(3));
+  EXPECT_FALSE(h.memo.contains(2));
+}
+
+TEST(MemoStore, EraseRemovesEntry) {
+  StorageHarness h;
+  h.memo.put(77, table_of({{"a", "1"}}));
+  h.memo.erase(77);
+  EXPECT_FALSE(h.memo.contains(77));
+  EXPECT_EQ(h.memo.total_bytes(), 0u);
+  h.memo.erase(77);  // idempotent
+}
+
+TEST(MemoStore, StatsAccumulateReadTime) {
+  StorageHarness h;
+  h.memo.put(5, table_of({{"a", "1"}}));
+  h.memo.reset_stats();
+  (void)h.memo.get(5, 0);
+  (void)h.memo.get(5, 1);
+  EXPECT_EQ(h.memo.stats().reads_memory, 2u);
+  EXPECT_GT(h.memo.stats().read_time, 0.0);
+}
+
+}  // namespace
+}  // namespace slider

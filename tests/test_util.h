@@ -1,0 +1,68 @@
+// Shared helpers for the test suite.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "contraction/tree.h"
+#include "data/record.h"
+#include "data/split.h"
+
+namespace slider::testing {
+
+// Integer-sum combiner: associative and commutative, the canonical
+// aggregate of the paper's micro-benchmarks.
+inline CombineFn sum_combiner() {
+  return [](const std::string&, const std::string& a, const std::string& b) {
+    std::uint64_t x = 0;
+    std::uint64_t y = 0;
+    parse_u64(a, &x);
+    parse_u64(b, &y);
+    return std::to_string(x + y);
+  };
+}
+
+// String-concatenation combiner: associative but NOT commutative; used to
+// verify that order-sensitive trees preserve leaf order.
+inline CombineFn concat_combiner() {
+  return [](const std::string&, const std::string& a, const std::string& b) {
+    return a + "|" + b;
+  };
+}
+
+inline Leaf make_leaf(SplitId id, std::vector<Record> rows,
+                      const CombineFn& combiner) {
+  return Leaf{id, std::make_shared<const KVTable>(
+                      KVTable::from_records(std::move(rows), combiner))};
+}
+
+// Deterministic random leaf: a handful of keys from a small key space with
+// numeric values.
+inline Leaf random_leaf(SplitId id, Rng& rng, const CombineFn& combiner,
+                        int keys_per_leaf = 6, int key_space = 12) {
+  std::vector<Record> rows;
+  rows.reserve(static_cast<std::size_t>(keys_per_leaf));
+  for (int i = 0; i < keys_per_leaf; ++i) {
+    rows.push_back(
+        {"k" + std::to_string(rng.next_below(static_cast<std::uint64_t>(
+                   key_space))),
+         std::to_string(rng.next_below(100))});
+  }
+  return make_leaf(id, std::move(rows), combiner);
+}
+
+// Ground truth: left-fold of all leaf tables.
+inline KVTable fold_leaves(const std::vector<Leaf>& leaves,
+                           const CombineFn& combiner) {
+  KVTable acc;
+  for (const Leaf& leaf : leaves) {
+    acc = KVTable::merge(acc, *leaf.table, combiner);
+  }
+  return acc;
+}
+
+}  // namespace slider::testing
