@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_split_processing.dir/bench_fig11_split_processing.cc.o"
+  "CMakeFiles/bench_fig11_split_processing.dir/bench_fig11_split_processing.cc.o.d"
+  "bench_fig11_split_processing"
+  "bench_fig11_split_processing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_split_processing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

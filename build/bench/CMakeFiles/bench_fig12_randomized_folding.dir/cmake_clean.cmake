@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_randomized_folding.dir/bench_fig12_randomized_folding.cc.o"
+  "CMakeFiles/bench_fig12_randomized_folding.dir/bench_fig12_randomized_folding.cc.o.d"
+  "bench_fig12_randomized_folding"
+  "bench_fig12_randomized_folding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_randomized_folding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

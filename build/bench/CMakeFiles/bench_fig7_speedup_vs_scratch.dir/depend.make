@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig7_speedup_vs_scratch.
+# This may be replaced when dependencies are built.

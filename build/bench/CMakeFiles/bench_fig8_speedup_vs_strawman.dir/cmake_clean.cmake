@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_speedup_vs_strawman.dir/bench_fig8_speedup_vs_strawman.cc.o"
+  "CMakeFiles/bench_fig8_speedup_vs_strawman.dir/bench_fig8_speedup_vs_strawman.cc.o.d"
+  "bench_fig8_speedup_vs_strawman"
+  "bench_fig8_speedup_vs_strawman.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_speedup_vs_strawman.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_scheduler.dir/bench_table1_scheduler.cc.o"
+  "CMakeFiles/bench_table1_scheduler.dir/bench_table1_scheduler.cc.o.d"
+  "bench_table1_scheduler"
+  "bench_table1_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_glasnost.dir/bench_table3_glasnost.cc.o"
+  "CMakeFiles/bench_table3_glasnost.dir/bench_table3_glasnost.cc.o.d"
+  "bench_table3_glasnost"
+  "bench_table3_glasnost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_glasnost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_twitter.dir/bench_table4_twitter.cc.o"
+  "CMakeFiles/bench_table4_twitter.dir/bench_table4_twitter.cc.o.d"
+  "bench_table4_twitter"
+  "bench_table4_twitter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_twitter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_netsession.dir/bench_table5_netsession.cc.o"
+  "CMakeFiles/bench_table5_netsession.dir/bench_table5_netsession.cc.o.d"
+  "bench_table5_netsession"
+  "bench_table5_netsession.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_netsession.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

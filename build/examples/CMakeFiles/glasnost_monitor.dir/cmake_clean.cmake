@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glasnost_monitor.dir/glasnost_monitor.cpp.o"
+  "CMakeFiles/glasnost_monitor.dir/glasnost_monitor.cpp.o.d"
+  "glasnost_monitor"
+  "glasnost_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glasnost_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

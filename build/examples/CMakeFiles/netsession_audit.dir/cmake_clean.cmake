@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netsession_audit.dir/netsession_audit.cpp.o"
+  "CMakeFiles/netsession_audit.dir/netsession_audit.cpp.o.d"
+  "netsession_audit"
+  "netsession_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netsession_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pig_query.dir/pig_query.cpp.o"
+  "CMakeFiles/pig_query.dir/pig_query.cpp.o.d"
+  "pig_query"
+  "pig_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pig_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pig_script.dir/pig_script.cpp.o"
+  "CMakeFiles/pig_script.dir/pig_script.cpp.o.d"
+  "pig_script"
+  "pig_script.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pig_script.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sliderbench.dir/sliderbench.cpp.o"
+  "CMakeFiles/sliderbench.dir/sliderbench.cpp.o.d"
+  "sliderbench"
+  "sliderbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sliderbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/twitter_propagation.cpp" "examples/CMakeFiles/twitter_propagation.dir/twitter_propagation.cpp.o" "gcc" "examples/CMakeFiles/twitter_propagation.dir/twitter_propagation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/slider/CMakeFiles/slider_slider.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/slider_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/slider_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/slider_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/contraction/CMakeFiles/slider_contraction.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/slider_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/slider_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/slider_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/slider_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twitter_propagation.dir/twitter_propagation.cpp.o"
+  "CMakeFiles/twitter_propagation.dir/twitter_propagation.cpp.o.d"
+  "twitter_propagation"
+  "twitter_propagation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twitter_propagation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

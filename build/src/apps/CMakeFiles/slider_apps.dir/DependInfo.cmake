@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/codecs.cc" "src/apps/CMakeFiles/slider_apps.dir/codecs.cc.o" "gcc" "src/apps/CMakeFiles/slider_apps.dir/codecs.cc.o.d"
+  "/root/repo/src/apps/cooccurrence.cc" "src/apps/CMakeFiles/slider_apps.dir/cooccurrence.cc.o" "gcc" "src/apps/CMakeFiles/slider_apps.dir/cooccurrence.cc.o.d"
+  "/root/repo/src/apps/glasnost.cc" "src/apps/CMakeFiles/slider_apps.dir/glasnost.cc.o" "gcc" "src/apps/CMakeFiles/slider_apps.dir/glasnost.cc.o.d"
+  "/root/repo/src/apps/histogram.cc" "src/apps/CMakeFiles/slider_apps.dir/histogram.cc.o" "gcc" "src/apps/CMakeFiles/slider_apps.dir/histogram.cc.o.d"
+  "/root/repo/src/apps/kmeans.cc" "src/apps/CMakeFiles/slider_apps.dir/kmeans.cc.o" "gcc" "src/apps/CMakeFiles/slider_apps.dir/kmeans.cc.o.d"
+  "/root/repo/src/apps/knn.cc" "src/apps/CMakeFiles/slider_apps.dir/knn.cc.o" "gcc" "src/apps/CMakeFiles/slider_apps.dir/knn.cc.o.d"
+  "/root/repo/src/apps/microbench.cc" "src/apps/CMakeFiles/slider_apps.dir/microbench.cc.o" "gcc" "src/apps/CMakeFiles/slider_apps.dir/microbench.cc.o.d"
+  "/root/repo/src/apps/netsession.cc" "src/apps/CMakeFiles/slider_apps.dir/netsession.cc.o" "gcc" "src/apps/CMakeFiles/slider_apps.dir/netsession.cc.o.d"
+  "/root/repo/src/apps/substr.cc" "src/apps/CMakeFiles/slider_apps.dir/substr.cc.o" "gcc" "src/apps/CMakeFiles/slider_apps.dir/substr.cc.o.d"
+  "/root/repo/src/apps/twitter.cc" "src/apps/CMakeFiles/slider_apps.dir/twitter.cc.o" "gcc" "src/apps/CMakeFiles/slider_apps.dir/twitter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/slider_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/slider_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/slider_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/slider_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/slider_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

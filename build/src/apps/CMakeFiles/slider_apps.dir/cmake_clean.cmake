@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slider_apps.dir/codecs.cc.o"
+  "CMakeFiles/slider_apps.dir/codecs.cc.o.d"
+  "CMakeFiles/slider_apps.dir/cooccurrence.cc.o"
+  "CMakeFiles/slider_apps.dir/cooccurrence.cc.o.d"
+  "CMakeFiles/slider_apps.dir/glasnost.cc.o"
+  "CMakeFiles/slider_apps.dir/glasnost.cc.o.d"
+  "CMakeFiles/slider_apps.dir/histogram.cc.o"
+  "CMakeFiles/slider_apps.dir/histogram.cc.o.d"
+  "CMakeFiles/slider_apps.dir/kmeans.cc.o"
+  "CMakeFiles/slider_apps.dir/kmeans.cc.o.d"
+  "CMakeFiles/slider_apps.dir/knn.cc.o"
+  "CMakeFiles/slider_apps.dir/knn.cc.o.d"
+  "CMakeFiles/slider_apps.dir/microbench.cc.o"
+  "CMakeFiles/slider_apps.dir/microbench.cc.o.d"
+  "CMakeFiles/slider_apps.dir/netsession.cc.o"
+  "CMakeFiles/slider_apps.dir/netsession.cc.o.d"
+  "CMakeFiles/slider_apps.dir/substr.cc.o"
+  "CMakeFiles/slider_apps.dir/substr.cc.o.d"
+  "CMakeFiles/slider_apps.dir/twitter.cc.o"
+  "CMakeFiles/slider_apps.dir/twitter.cc.o.d"
+  "libslider_apps.a"
+  "libslider_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slider_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slider_cluster.dir/cluster.cc.o"
+  "CMakeFiles/slider_cluster.dir/cluster.cc.o.d"
+  "CMakeFiles/slider_cluster.dir/simulator.cc.o"
+  "CMakeFiles/slider_cluster.dir/simulator.cc.o.d"
+  "libslider_cluster.a"
+  "libslider_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slider_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

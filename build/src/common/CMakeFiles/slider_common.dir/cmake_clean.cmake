@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slider_common.dir/logging.cc.o"
+  "CMakeFiles/slider_common.dir/logging.cc.o.d"
+  "CMakeFiles/slider_common.dir/metrics.cc.o"
+  "CMakeFiles/slider_common.dir/metrics.cc.o.d"
+  "CMakeFiles/slider_common.dir/string_util.cc.o"
+  "CMakeFiles/slider_common.dir/string_util.cc.o.d"
+  "libslider_common.a"
+  "libslider_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slider_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

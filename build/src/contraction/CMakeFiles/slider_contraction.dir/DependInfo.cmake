@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/contraction/coalescing_tree.cc" "src/contraction/CMakeFiles/slider_contraction.dir/coalescing_tree.cc.o" "gcc" "src/contraction/CMakeFiles/slider_contraction.dir/coalescing_tree.cc.o.d"
+  "/root/repo/src/contraction/factory.cc" "src/contraction/CMakeFiles/slider_contraction.dir/factory.cc.o" "gcc" "src/contraction/CMakeFiles/slider_contraction.dir/factory.cc.o.d"
+  "/root/repo/src/contraction/folding_tree.cc" "src/contraction/CMakeFiles/slider_contraction.dir/folding_tree.cc.o" "gcc" "src/contraction/CMakeFiles/slider_contraction.dir/folding_tree.cc.o.d"
+  "/root/repo/src/contraction/randomized_tree.cc" "src/contraction/CMakeFiles/slider_contraction.dir/randomized_tree.cc.o" "gcc" "src/contraction/CMakeFiles/slider_contraction.dir/randomized_tree.cc.o.d"
+  "/root/repo/src/contraction/rotating_tree.cc" "src/contraction/CMakeFiles/slider_contraction.dir/rotating_tree.cc.o" "gcc" "src/contraction/CMakeFiles/slider_contraction.dir/rotating_tree.cc.o.d"
+  "/root/repo/src/contraction/strawman_tree.cc" "src/contraction/CMakeFiles/slider_contraction.dir/strawman_tree.cc.o" "gcc" "src/contraction/CMakeFiles/slider_contraction.dir/strawman_tree.cc.o.d"
+  "/root/repo/src/contraction/tree_common.cc" "src/contraction/CMakeFiles/slider_contraction.dir/tree_common.cc.o" "gcc" "src/contraction/CMakeFiles/slider_contraction.dir/tree_common.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/slider_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/slider_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/slider_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/slider_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

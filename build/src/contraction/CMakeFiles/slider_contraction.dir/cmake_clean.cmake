@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slider_contraction.dir/coalescing_tree.cc.o"
+  "CMakeFiles/slider_contraction.dir/coalescing_tree.cc.o.d"
+  "CMakeFiles/slider_contraction.dir/factory.cc.o"
+  "CMakeFiles/slider_contraction.dir/factory.cc.o.d"
+  "CMakeFiles/slider_contraction.dir/folding_tree.cc.o"
+  "CMakeFiles/slider_contraction.dir/folding_tree.cc.o.d"
+  "CMakeFiles/slider_contraction.dir/randomized_tree.cc.o"
+  "CMakeFiles/slider_contraction.dir/randomized_tree.cc.o.d"
+  "CMakeFiles/slider_contraction.dir/rotating_tree.cc.o"
+  "CMakeFiles/slider_contraction.dir/rotating_tree.cc.o.d"
+  "CMakeFiles/slider_contraction.dir/strawman_tree.cc.o"
+  "CMakeFiles/slider_contraction.dir/strawman_tree.cc.o.d"
+  "CMakeFiles/slider_contraction.dir/tree_common.cc.o"
+  "CMakeFiles/slider_contraction.dir/tree_common.cc.o.d"
+  "libslider_contraction.a"
+  "libslider_contraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slider_contraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/record.cc" "src/data/CMakeFiles/slider_data.dir/record.cc.o" "gcc" "src/data/CMakeFiles/slider_data.dir/record.cc.o.d"
+  "/root/repo/src/data/serde.cc" "src/data/CMakeFiles/slider_data.dir/serde.cc.o" "gcc" "src/data/CMakeFiles/slider_data.dir/serde.cc.o.d"
+  "/root/repo/src/data/split.cc" "src/data/CMakeFiles/slider_data.dir/split.cc.o" "gcc" "src/data/CMakeFiles/slider_data.dir/split.cc.o.d"
+  "/root/repo/src/data/text_gen.cc" "src/data/CMakeFiles/slider_data.dir/text_gen.cc.o" "gcc" "src/data/CMakeFiles/slider_data.dir/text_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/slider_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slider_data.dir/record.cc.o"
+  "CMakeFiles/slider_data.dir/record.cc.o.d"
+  "CMakeFiles/slider_data.dir/serde.cc.o"
+  "CMakeFiles/slider_data.dir/serde.cc.o.d"
+  "CMakeFiles/slider_data.dir/split.cc.o"
+  "CMakeFiles/slider_data.dir/split.cc.o.d"
+  "CMakeFiles/slider_data.dir/text_gen.cc.o"
+  "CMakeFiles/slider_data.dir/text_gen.cc.o.d"
+  "libslider_data.a"
+  "libslider_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slider_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

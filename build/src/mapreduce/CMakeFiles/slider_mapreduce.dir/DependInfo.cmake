@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mapreduce/engine.cc" "src/mapreduce/CMakeFiles/slider_mapreduce.dir/engine.cc.o" "gcc" "src/mapreduce/CMakeFiles/slider_mapreduce.dir/engine.cc.o.d"
+  "/root/repo/src/mapreduce/map_runner.cc" "src/mapreduce/CMakeFiles/slider_mapreduce.dir/map_runner.cc.o" "gcc" "src/mapreduce/CMakeFiles/slider_mapreduce.dir/map_runner.cc.o.d"
+  "/root/repo/src/mapreduce/reduce_runner.cc" "src/mapreduce/CMakeFiles/slider_mapreduce.dir/reduce_runner.cc.o" "gcc" "src/mapreduce/CMakeFiles/slider_mapreduce.dir/reduce_runner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/slider_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/slider_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/slider_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/slider_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

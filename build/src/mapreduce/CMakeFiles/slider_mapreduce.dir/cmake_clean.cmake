@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slider_mapreduce.dir/engine.cc.o"
+  "CMakeFiles/slider_mapreduce.dir/engine.cc.o.d"
+  "CMakeFiles/slider_mapreduce.dir/map_runner.cc.o"
+  "CMakeFiles/slider_mapreduce.dir/map_runner.cc.o.d"
+  "CMakeFiles/slider_mapreduce.dir/reduce_runner.cc.o"
+  "CMakeFiles/slider_mapreduce.dir/reduce_runner.cc.o.d"
+  "libslider_mapreduce.a"
+  "libslider_mapreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slider_mapreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slider_query.dir/operators.cc.o"
+  "CMakeFiles/slider_query.dir/operators.cc.o.d"
+  "CMakeFiles/slider_query.dir/pig_parser.cc.o"
+  "CMakeFiles/slider_query.dir/pig_parser.cc.o.d"
+  "CMakeFiles/slider_query.dir/pigmix.cc.o"
+  "CMakeFiles/slider_query.dir/pigmix.cc.o.d"
+  "CMakeFiles/slider_query.dir/pipeline.cc.o"
+  "CMakeFiles/slider_query.dir/pipeline.cc.o.d"
+  "libslider_query.a"
+  "libslider_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slider_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slider_slider.dir/session.cc.o"
+  "CMakeFiles/slider_slider.dir/session.cc.o.d"
+  "CMakeFiles/slider_slider.dir/window.cc.o"
+  "CMakeFiles/slider_slider.dir/window.cc.o.d"
+  "libslider_slider.a"
+  "libslider_slider.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slider_slider.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

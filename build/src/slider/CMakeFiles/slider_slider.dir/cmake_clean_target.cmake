@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libslider_slider.a"
+)

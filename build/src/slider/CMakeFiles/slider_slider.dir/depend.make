@@ -1,0 +1,2 @@
+# Empty dependencies file for slider_slider.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slider_storage.dir/input_store.cc.o"
+  "CMakeFiles/slider_storage.dir/input_store.cc.o.d"
+  "CMakeFiles/slider_storage.dir/memo_store.cc.o"
+  "CMakeFiles/slider_storage.dir/memo_store.cc.o.d"
+  "libslider_storage.a"
+  "libslider_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slider_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_apps.cc" "tests/CMakeFiles/slider_tests.dir/test_apps.cc.o" "gcc" "tests/CMakeFiles/slider_tests.dir/test_apps.cc.o.d"
+  "/root/repo/tests/test_case_studies.cc" "tests/CMakeFiles/slider_tests.dir/test_case_studies.cc.o" "gcc" "tests/CMakeFiles/slider_tests.dir/test_case_studies.cc.o.d"
+  "/root/repo/tests/test_cluster.cc" "tests/CMakeFiles/slider_tests.dir/test_cluster.cc.o" "gcc" "tests/CMakeFiles/slider_tests.dir/test_cluster.cc.o.d"
+  "/root/repo/tests/test_common.cc" "tests/CMakeFiles/slider_tests.dir/test_common.cc.o" "gcc" "tests/CMakeFiles/slider_tests.dir/test_common.cc.o.d"
+  "/root/repo/tests/test_data.cc" "tests/CMakeFiles/slider_tests.dir/test_data.cc.o" "gcc" "tests/CMakeFiles/slider_tests.dir/test_data.cc.o.d"
+  "/root/repo/tests/test_fuzz_and_isolation.cc" "tests/CMakeFiles/slider_tests.dir/test_fuzz_and_isolation.cc.o" "gcc" "tests/CMakeFiles/slider_tests.dir/test_fuzz_and_isolation.cc.o.d"
+  "/root/repo/tests/test_invariants.cc" "tests/CMakeFiles/slider_tests.dir/test_invariants.cc.o" "gcc" "tests/CMakeFiles/slider_tests.dir/test_invariants.cc.o.d"
+  "/root/repo/tests/test_mapreduce.cc" "tests/CMakeFiles/slider_tests.dir/test_mapreduce.cc.o" "gcc" "tests/CMakeFiles/slider_tests.dir/test_mapreduce.cc.o.d"
+  "/root/repo/tests/test_memo_policies.cc" "tests/CMakeFiles/slider_tests.dir/test_memo_policies.cc.o" "gcc" "tests/CMakeFiles/slider_tests.dir/test_memo_policies.cc.o.d"
+  "/root/repo/tests/test_operators.cc" "tests/CMakeFiles/slider_tests.dir/test_operators.cc.o" "gcc" "tests/CMakeFiles/slider_tests.dir/test_operators.cc.o.d"
+  "/root/repo/tests/test_pig.cc" "tests/CMakeFiles/slider_tests.dir/test_pig.cc.o" "gcc" "tests/CMakeFiles/slider_tests.dir/test_pig.cc.o.d"
+  "/root/repo/tests/test_query.cc" "tests/CMakeFiles/slider_tests.dir/test_query.cc.o" "gcc" "tests/CMakeFiles/slider_tests.dir/test_query.cc.o.d"
+  "/root/repo/tests/test_schedulers.cc" "tests/CMakeFiles/slider_tests.dir/test_schedulers.cc.o" "gcc" "tests/CMakeFiles/slider_tests.dir/test_schedulers.cc.o.d"
+  "/root/repo/tests/test_session.cc" "tests/CMakeFiles/slider_tests.dir/test_session.cc.o" "gcc" "tests/CMakeFiles/slider_tests.dir/test_session.cc.o.d"
+  "/root/repo/tests/test_storage.cc" "tests/CMakeFiles/slider_tests.dir/test_storage.cc.o" "gcc" "tests/CMakeFiles/slider_tests.dir/test_storage.cc.o.d"
+  "/root/repo/tests/test_trees.cc" "tests/CMakeFiles/slider_tests.dir/test_trees.cc.o" "gcc" "tests/CMakeFiles/slider_tests.dir/test_trees.cc.o.d"
+  "/root/repo/tests/test_window_and_misc.cc" "tests/CMakeFiles/slider_tests.dir/test_window_and_misc.cc.o" "gcc" "tests/CMakeFiles/slider_tests.dir/test_window_and_misc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/query/CMakeFiles/slider_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/slider_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/contraction/CMakeFiles/slider_contraction.dir/DependInfo.cmake"
+  "/root/repo/build/src/slider/CMakeFiles/slider_slider.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/slider_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/slider_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/slider_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/slider_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/slider_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
