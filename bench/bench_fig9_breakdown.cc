@@ -13,7 +13,7 @@ using namespace slider::bench;
 
 namespace {
 
-void run_breakdown(double change_fraction) {
+void run_breakdown(double change_fraction, obs::RunReport& report) {
   std::printf("%-10s %-4s %18s %28s\n", "app", "sys", "Map (% of H-Map)",
               "contraction+Reduce (% of H-Red)");
   const WindowMode modes[] = {WindowMode::kAppendOnly,
@@ -38,6 +38,13 @@ void run_breakdown(double change_fraction) {
     const double h_reduce = vanilla.reduce_work + vanilla.shuffle_work;
     std::printf("%-10s %-4s %13.0f%%     %23.0f%%   (absolute: %.2fs / %.2fs)\n",
                 bench.name.c_str(), "H", 100.0, 100.0, h_map, h_reduce);
+    report.add_row()
+        .col("app", bench.name)
+        .col("sys", "H")
+        .col("change_fraction", change_fraction)
+        .col("map_pct_of_hadoop", 100.0)
+        .col("contraction_reduce_pct_of_hadoop", 100.0)
+        .metrics("vanilla_", vanilla);
 
     for (int m = 0; m < 3; ++m) {
       params.mode = modes[m];
@@ -51,6 +58,14 @@ void run_breakdown(double change_fraction) {
           inc.contraction_work + inc.reduce_work + inc.shuffle_work;
       std::printf("%-10s %-4s %13.0f%%     %23.0f%%\n", "", tags[m],
                   100.0 * slider_map / h_map, 100.0 * slider_cr / h_reduce);
+      report.add_row()
+          .col("app", bench.name)
+          .col("sys", tags[m])
+          .col("change_fraction", change_fraction)
+          .col("map_pct_of_hadoop", 100.0 * slider_map / h_map)
+          .col("contraction_reduce_pct_of_hadoop",
+               100.0 * slider_cr / h_reduce)
+          .metrics("incremental_", inc);
     }
   }
 }
@@ -61,15 +76,23 @@ int main() {
   std::printf("Figure 9: performance breakdown of incremental runs "
               "(normalized to vanilla Hadoop phases)\n");
 
+  obs::RunReport report = make_report("fig9_breakdown");
+  report.add_note("paper: K-Means/KNN do ~98% of vanilla work in Map; "
+                  "contraction+Reduce averages ~31% of vanilla Reduce at 5% "
+                  "change, ~43% at 25% change");
+
   print_title("Fig 9(a): 5% change in the input");
   print_paper_note("K-Means/KNN do ~98% of vanilla work in Map; Slider Map "
                    "work ~= input change; contraction+Reduce averages ~31% "
                    "of vanilla Reduce (min 18%, max 60%)");
-  run_breakdown(0.05);
+  run_breakdown(0.05, report);
 
   print_title("Fig 9(b): 25% change in the input");
   print_paper_note("Slider Map work grows with the change; contraction+"
                    "Reduce averages ~43% of vanilla Reduce (min 26%, max 81%)");
-  run_breakdown(0.25);
+  run_breakdown(0.25, report);
+
+  const std::string path = report.write();
+  if (!path.empty()) std::printf("\nreport: %s\n", path.c_str());
   return 0;
 }

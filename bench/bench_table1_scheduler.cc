@@ -6,15 +6,37 @@
 // prefers the machine holding the memoized state but migrates off
 // stragglers. Straggler injection makes the difference visible, as in the
 // paper's cluster (§6, §7.3).
+//
+// Besides the table, this bench writes BENCH_table1_scheduler.json (per-app
+// normalized runtime + migration counts) and, for the first app, a Chrome
+// trace of the hybrid run's simulated scheduler timeline — load it in
+// Perfetto to see the per-machine reduce.task lanes route around the
+// straggler machines.
+
+#include <cstdlib>
 
 #include "bench/bench_util.h"
+#include "observability/trace.h"
+#include "observability/trace_export.h"
 
 using namespace slider;
 using namespace slider::bench;
 
 namespace {
 
-double normalized_runtime(const apps::MicroBenchmark& bench) {
+struct SchedulerRun {
+  SimDuration time = 0;
+  std::uint64_t migrations = 0;
+};
+
+struct SchedulerResult {
+  SchedulerRun hadoop;
+  SchedulerRun hybrid;
+  double normalized() const { return hybrid.time / hadoop.time; }
+};
+
+SchedulerResult normalized_runtime(const apps::MicroBenchmark& bench,
+                                   bool trace_hybrid) {
   auto run = [&](SchedulePolicy policy) {
     ExperimentParams params;
     params.mode = WindowMode::kFixedWidth;
@@ -44,7 +66,7 @@ double normalized_runtime(const apps::MicroBenchmark& bench) {
         make_splits(std::move(records), params.records_per_split, 0);
     session.initial_run(splits);
 
-    SimDuration total_time = 0;
+    SchedulerRun result;
     SplitId next_id = params.window_splits;
     const std::size_t slide = slide_splits(params);
     for (int i = 0; i < 10; ++i) {
@@ -54,14 +76,34 @@ double normalized_runtime(const apps::MicroBenchmark& bench) {
       auto added = make_splits(std::move(added_records),
                                params.records_per_split, next_id);
       next_id += slide;
-      total_time += session.slide(slide, std::move(added)).time;
+      const RunMetrics m = session.slide(slide, std::move(added));
+      result.time += m.time;
+      result.migrations += m.migrations;
     }
-    return total_time;
+    return result;
   };
 
-  const SimDuration hadoop = run(SchedulePolicy::kFirstFree);
-  const SimDuration hybrid = run(SchedulePolicy::kHybrid);
-  return hybrid / hadoop;
+  SchedulerResult result;
+  result.hadoop = run(SchedulePolicy::kFirstFree);
+
+  obs::TraceCollector& trace = obs::TraceCollector::global();
+  if (trace_hybrid) {
+    trace.clear();
+    trace.set_enabled(true);
+  }
+  result.hybrid = run(SchedulePolicy::kHybrid);
+  if (trace_hybrid) {
+    trace.set_enabled(false);
+    const char* out_dir = std::getenv("SLIDER_BENCH_OUT");
+    const std::string path = std::string(out_dir ? out_dir : ".") +
+                             "/BENCH_table1_scheduler.trace.json";
+    const auto events = trace.snapshot();
+    if (obs::write_chrome_trace(path, events)) {
+      std::printf("  scheduler trace (%s, hybrid): %s\n", bench.name.c_str(),
+                  path.c_str());
+    }
+  }
+  return result;
 }
 
 }  // namespace
@@ -74,10 +116,31 @@ int main() {
                    "subStr 0.76 — ~23% savings for data-intensive apps, "
                    "~12% for compute-intensive");
 
-  std::printf("%-10s %22s\n", "app", "normalized run-time");
+  obs::RunReport report = make_report("table1_scheduler");
+  report.set_param("slides", static_cast<std::uint64_t>(10));
+  report.set_param("change_fraction", 0.05);
+  report.set_param("stragglers", "3@3x, 11@4x, 17@3x");
+  report.add_note("paper: K-Means 0.94, HCT 0.72, KNN 0.82, Matrix 0.83, "
+                  "subStr 0.76");
+
+  std::printf("%-10s %22s %12s\n", "app", "normalized run-time", "migrations");
+  bool first = true;
   for (const auto& bench : apps::all_microbenchmarks()) {
-    std::printf("%-10s %22.2f\n", bench.name.c_str(),
-                normalized_runtime(bench));
+    const SchedulerResult result = normalized_runtime(bench, first);
+    first = false;
+    std::printf("%-10s %22.2f %12llu\n", bench.name.c_str(),
+                result.normalized(),
+                static_cast<unsigned long long>(result.hybrid.migrations));
+    report.add_row()
+        .col("app", bench.name)
+        .col("normalized_runtime", result.normalized())
+        .col("hadoop_time_sec", result.hadoop.time)
+        .col("hybrid_time_sec", result.hybrid.time)
+        .col("hybrid_migrations", result.hybrid.migrations)
+        .col("hadoop_migrations", result.hadoop.migrations);
   }
+
+  const std::string path = report.write();
+  if (!path.empty()) std::printf("\nreport: %s\n", path.c_str());
   return 0;
 }

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "apps/microbench.h"
+#include "observability/run_report.h"
 #include "slider/session.h"
 
 namespace slider::bench {
@@ -150,6 +151,20 @@ inline Speedups measure_vs_scratch(const apps::MicroBenchmark& bench,
   const RunMetrics baseline = driver.scratch();
   return Speedups{baseline.work() / incremental.work(),
                   baseline.time / incremental.time};
+}
+
+// A RunReport pre-stamped with the shared harness parameters, so every
+// BENCH_*.json records the cluster it ran on alongside its own knobs.
+inline obs::RunReport make_report(const std::string& bench_name) {
+  obs::RunReport report(bench_name);
+  const BenchEnv env;
+  report.set_param("machines",
+                   static_cast<std::uint64_t>(env.cluster.num_machines()));
+  report.set_param("slots_per_machine",
+                   static_cast<std::uint64_t>(env.cluster.slots_per_machine()));
+  report.set_param("task_overhead_sec", env.cost.task_overhead_sec);
+  report.set_param("net_latency_sec", env.cost.net_latency_sec);
+  return report;
 }
 
 // --- table printing -----------------------------------------------------------

@@ -55,7 +55,12 @@ std::size_t earliest_slot_excluding(const std::vector<Slot>& slots,
 
 StageResult StageSimulator::run_stage(std::span<const SimTask> tasks,
                                       SchedulePolicy policy,
-                                      const HybridOptions& hybrid) const {
+                                      const HybridOptions& hybrid,
+                                      StageTimeline* timeline) const {
+  if (timeline != nullptr) {
+    timeline->clear();
+    timeline->reserve(tasks.size());
+  }
   const int spm = cluster_->slots_per_machine();
   std::vector<Slot> slots;
   slots.reserve(static_cast<std::size_t>(cluster_->num_machines() * spm));
@@ -117,9 +122,17 @@ StageResult StageSimulator::run_stage(std::span<const SimTask> tasks,
       effective += task.migration_penalty;
       ++result.migrations;
     }
+    const SimDuration start = slot.free_at;
     slot.free_at += effective;
     result.work += effective;
     result.makespan = std::max(result.makespan, slot.free_at);
+    if (timeline != nullptr) {
+      timeline->push_back(TaskPlacement{.task = idx,
+                                        .machine = slot.machine,
+                                        .start = start,
+                                        .end = slot.free_at,
+                                        .migrated = migrated});
+    }
   }
   return result;
 }

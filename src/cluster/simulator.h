@@ -41,6 +41,23 @@ struct StageResult {
   std::uint64_t migrations = 0;
 };
 
+// One scheduled task occurrence in a stage: which machine ran it, when
+// (stage-relative simulated time), and whether it ran off its preferred
+// (memo-local) machine. The timeline makes Table-1 straggler behaviour
+// visually debuggable: feed it to the trace layer and the per-machine
+// lanes show queues piling up on stragglers and the hybrid policy's
+// migrations away from them.
+struct TaskPlacement {
+  std::size_t task = 0;  // index into the input task span
+  MachineId machine = -1;
+  SimDuration start = 0;
+  SimDuration end = 0;
+  bool migrated = false;
+};
+
+// Placements in scheduling order (longest-task-first), one per task.
+using StageTimeline = std::vector<TaskPlacement>;
+
 struct HybridOptions {
   // Migrate if the best remote slot would finish the task more than this
   // tolerance earlier than the preferred (memo-local) machine. The
@@ -54,8 +71,10 @@ class StageSimulator {
  public:
   explicit StageSimulator(const Cluster& cluster) : cluster_(&cluster) {}
 
+  // `timeline`, when non-null, receives one TaskPlacement per task.
   StageResult run_stage(std::span<const SimTask> tasks, SchedulePolicy policy,
-                        const HybridOptions& hybrid = {}) const;
+                        const HybridOptions& hybrid = {},
+                        StageTimeline* timeline = nullptr) const;
 
  private:
   const Cluster* cluster_;

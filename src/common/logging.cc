@@ -1,13 +1,26 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <iostream>
 
 namespace slider {
 namespace {
 
-std::atomic<int> g_level{static_cast<int>(LogLevel::kWarning)};
+int initial_level() {
+  const char* env = std::getenv("SLIDER_LOG_LEVEL");
+  if (env != nullptr) {
+    if (const auto parsed = parse_log_level(env); parsed.has_value()) {
+      return static_cast<int>(*parsed);
+    }
+  }
+  return static_cast<int>(LogLevel::kWarning);
+}
+
+std::atomic<int> g_level{initial_level()};
 std::mutex g_mutex;
 
 const char* level_name(LogLevel level) {
@@ -30,6 +43,29 @@ std::string_view basename_of(std::string_view file) {
   return pos == std::string_view::npos ? file : file.substr(pos + 1);
 }
 
+// Small dense per-thread id (nicer in logs than std::thread::id).
+unsigned current_thread_id() {
+  static std::atomic<unsigned> next_id{1};
+  thread_local unsigned id = next_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+// "HH:MM:SS.mmm" local time.
+std::string timestamp_now() {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t seconds = std::chrono::system_clock::to_time_t(now);
+  const auto millis = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          now.time_since_epoch())
+                          .count() %
+                      1000;
+  std::tm tm_buf{};
+  localtime_r(&seconds, &tm_buf);
+  char buffer[16];
+  std::snprintf(buffer, sizeof(buffer), "%02d:%02d:%02d.%03d", tm_buf.tm_hour,
+                tm_buf.tm_min, tm_buf.tm_sec, static_cast<int>(millis));
+  return buffer;
+}
+
 }  // namespace
 
 void set_log_level(LogLevel level) {
@@ -40,13 +76,32 @@ LogLevel log_level() {
   return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
 }
 
+std::optional<LogLevel> parse_log_level(std::string_view text) {
+  if (text == "debug" || text == "DEBUG" || text == "0") {
+    return LogLevel::kDebug;
+  }
+  if (text == "info" || text == "INFO" || text == "1") {
+    return LogLevel::kInfo;
+  }
+  if (text == "warning" || text == "warn" || text == "WARNING" ||
+      text == "WARN" || text == "2") {
+    return LogLevel::kWarning;
+  }
+  if (text == "error" || text == "ERROR" || text == "3") {
+    return LogLevel::kError;
+  }
+  return std::nullopt;
+}
+
 namespace internal {
 
 void log_write(LogLevel level, std::string_view file, int line,
                std::string_view message) {
+  const std::string when = timestamp_now();
+  const unsigned tid = current_thread_id();
   std::lock_guard<std::mutex> lock(g_mutex);
-  std::cerr << "[" << level_name(level) << " " << basename_of(file) << ":"
-            << line << "] " << message << "\n";
+  std::cerr << "[" << when << " " << level_name(level) << " t" << tid << " "
+            << basename_of(file) << ":" << line << "] " << message << "\n";
 }
 
 CheckFailure::CheckFailure(const char* file, int line, const char* cond) {

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <mutex>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -14,9 +15,14 @@ namespace slider {
 
 enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
-// Global minimum severity; messages below it are discarded.
+// Global minimum severity; messages below it are discarded. The initial
+// level honors the SLIDER_LOG_LEVEL env var at startup — "debug", "info",
+// "warning"/"warn", "error", or a numeric 0–3 — defaulting to warning.
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+// Parses a SLIDER_LOG_LEVEL-style spelling; nullopt if unrecognized.
+std::optional<LogLevel> parse_log_level(std::string_view text);
 
 namespace internal {
 

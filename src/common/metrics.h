@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <string>
 
 namespace slider {
@@ -44,6 +45,8 @@ struct RunMetrics {
   std::uint64_t combiner_invocations = 0;
   std::uint64_t combiner_reused = 0;  // memo hits in the contraction tree
   std::uint64_t reduce_tasks = 0;
+  // Tasks the scheduler ran off their memo-preferred machine (Table 1).
+  std::uint64_t migrations = 0;
 
   // Bytes of memoized state written by this run (Fig 13c space overhead).
   std::uint64_t memo_bytes_written = 0;
@@ -56,15 +59,29 @@ struct RunMetrics {
   RunMetrics& operator+=(const RunMetrics& other);
 };
 
-// Thread-safe named counters (monotonic doubles).
+// Thread-safe named counters (monotonic doubles). For typed instruments
+// (counters/gauges/histograms with percentiles) see observability/stats.h;
+// this registry stays as the zero-dependency sink for ad-hoc accounting.
 class MetricsRegistry {
  public:
   static MetricsRegistry& global();
 
   void add(const std::string& name, double delta);
+  // Adds `delta` and returns the post-add value, atomically w.r.t. other
+  // registry operations (one lock, no read-modify-write race).
+  double increment(const std::string& name, double delta = 1.0);
+
+  // Returns the counter's value, or 0.0 when it was never added to —
+  // convenient but silent. Use find() when absence must be
+  // distinguishable from a zero-valued counter.
   double get(const std::string& name) const;
+  std::optional<double> find(const std::string& name) const;
+
   void reset();
   std::map<std::string, double> snapshot() const;
+  // Atomically returns the current counters and clears them — the pattern
+  // every per-run report wants (read the interval, start the next one).
+  std::map<std::string, double> snapshot_and_reset();
 
  private:
   mutable std::mutex mutex_;

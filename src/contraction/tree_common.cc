@@ -2,6 +2,7 @@
 
 #include "common/hash.h"
 #include "common/logging.h"
+#include "observability/trace.h"
 
 namespace slider {
 namespace {
@@ -34,6 +35,11 @@ std::shared_ptr<const KVTable> combine_and_memoize(
     ++stats->combiner_invocations;
     stats->rows_scanned += merge_stats.rows_scanned;
   }
+  // Dirty-path recompute: one event per executed combiner merge.
+  SLIDER_TRACE_EVENT(
+      "tree", "tree.merge",
+      {{"partition", static_cast<double>(ctx.partition)},
+       {"rows", static_cast<double>(merge_stats.rows_scanned)}});
   memoize_payload(ctx, id, combined, stats);
   return combined;
 }
@@ -43,6 +49,9 @@ void charge_passthrough(const MemoContext& ctx, const KVTable& table,
   if (stats == nullptr) return;
   ++stats->combiner_invocations;
   stats->rows_scanned += table.size();
+  SLIDER_TRACE_EVENT("tree", "tree.passthrough",
+                     {{"partition", static_cast<double>(ctx.partition)},
+                      {"rows", static_cast<double>(table.size())}});
   if (ctx.store != nullptr) {
     stats->memo_write_cost += ctx.store->estimate_write_cost(table.byte_size());
   }
@@ -64,6 +73,9 @@ std::shared_ptr<const KVTable> fetch_reused(
     const std::shared_ptr<const KVTable>& fallback, TreeUpdateStats* stats) {
   SLIDER_CHECK(fallback != nullptr) << "reused node without in-tree payload";
   if (stats != nullptr) ++stats->combiner_reused;
+  // Memoized sub-computation reused as-is (the paper's memo hit).
+  SLIDER_TRACE_EVENT("tree", "tree.reuse",
+                     {{"partition", static_cast<double>(ctx.partition)}});
   if (ctx.store == nullptr) return fallback;
 
   const MemoReadResult read = ctx.store->get(id, ctx.reduce_home);

@@ -1,9 +1,14 @@
 #include "mapreduce/engine.h"
 
+#include "observability/trace.h"
+
 namespace slider {
 
 VanillaEngine::MapStage VanillaEngine::run_map_stage(
     const JobSpec& job, std::span<const SplitPtr> splits) const {
+  SLIDER_TRACE_SPAN("mapreduce", "map_stage",
+                    {{"splits", static_cast<double>(splits.size())},
+                     {"partitions", static_cast<double>(job.num_partitions)}});
   MapStage stage;
   stage.outputs.reserve(splits.size());
   std::vector<SimTask> tasks;
@@ -28,6 +33,8 @@ VanillaEngine::MapStage VanillaEngine::run_map_stage(
 
 JobResult VanillaEngine::run(const JobSpec& job,
                              std::span<const SplitPtr> splits) const {
+  SLIDER_TRACE_SPAN("mapreduce", "vanilla_run",
+                    {{"splits", static_cast<double>(splits.size())}});
   JobResult result;
   MapStage maps = run_map_stage(job, splits);
   result.metrics.map_work = maps.sim.work;

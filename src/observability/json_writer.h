@@ -1,0 +1,127 @@
+// Minimal streaming JSON writer shared by the trace exporter and the
+// bench RunReport. Handles comma placement and string escaping; emits
+// compact, valid JSON (non-finite doubles degrade to null, which Perfetto
+// and every JSON parser accept).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace slider::obs {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object() {
+    separate();
+    out_ += '{';
+    stack_.push_back(false);
+    return *this;
+  }
+  JsonWriter& end_object() {
+    stack_.pop_back();
+    out_ += '}';
+    return *this;
+  }
+  JsonWriter& begin_array() {
+    separate();
+    out_ += '[';
+    stack_.push_back(false);
+    return *this;
+  }
+  JsonWriter& end_array() {
+    stack_.pop_back();
+    out_ += ']';
+    return *this;
+  }
+
+  JsonWriter& key(std::string_view name) {
+    separate();
+    append_string(name);
+    out_ += ':';
+    pending_value_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(std::string_view text) {
+    separate();
+    append_string(text);
+    return *this;
+  }
+  JsonWriter& value(const char* text) { return value(std::string_view(text)); }
+  JsonWriter& value(double number) {
+    separate();
+    if (!std::isfinite(number)) {
+      out_ += "null";
+      return *this;
+    }
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.12g", number);
+    out_ += buffer;
+    return *this;
+  }
+  JsonWriter& value(std::uint64_t number) {
+    separate();
+    out_ += std::to_string(number);
+    return *this;
+  }
+  JsonWriter& value(std::int64_t number) {
+    separate();
+    out_ += std::to_string(number);
+    return *this;
+  }
+  JsonWriter& value(bool flag) {
+    separate();
+    out_ += flag ? "true" : "false";
+    return *this;
+  }
+
+  const std::string& str() const { return out_; }
+  std::string take() { return std::move(out_); }
+
+ private:
+  // Inserts the comma before a new element unless it is the first in its
+  // container or the value immediately following a key.
+  void separate() {
+    if (pending_value_) {
+      pending_value_ = false;
+      return;
+    }
+    if (!stack_.empty()) {
+      if (stack_.back()) out_ += ',';
+      stack_.back() = true;
+    }
+  }
+
+  void append_string(std::string_view text) {
+    out_ += '"';
+    for (const char c : text) {
+      switch (c) {
+        case '"': out_ += "\\\""; break;
+        case '\\': out_ += "\\\\"; break;
+        case '\n': out_ += "\\n"; break;
+        case '\r': out_ += "\\r"; break;
+        case '\t': out_ += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buffer[8];
+            std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                          static_cast<unsigned>(static_cast<unsigned char>(c)));
+            out_ += buffer;
+          } else {
+            out_ += c;
+          }
+      }
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  std::vector<bool> stack_;  // per open container: "has emitted an element"
+  bool pending_value_ = false;
+};
+
+}  // namespace slider::obs

@@ -1,0 +1,128 @@
+#include "observability/run_report.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "observability/json_writer.h"
+
+namespace slider::obs {
+namespace {
+
+void write_value(JsonWriter& json, const ReportValue& value) {
+  std::visit([&json](const auto& v) { json.value(v); }, value);
+}
+
+}  // namespace
+
+RunReport::Row& RunReport::Row::metrics(const std::string& prefix,
+                                        const RunMetrics& m) {
+  col(prefix + "work", m.work());
+  col(prefix + "time", m.time);
+  col(prefix + "map_work", m.map_work);
+  col(prefix + "map_time", m.map_time);
+  col(prefix + "contraction_work", m.contraction_work);
+  col(prefix + "reduce_work", m.reduce_work);
+  col(prefix + "shuffle_work", m.shuffle_work);
+  col(prefix + "memo_read_work", m.memo_read_work);
+  col(prefix + "background_work", m.background_work);
+  col(prefix + "background_time", m.background_time);
+  col(prefix + "map_tasks", m.map_tasks);
+  col(prefix + "reduce_tasks", m.reduce_tasks);
+  col(prefix + "combiner_invocations", m.combiner_invocations);
+  col(prefix + "combiner_reused", m.combiner_reused);
+  col(prefix + "migrations", m.migrations);
+  col(prefix + "memo_bytes_written", m.memo_bytes_written);
+  return *this;
+}
+
+RunReport::RunReport(std::string bench_name) : name_(std::move(bench_name)) {}
+
+RunReport& RunReport::set_param(std::string key, ReportValue value) {
+  params_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+RunReport& RunReport::add_note(std::string note) {
+  notes_.push_back(std::move(note));
+  return *this;
+}
+
+RunReport& RunReport::set_counters(std::map<std::string, double> counters) {
+  counters_ = std::move(counters);
+  return *this;
+}
+
+RunReport::Row& RunReport::add_row() {
+  rows_.emplace_back();
+  return rows_.back();
+}
+
+std::string RunReport::to_json() const {
+  JsonWriter json;
+  json.begin_object();
+  json.key("bench").value(name_);
+  json.key("schema_version").value(static_cast<std::int64_t>(1));
+
+  json.key("params").begin_object();
+  for (const auto& [key, value] : params_) {
+    json.key(key);
+    write_value(json, value);
+  }
+  json.end_object();
+
+  json.key("rows").begin_array();
+  for (const Row& row : rows_) {
+    json.begin_object();
+    for (const auto& [key, value] : row.cells()) {
+      json.key(key);
+      write_value(json, value);
+    }
+    json.end_object();
+  }
+  json.end_array();
+
+  json.key("counters").begin_object();
+  for (const auto& [key, value] : counters_) {
+    json.key(key).value(value);
+  }
+  json.end_object();
+
+  json.key("notes").begin_array();
+  for (const std::string& note : notes_) {
+    json.value(note);
+  }
+  json.end_array();
+
+  json.end_object();
+  return json.take();
+}
+
+std::string RunReport::default_filename() const {
+  return "BENCH_" + name_ + ".json";
+}
+
+std::string RunReport::write(const std::string& directory) const {
+  std::string dir = directory;
+  if (dir.empty()) {
+    const char* env = std::getenv("SLIDER_BENCH_OUT");
+    dir = env != nullptr && env[0] != '\0' ? env : ".";
+  }
+  const std::string path = dir + "/" + default_filename();
+  const std::string document = to_json();
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    SLIDER_LOG(Error) << "cannot open bench report " << path;
+    return "";
+  }
+  const std::size_t written =
+      std::fwrite(document.data(), 1, document.size(), file);
+  std::fclose(file);
+  if (written != document.size()) {
+    SLIDER_LOG(Error) << "short write to bench report " << path;
+    return "";
+  }
+  return path;
+}
+
+}  // namespace slider::obs

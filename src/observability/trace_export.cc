@@ -1,0 +1,173 @@
+#include "observability/trace_export.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "common/logging.h"
+#include "observability/json_writer.h"
+
+namespace slider::obs {
+namespace {
+
+int pid_of(const TraceEvent& event) {
+  return event.domain == TraceClockDomain::kWall ? kWallPid : kSimulatedPid;
+}
+
+void write_event(JsonWriter& json, const TraceEvent& event) {
+  json.begin_object();
+  json.key("name").value(std::string_view(event.name));
+  json.key("cat").value(std::string_view(event.category));
+  json.key("ph").value(std::string_view(&event.phase, 1));
+  json.key("pid").value(static_cast<std::int64_t>(pid_of(event)));
+  json.key("tid").value(static_cast<std::uint64_t>(event.track));
+  json.key("ts").value(event.ts_us);
+  if (event.phase == 'X') json.key("dur").value(event.dur_us);
+  if (event.phase == 'i') json.key("s").value("t");  // thread-scoped instant
+
+  json.key("args").begin_object();
+  if (event.phase == 'C') {
+    json.key("value").value(event.counter_value);
+  }
+  for (const TraceArg& arg : event.args) {
+    if (arg.name == nullptr) continue;
+    json.key(std::string_view(arg.name)).value(arg.value);
+  }
+  json.end_object();
+  json.end_object();
+}
+
+void write_metadata(JsonWriter& json, int pid, const char* process_name) {
+  json.begin_object();
+  json.key("name").value("process_name");
+  json.key("ph").value("M");
+  json.key("pid").value(static_cast<std::int64_t>(pid));
+  json.key("tid").value(static_cast<std::uint64_t>(0));
+  json.key("args").begin_object();
+  json.key("name").value(process_name);
+  json.end_object();
+  json.end_object();
+}
+
+}  // namespace
+
+std::string to_chrome_trace_json(std::span<const TraceEvent> events) {
+  // Sort by (pid, ts, seq) so each exported process has monotone
+  // timestamps; seq keeps identical timestamps in commit order.
+  std::vector<const TraceEvent*> ordered;
+  ordered.reserve(events.size());
+  for (const TraceEvent& event : events) ordered.push_back(&event);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const TraceEvent* a, const TraceEvent* b) {
+                     return std::make_tuple(pid_of(*a), a->ts_us, a->seq) <
+                            std::make_tuple(pid_of(*b), b->ts_us, b->seq);
+                   });
+
+  JsonWriter json;
+  json.begin_object();
+  json.key("displayTimeUnit").value("ms");
+  json.key("traceEvents").begin_array();
+  write_metadata(json, kWallPid, "slider wall-clock");
+  write_metadata(json, kSimulatedPid, "slider simulated cluster");
+  for (const TraceEvent* event : ordered) write_event(json, *event);
+  json.end_array();
+  json.end_object();
+  return json.take();
+}
+
+bool write_chrome_trace(const std::string& path,
+                        std::span<const TraceEvent> events) {
+  const std::string document = to_chrome_trace_json(events);
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    SLIDER_LOG(Error) << "cannot open trace output file " << path;
+    return false;
+  }
+  const std::size_t written =
+      std::fwrite(document.data(), 1, document.size(), file);
+  std::fclose(file);
+  if (written != document.size()) {
+    SLIDER_LOG(Error) << "short write to trace output file " << path;
+    return false;
+  }
+  return true;
+}
+
+std::string trace_summary(std::span<const TraceEvent> events) {
+  struct SpanAgg {
+    std::uint64_t count = 0;
+    double total_us = 0;
+    double max_us = 0;
+  };
+  // Keyed by (domain tag, category, name); std::map gives sorted output.
+  std::map<std::tuple<int, std::string, std::string>, SpanAgg> spans;
+  std::map<std::tuple<int, std::string, std::string>, double> counters;
+  std::map<std::tuple<int, std::string, std::string>, std::uint64_t> instants;
+
+  for (const TraceEvent& event : events) {
+    const auto key = std::make_tuple(pid_of(event), std::string(event.category),
+                                     std::string(event.name));
+    switch (event.phase) {
+      case 'X': {
+        SpanAgg& agg = spans[key];
+        ++agg.count;
+        agg.total_us += event.dur_us;
+        agg.max_us = std::max(agg.max_us, event.dur_us);
+        break;
+      }
+      case 'C':
+        counters[key] = event.counter_value;  // last sample wins
+        break;
+      case 'i':
+        ++instants[key];
+        break;
+      default:
+        break;
+    }
+  }
+
+  std::string out;
+  char line[192];
+  auto domain_tag = [](int pid) { return pid == kWallPid ? "wall" : "sim"; };
+
+  std::snprintf(line, sizeof(line), "%-5s %-14s %-28s %10s %14s %14s\n",
+                "clock", "category", "span", "count", "total(ms)", "max(ms)");
+  out += line;
+  for (const auto& [key, agg] : spans) {
+    std::snprintf(line, sizeof(line),
+                  "%-5s %-14s %-28s %10llu %14.3f %14.3f\n",
+                  domain_tag(std::get<0>(key)), std::get<1>(key).c_str(),
+                  std::get<2>(key).c_str(),
+                  static_cast<unsigned long long>(agg.count),
+                  agg.total_us / 1e3, agg.max_us / 1e3);
+    out += line;
+  }
+  if (!counters.empty()) {
+    std::snprintf(line, sizeof(line), "%-5s %-14s %-28s %25s\n", "clock",
+                  "category", "counter", "last value");
+    out += line;
+    for (const auto& [key, value] : counters) {
+      std::snprintf(line, sizeof(line), "%-5s %-14s %-28s %25.3f\n",
+                    domain_tag(std::get<0>(key)), std::get<1>(key).c_str(),
+                    std::get<2>(key).c_str(), value);
+      out += line;
+    }
+  }
+  if (!instants.empty()) {
+    std::snprintf(line, sizeof(line), "%-5s %-14s %-28s %25s\n", "clock",
+                  "category", "event", "count");
+    out += line;
+    for (const auto& [key, count] : instants) {
+      std::snprintf(line, sizeof(line), "%-5s %-14s %-28s %25llu\n",
+                    domain_tag(std::get<0>(key)), std::get<1>(key).c_str(),
+                    std::get<2>(key).c_str(),
+                    static_cast<unsigned long long>(count));
+      out += line;
+    }
+  }
+  return out;
+}
+
+}  // namespace slider::obs

@@ -3,8 +3,56 @@
 #include <algorithm>
 
 #include "contraction/rotating_tree.h"
+#include "observability/stats.h"
+#include "observability/trace.h"
 
 namespace slider {
+namespace {
+
+// Cumulative dirty-path counters across all sessions in the process;
+// emitted both into the stats registry and as trace counter series so the
+// Perfetto view shows the paper's "work ∝ delta · log(window)" claim as a
+// staircase instead of a cliff.
+struct TreeInstruments {
+  obs::Counter& nodes_visited;
+  obs::Counter& combiner_invocations;
+  obs::Counter& combiner_reused;
+};
+
+TreeInstruments& tree_instruments() {
+  static TreeInstruments* instruments = [] {
+    obs::StatsRegistry& stats = obs::StatsRegistry::global();
+    return new TreeInstruments{
+        stats.counter("tree.nodes_visited"),
+        stats.counter("tree.combiner_invocations"),
+        stats.counter("tree.combiner_reused"),
+    };
+  }();
+  return *instruments;
+}
+
+void record_tree_counters(const std::vector<TreeUpdateStats>& tree_stats) {
+  std::uint64_t visited = 0;
+  std::uint64_t invoked = 0;
+  std::uint64_t reused = 0;
+  for (const TreeUpdateStats& ts : tree_stats) {
+    visited += ts.nodes_visited;
+    invoked += ts.combiner_invocations;
+    reused += ts.combiner_reused;
+  }
+  TreeInstruments& instruments = tree_instruments();
+  [[maybe_unused]] const double visited_total =
+      static_cast<double>(instruments.nodes_visited.add(visited));
+  [[maybe_unused]] const double invoked_total =
+      static_cast<double>(instruments.combiner_invocations.add(invoked));
+  [[maybe_unused]] const double reused_total =
+      static_cast<double>(instruments.combiner_reused.add(reused));
+  SLIDER_TRACE_COUNTER("tree", "tree.nodes_visited", visited_total);
+  SLIDER_TRACE_COUNTER("tree", "tree.combiner_invocations", invoked_total);
+  SLIDER_TRACE_COUNTER("tree", "tree.combiner_reused", reused_total);
+}
+
+}  // namespace
 
 SliderSession::SliderSession(const VanillaEngine& engine, MemoStore& memo,
                              const JobSpec& job, SliderConfig config)
@@ -38,6 +86,8 @@ SliderSession::SliderSession(const VanillaEngine& engine, MemoStore& memo,
 
 RunMetrics SliderSession::initial_run(std::vector<SplitPtr> splits) {
   SLIDER_CHECK(!initialized_) << "initial_run called twice";
+  SLIDER_TRACE_SPAN("session", "session.initial_run",
+                    {{"splits", static_cast<double>(splits.size())}});
   initialized_ = true;
   RunMetrics metrics;
 
@@ -49,15 +99,18 @@ RunMetrics SliderSession::initial_run(std::vector<SplitPtr> splits) {
 
   std::vector<TreeUpdateStats> tree_stats(partitions_.size());
   std::vector<std::size_t> new_leaf_bytes(partitions_.size(), 0);
-  for (std::size_t p = 0; p < partitions_.size(); ++p) {
-    std::vector<Leaf> leaves;
-    leaves.reserve(splits.size());
-    for (std::size_t i = 0; i < splits.size(); ++i) {
-      const auto& table = maps.outputs[i].partitions[p];
-      new_leaf_bytes[p] += table->byte_size();
-      leaves.push_back(Leaf{splits[i]->id, table});
+  {
+    SLIDER_TRACE_SPAN("session", "session.tree_build");
+    for (std::size_t p = 0; p < partitions_.size(); ++p) {
+      std::vector<Leaf> leaves;
+      leaves.reserve(splits.size());
+      for (std::size_t i = 0; i < splits.size(); ++i) {
+        const auto& table = maps.outputs[i].partitions[p];
+        new_leaf_bytes[p] += table->byte_size();
+        leaves.push_back(Leaf{splits[i]->id, table});
+      }
+      partitions_[p].tree->initial_build(std::move(leaves), &tree_stats[p]);
     }
-    partitions_[p].tree->initial_build(std::move(leaves), &tree_stats[p]);
   }
   for (SplitPtr& split : splits) window_.push_back(std::move(split));
 
@@ -69,6 +122,9 @@ RunMetrics SliderSession::slide(std::size_t remove_front,
                                 std::vector<SplitPtr> added) {
   SLIDER_CHECK(initialized_) << "slide before initial_run";
   SLIDER_CHECK(remove_front <= window_.size()) << "removing beyond window";
+  SLIDER_TRACE_SPAN("session", "session.slide",
+                    {{"removed", static_cast<double>(remove_front)},
+                     {"added", static_cast<double>(added.size())}});
   if (config_.mode == WindowMode::kAppendOnly) {
     SLIDER_CHECK(remove_front == 0) << "append-only window cannot drop";
   }
@@ -84,16 +140,19 @@ RunMetrics SliderSession::slide(std::size_t remove_front,
 
   std::vector<TreeUpdateStats> tree_stats(partitions_.size());
   std::vector<std::size_t> new_leaf_bytes(partitions_.size(), 0);
-  for (std::size_t p = 0; p < partitions_.size(); ++p) {
-    std::vector<Leaf> leaves;
-    leaves.reserve(added.size());
-    for (std::size_t i = 0; i < added.size(); ++i) {
-      const auto& table = maps.outputs[i].partitions[p];
-      new_leaf_bytes[p] += table->byte_size();
-      leaves.push_back(Leaf{added[i]->id, table});
+  {
+    SLIDER_TRACE_SPAN("session", "session.tree_delta");
+    for (std::size_t p = 0; p < partitions_.size(); ++p) {
+      std::vector<Leaf> leaves;
+      leaves.reserve(added.size());
+      for (std::size_t i = 0; i < added.size(); ++i) {
+        const auto& table = maps.outputs[i].partitions[p];
+        new_leaf_bytes[p] += table->byte_size();
+        leaves.push_back(Leaf{added[i]->id, table});
+      }
+      partitions_[p].tree->apply_delta(remove_front, std::move(leaves),
+                                       &tree_stats[p]);
     }
-    partitions_[p].tree->apply_delta(remove_front, std::move(leaves),
-                                     &tree_stats[p]);
   }
   for (std::size_t i = 0; i < remove_front; ++i) window_.pop_front();
   for (SplitPtr& split : added) window_.push_back(std::move(split));
@@ -105,6 +164,21 @@ RunMetrics SliderSession::slide(std::size_t remove_front,
 void SliderSession::contraction_and_reduce(
     const std::vector<TreeUpdateStats>& tree_stats,
     const std::vector<std::size_t>& new_leaf_bytes, RunMetrics& metrics) {
+  SLIDER_TRACE_SPAN("session", "session.contraction_reduce");
+  record_tree_counters(tree_stats);
+
+  obs::TraceCollector& trace = obs::TraceCollector::global();
+  const bool tracing = trace.enabled();
+  // Per-partition phase composition, kept only to reconstruct the
+  // simulated timeline (per-level contraction + reduce tail sub-spans).
+  struct PhaseShares {
+    SimDuration contraction_path = 0;
+    SimDuration tail = 0;  // shuffle + stream merge + final reduce CPU
+    int levels = 1;
+  };
+  std::vector<PhaseShares> shares;
+  if (tracing) shares.resize(partitions_.size());
+
   const CostModel& cost = engine_->cost_model();
   std::vector<SimTask> tasks(partitions_.size());
   for (std::size_t p = 0; p < partitions_.size(); ++p) {
@@ -158,12 +232,64 @@ void SliderSession::contraction_and_reduce(
     metrics.combiner_invocations += ts.combiner_invocations;
     metrics.combiner_reused += ts.combiner_reused;
     metrics.memo_bytes_written += ts.memo_bytes_written;
+
+    if (tracing) {
+      shares[p].contraction_path = contraction_path;
+      shares[p].tail = shuffle + stream_merge_cpu + reduced.cpu_cost;
+      shares[p].levels = std::max(1, partitions_[p].tree->height());
+    }
   }
   metrics.reduce_tasks = partitions_.size();
 
-  const StageResult stage =
-      engine_->simulator().run_stage(tasks, config_.reduce_policy);
+  StageTimeline timeline;
+  const StageResult stage = engine_->simulator().run_stage(
+      tasks, config_.reduce_policy, {}, tracing ? &timeline : nullptr);
   metrics.time += stage.makespan;
+  metrics.migrations += stage.migrations;
+
+  if (tracing) {
+    // Reconstruct the run on the simulated clock: the map wave, then the
+    // scheduled contraction+reduce tasks on per-machine lanes (track =
+    // machine id + 1; track 0 carries the whole-phase spans), each task
+    // subdivided into its contraction levels and reduce tail.
+    const SimDuration run_start = sim_clock_;
+    const SimDuration reduce_start = run_start + metrics.map_time;
+    trace.sim_span("phase", "map", run_start, metrics.map_time, 0,
+                   {{"tasks", static_cast<double>(metrics.map_tasks)}});
+    trace.sim_span("phase", "contraction+reduce", reduce_start,
+                   stage.makespan, 0,
+                   {{"tasks", static_cast<double>(tasks.size())},
+                    {"migrations", static_cast<double>(stage.migrations)}});
+    for (const TaskPlacement& placement : timeline) {
+      const std::size_t p = placement.task;
+      const SimDuration dur = placement.end - placement.start;
+      const SimDuration task_start = reduce_start + placement.start;
+      const auto machine_track =
+          static_cast<std::uint32_t>(placement.machine) + 1;
+      trace.sim_span("sched", "reduce.task", task_start, dur, machine_track,
+                     {{"partition", static_cast<double>(p)},
+                      {"migrated", placement.migrated ? 1.0 : 0.0}});
+      const PhaseShares& share = shares[p];
+      const SimDuration nominal = tasks[p].duration;
+      if (nominal <= 0 || dur <= 0) continue;
+      // Straggler slowdown and migration penalties stretch the task; keep
+      // the sub-span composition proportional to the nominal costs.
+      const double scale = dur / nominal;
+      const SimDuration level_dur =
+          share.contraction_path * scale / share.levels;
+      SimDuration at = task_start;
+      for (int level = 0; level < share.levels; ++level) {
+        trace.sim_span("contraction", "contraction.level", at, level_dur,
+                       machine_track,
+                       {{"partition", static_cast<double>(p)},
+                        {"level", static_cast<double>(level)}});
+        at += level_dur;
+      }
+      trace.sim_span("phase", "reduce", at, share.tail * scale, machine_track,
+                     {{"partition", static_cast<double>(p)}});
+    }
+  }
+  sim_clock_ += metrics.map_time + stage.makespan;
 
   if (config_.run_gc) garbage_collect();
 }
@@ -171,6 +297,7 @@ void SliderSession::contraction_and_reduce(
 RunMetrics SliderSession::run_background() {
   RunMetrics metrics;
   if (!config_.split_processing) return metrics;
+  SLIDER_TRACE_SPAN("session", "session.run_background");
   const CostModel& cost = engine_->cost_model();
   std::vector<SimTask> tasks(partitions_.size());
   for (std::size_t p = 0; p < partitions_.size(); ++p) {
@@ -189,9 +316,26 @@ RunMetrics SliderSession::run_background() {
     metrics.background_work += work;
     metrics.memo_bytes_written += ts.memo_bytes_written;
   }
-  const StageResult stage =
-      engine_->simulator().run_stage(tasks, config_.reduce_policy);
+  obs::TraceCollector& trace = obs::TraceCollector::global();
+  const bool tracing = trace.enabled();
+  StageTimeline timeline;
+  const StageResult stage = engine_->simulator().run_stage(
+      tasks, config_.reduce_policy, {}, tracing ? &timeline : nullptr);
   metrics.background_time = stage.makespan;
+  metrics.migrations += stage.migrations;
+  if (tracing) {
+    trace.sim_span("phase", "background", sim_clock_, stage.makespan, 0,
+                   {{"tasks", static_cast<double>(tasks.size())},
+                    {"migrations", static_cast<double>(stage.migrations)}});
+    for (const TaskPlacement& placement : timeline) {
+      trace.sim_span("sched", "background.task", sim_clock_ + placement.start,
+                     placement.end - placement.start,
+                     static_cast<int>(placement.machine) + 1,
+                     {{"partition", static_cast<double>(placement.task)},
+                      {"migrated", placement.migrated ? 1.0 : 0.0}});
+    }
+  }
+  sim_clock_ += stage.makespan;
   if (config_.run_gc) garbage_collect();
   return metrics;
 }
@@ -219,9 +363,12 @@ SimDuration SliderSession::contraction_critical_path(
 }
 
 void SliderSession::garbage_collect() {
+  SLIDER_TRACE_SPAN("session", "session.gc");
   std::unordered_set<NodeId> live;
   collect_live_ids(live);
-  memo_->retain_only(live);
+  [[maybe_unused]] const std::size_t collected = memo_->retain_only(live);
+  SLIDER_TRACE_EVENT("session", "gc.collected",
+                     {{"entries", static_cast<double>(collected)}});
 }
 
 void SliderSession::collect_live_ids(std::unordered_set<NodeId>& live) const {

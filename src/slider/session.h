@@ -74,6 +74,11 @@ class SliderSession {
   int tree_height(int partition) const;
   std::size_t live_memo_entries() const;
 
+  // End of the session's simulated timeline so far: runs (foreground and
+  // background) are laid out back-to-back on this clock, which is what
+  // the simulated-time trace spans are anchored to.
+  SimDuration sim_clock() const { return sim_clock_; }
+
   // Node ids the session's trees still need. Exposed so that a composite
   // runtime (e.g. a multi-stage query pipeline sharing this MemoStore)
   // can run a global GC instead of the session's own (set run_gc=false).
@@ -105,6 +110,7 @@ class SliderSession {
   std::deque<SplitPtr> window_;
   std::vector<KVTable> output_;
   bool initialized_ = false;
+  SimDuration sim_clock_ = 0;  // see sim_clock()
 };
 
 }  // namespace slider

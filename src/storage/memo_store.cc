@@ -1,8 +1,43 @@
 #include "storage/memo_store.h"
 
 #include "data/serde.h"
+#include "observability/stats.h"
+#include "observability/trace.h"
 
 namespace slider {
+namespace {
+
+// Process-wide typed instruments for the memoization layer (Table 2's
+// quantities). Looked up once; the registry owns the instruments.
+struct MemoInstruments {
+  obs::Counter& hits_memory;
+  obs::Counter& hits_disk;
+  obs::Counter& misses;
+  obs::Counter& evictions_memory;
+  obs::Counter& evictions_budget;
+  obs::Counter& replica_writes;
+  obs::Gauge& entries;
+  obs::Gauge& bytes;
+};
+
+MemoInstruments& memo_instruments() {
+  static MemoInstruments* instruments = [] {
+    obs::StatsRegistry& stats = obs::StatsRegistry::global();
+    return new MemoInstruments{
+        stats.counter("memo.hits_memory"),
+        stats.counter("memo.hits_disk"),
+        stats.counter("memo.misses"),
+        stats.counter("memo.evictions_memory"),
+        stats.counter("memo.evictions_budget"),
+        stats.counter("memo.replica_writes"),
+        stats.gauge("memo.entries"),
+        stats.gauge("memo.bytes"),
+    };
+  }();
+  return *instruments;
+}
+
+}  // namespace
 
 void MemoStore::install_memory(NodeId id, Entry& entry,
                                std::shared_ptr<const KVTable> table) {
@@ -35,6 +70,9 @@ void MemoStore::evict_to_capacity() {
     SLIDER_CHECK(it != index_.end()) << "LRU entry not in index";
     drop_memory(it->second);
     ++stats_.memory_evictions;
+    [[maybe_unused]] const double evicted =
+        static_cast<double>(memo_instruments().evictions_memory.add());
+    SLIDER_TRACE_COUNTER("memo", "memo.evictions_memory", evicted);
   }
 }
 
@@ -51,6 +89,9 @@ void MemoStore::enforce_entry_budget() {
     total_bytes_ -= oldest->second.bytes;
     index_.erase(oldest);
     ++stats_.budget_evictions;
+    [[maybe_unused]] const double evicted =
+        static_cast<double>(memo_instruments().evictions_budget.add());
+    SLIDER_TRACE_COUNTER("memo", "memo.evictions_budget", evicted);
   }
 }
 
@@ -67,6 +108,7 @@ void MemoStore::set_entry_budget(std::size_t budget) {
 MemoWriteResult MemoStore::put(NodeId id,
                                std::shared_ptr<const KVTable> table) {
   SLIDER_CHECK(table != nullptr) << "memoizing a null table";
+  SLIDER_TRACE_SPAN("memo", "memo.write");
   MemoWriteResult result;
   auto [it, inserted] = index_.try_emplace(id);
   Entry& entry = it->second;
@@ -99,15 +141,24 @@ MemoWriteResult MemoStore::put(NodeId id,
   result.bytes_written = entry.bytes;
   result.cost = estimate_write_cost(entry.bytes);
   stats_.write_time += result.cost;
+  memo_instruments().replica_writes.add(kReplicas);
+  memo_instruments().entries.set(static_cast<double>(index_.size()));
+  memo_instruments().bytes.set(static_cast<double>(total_bytes_));
+  SLIDER_TRACE_COUNTER("memo", "memo.entries",
+                       static_cast<double>(index_.size()));
   enforce_entry_budget();
   return result;
 }
 
 MemoReadResult MemoStore::get(NodeId id, MachineId reader) {
+  SLIDER_TRACE_SPAN("memo", "memo.read");
   MemoReadResult result;
   const auto it = index_.find(id);
   if (it == index_.end()) {
     ++stats_.misses;
+    [[maybe_unused]] const double misses =
+        static_cast<double>(memo_instruments().misses.add());
+    SLIDER_TRACE_COUNTER("memo", "memo.misses", misses);
     return result;
   }
   Entry& entry = it->second;
@@ -127,6 +178,9 @@ MemoReadResult MemoStore::get(NodeId id, MachineId reader) {
     touch(entry);
     ++stats_.reads_memory;
     stats_.read_time += result.cost;
+    [[maybe_unused]] const double hits =
+        static_cast<double>(memo_instruments().hits_memory.add());
+    SLIDER_TRACE_COUNTER("memo", "memo.hits_memory", hits);
     return result;
   }
 
@@ -142,6 +196,9 @@ MemoReadResult MemoStore::get(NodeId id, MachineId reader) {
   }
   if (source < 0) {
     ++stats_.misses;  // all replicas down: behaves like a miss (recompute)
+    [[maybe_unused]] const double misses =
+        static_cast<double>(memo_instruments().misses.add());
+    SLIDER_TRACE_COUNTER("memo", "memo.misses", misses);
     return result;
   }
 
@@ -158,6 +215,9 @@ MemoReadResult MemoStore::get(NodeId id, MachineId reader) {
   }
   ++stats_.reads_disk;
   stats_.read_time += result.cost;
+  [[maybe_unused]] const double disk_hits =
+      static_cast<double>(memo_instruments().hits_disk.add());
+  SLIDER_TRACE_COUNTER("memo", "memo.hits_disk", disk_hits);
 
   // Re-populate the memory tier on the home machine if it is alive again.
   if (home_alive) install_memory(id, entry, result.table);
@@ -184,6 +244,10 @@ std::size_t MemoStore::retain_only(const std::unordered_set<NodeId>& live) {
       ++it;
     }
   }
+  memo_instruments().entries.set(static_cast<double>(index_.size()));
+  memo_instruments().bytes.set(static_cast<double>(total_bytes_));
+  SLIDER_TRACE_COUNTER("memo", "memo.entries",
+                       static_cast<double>(index_.size()));
   return collected;
 }
 

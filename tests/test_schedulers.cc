@@ -114,6 +114,55 @@ TEST(Schedulers, SessionHybridNoSlowerThanFirstFreeUnderStragglers) {
   EXPECT_LE(hybrid, hadoop * 1.02);
 }
 
+TEST(Schedulers, TimelineRecordsEveryPlacementInScheduleOrder) {
+  Cluster cluster(ClusterConfig{.num_machines = 4, .slots_per_machine = 2});
+  StageSimulator sim(cluster);
+  const auto tasks = homed_tasks(6, 1.0, /*home=*/2, /*penalty=*/0.1);
+  StageTimeline timeline;
+  const StageResult result =
+      sim.run_stage(tasks, SchedulePolicy::kFirstFree, {}, &timeline);
+  ASSERT_EQ(timeline.size(), tasks.size());
+  std::vector<bool> seen(tasks.size(), false);
+  for (const TaskPlacement& placement : timeline) {
+    ASSERT_LT(placement.task, tasks.size());
+    EXPECT_FALSE(seen[placement.task]) << "task placed twice";
+    seen[placement.task] = true;
+    EXPECT_GE(placement.machine, 0);
+    EXPECT_LT(placement.machine, 4);
+    EXPECT_GE(placement.start, 0.0);
+    EXPECT_LT(placement.start, placement.end);
+    EXPECT_LE(placement.end, result.makespan + 1e-9);
+    // First-free ignores the memo home; off-home placements are flagged.
+    EXPECT_EQ(placement.migrated, placement.machine != 2);
+  }
+}
+
+// The Table-1 scenario, reconstructed from the timeline: a straggler holds
+// the memoized state, and the hybrid scheduler's migrations off it must be
+// visible per task (the paper's scheduler timeline debugging story, §6).
+TEST(Schedulers, TimelineShowsHybridMigratingOffStraggler) {
+  Cluster cluster(ClusterConfig{.num_machines = 4, .slots_per_machine = 2});
+  cluster.set_straggler(1, 8.0);
+  StageSimulator sim(cluster);
+  const auto tasks = homed_tasks(6, 1.0, /*home=*/1, /*penalty=*/0.2);
+  StageTimeline timeline;
+  const StageResult result =
+      sim.run_stage(tasks, SchedulePolicy::kHybrid, {}, &timeline);
+  ASSERT_EQ(timeline.size(), tasks.size());
+  std::size_t migrated_count = 0;
+  for (const TaskPlacement& placement : timeline) {
+    if (placement.migrated) {
+      ++migrated_count;
+      EXPECT_NE(placement.machine, 1)
+          << "a migrated task must have left its home machine";
+    } else {
+      EXPECT_EQ(placement.machine, 1);
+    }
+  }
+  EXPECT_GT(migrated_count, 0u);
+  EXPECT_EQ(migrated_count, result.migrations);
+}
+
 TEST(Schedulers, MapStagePrefersSplitLocality) {
   CostModel cost;
   Cluster cluster(ClusterConfig{.num_machines = 4, .slots_per_machine = 2});
