@@ -6,7 +6,10 @@
 // phase as a percentage of Hadoop's Reduce work — exactly the
 // normalization the paper's stacked bars use.
 
+#include <chrono>
+
 #include "bench/bench_util.h"
+#include "common/thread_pool.h"
 
 using namespace slider;
 using namespace slider::bench;
@@ -70,6 +73,62 @@ void run_breakdown(double change_fraction, obs::RunReport& report) {
   }
 }
 
+// Wall-clock of one steady-state scenario (initial build + slides) at a
+// given host thread count. The simulated metrics are bit-identical across
+// thread counts (see docs/threading.md); only the host wall-clock changes.
+struct TimedRun {
+  double wall_ms = 0;
+  RunMetrics last_slide;
+};
+
+TimedRun timed_run(int threads) {
+  ThreadPool::set_global_threads(threads);
+  const auto bench = apps::make_microbenchmark(apps::MicroApp::kKMeans);
+  ExperimentParams params;
+  params.change_fraction = 0.25;
+  params.records_per_split = records_per_split_for(bench);
+  params.mode = WindowMode::kVariableWidth;
+  BenchEnv env;
+  Driver driver(env, bench, params);
+  TimedRun result;
+  const auto start = std::chrono::steady_clock::now();
+  driver.initial_run();
+  for (int i = 0; i < 4; ++i) result.last_slide = driver.slide();
+  const auto stop = std::chrono::steady_clock::now();
+  result.wall_ms =
+      std::chrono::duration<double, std::milli>(stop - start).count();
+  ThreadPool::set_global_threads(0);
+  return result;
+}
+
+void run_host_parallelism(obs::RunReport& report) {
+  print_title("Host parallelism: wall-clock at 1 thread vs the full pool");
+  const int host_threads = ThreadPool::global_threads();
+  const TimedRun serial = timed_run(1);
+  const TimedRun parallel = timed_run(host_threads);
+  const double speedup =
+      parallel.wall_ms > 0 ? serial.wall_ms / parallel.wall_ms : 0.0;
+  std::printf("  k-means, variable-width, 120-split window, 4 slides\n");
+  std::printf("  1 thread:  %8.1f ms\n", serial.wall_ms);
+  std::printf("  %d threads: %8.1f ms   (speedup %.2fx)\n", host_threads,
+              parallel.wall_ms, speedup);
+  const bool identical =
+      serial.last_slide.work() == parallel.last_slide.work() &&
+      serial.last_slide.time == parallel.last_slide.time;
+  std::printf("  simulated metrics identical across thread counts: %s\n",
+              identical ? "yes" : "NO — DETERMINISM BUG");
+  report.set_param("host_threads", static_cast<std::uint64_t>(host_threads));
+  report.add_row()
+      .col("section", "host_parallelism")
+      .col("app", "k-means")
+      .col("threads_serial", 1.0)
+      .col("threads_parallel", static_cast<double>(host_threads))
+      .col("wall_ms_serial", serial.wall_ms)
+      .col("wall_ms_parallel", parallel.wall_ms)
+      .col("wall_speedup", speedup)
+      .col("sim_metrics_identical", identical ? 1.0 : 0.0);
+}
+
 }  // namespace
 
 int main() {
@@ -91,6 +150,8 @@ int main() {
   print_paper_note("Slider Map work grows with the change; contraction+"
                    "Reduce averages ~43% of vanilla Reduce (min 26%, max 81%)");
   run_breakdown(0.25, report);
+
+  run_host_parallelism(report);
 
   const std::string path = report.write();
   if (!path.empty()) std::printf("\nreport: %s\n", path.c_str());

@@ -1,0 +1,165 @@
+#include "common/thread_pool.h"
+
+#include <cstdlib>
+
+namespace slider {
+namespace {
+
+// True while the current thread is executing pool work (worker thread, or
+// a caller participating in its own parallel_for). Nested parallel_for
+// calls from such a thread run inline so the pool can never deadlock on
+// itself.
+thread_local bool t_in_pool_work = false;
+
+int default_threads() {
+  if (const char* env = std::getenv("SLIDER_THREADS");
+      env != nullptr && *env != '\0') {
+    const int parsed = std::atoi(env);
+    if (parsed > 0) return parsed;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+std::mutex g_global_mutex;
+std::unique_ptr<ThreadPool> g_global_pool;  // guarded by g_global_mutex
+int g_global_threads_override = 0;          // 0 = use default_threads()
+
+}  // namespace
+
+ThreadPool::ThreadPool(int threads) : threads_(threads < 1 ? 1 : threads) {
+  workers_.reserve(static_cast<std::size_t>(threads_ - 1));
+  for (int i = 0; i < threads_ - 1; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::run_job(Job& job) {
+  const bool was_in_pool_work = t_in_pool_work;
+  t_in_pool_work = true;
+  for (;;) {
+    const std::size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= job.n) break;
+    try {
+      (*job.fn)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(job.done_mutex);
+      if (job.error == nullptr) job.error = std::current_exception();
+    }
+    if (job.completed.fetch_add(1, std::memory_order_acq_rel) + 1 == job.n) {
+      // Last index: wake the joiner. Taking the mutex orders the notify
+      // after the joiner's predicate check.
+      std::lock_guard<std::mutex> lock(job.done_mutex);
+      job.done_cv.notify_all();
+    }
+  }
+  t_in_pool_work = was_in_pool_work;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] { return stop_ || !jobs_.empty(); });
+      if (jobs_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      job = jobs_.front();
+      if (job->next.load(std::memory_order_relaxed) >= job->n) {
+        // Exhausted (stragglers may still be finishing their indices);
+        // retire it from the queue and look again.
+        jobs_.pop_front();
+        continue;
+      }
+    }
+    run_job(*job);
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  // Inline paths: serial pool, tiny jobs, and nested calls from pool work.
+  if (threads_ <= 1 || n == 1 || t_in_pool_work) {
+    const bool was_in_pool_work = t_in_pool_work;
+    t_in_pool_work = true;
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    t_in_pool_work = was_in_pool_work;
+    return;
+  }
+
+  auto job = std::make_shared<Job>();
+  job->n = n;
+  job->fn = &fn;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    jobs_.push_back(job);
+  }
+  queue_cv_.notify_all();
+
+  // The caller works too, then joins the stragglers.
+  run_job(*job);
+  {
+    std::unique_lock<std::mutex> lock(job->done_mutex);
+    job->done_cv.wait(lock, [&] {
+      return job->completed.load(std::memory_order_acquire) == job->n;
+    });
+  }
+  {
+    // Retire the job if a worker has not already done so.
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    for (auto it = jobs_.begin(); it != jobs_.end(); ++it) {
+      if (*it == job) {
+        jobs_.erase(it);
+        break;
+      }
+    }
+  }
+  if (job->error != nullptr) std::rethrow_exception(job->error);
+}
+
+ThreadPool& ThreadPool::global() {
+  std::lock_guard<std::mutex> lock(g_global_mutex);
+  if (g_global_pool == nullptr) {
+    const int threads = g_global_threads_override > 0
+                            ? g_global_threads_override
+                            : default_threads();
+    g_global_pool = std::make_unique<ThreadPool>(threads);
+  }
+  return *g_global_pool;
+}
+
+void ThreadPool::set_global_threads(int threads) {
+  std::lock_guard<std::mutex> lock(g_global_mutex);
+  g_global_threads_override = threads > 0 ? threads : 0;
+  const int effective =
+      g_global_threads_override > 0 ? g_global_threads_override
+                                    : default_threads();
+  if (g_global_pool != nullptr && g_global_pool->size() == effective) return;
+  g_global_pool.reset();  // joins idle workers
+  g_global_pool = std::make_unique<ThreadPool>(effective);
+}
+
+int ThreadPool::global_threads() {
+  std::lock_guard<std::mutex> lock(g_global_mutex);
+  if (g_global_pool != nullptr) return g_global_pool->size();
+  return g_global_threads_override > 0 ? g_global_threads_override
+                                       : default_threads();
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  ThreadPool::global().parallel_for(n, fn);
+}
+
+}  // namespace slider

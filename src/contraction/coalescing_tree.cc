@@ -7,6 +7,10 @@
 
 namespace slider {
 
+// Deliberately serial: the coalescing tree's work per run is one
+// queue-fold over the freshly appended batch plus a single spine merge —
+// a dependency chain, not a level of independent nodes. Parallelism comes
+// from the session's per-partition loop (see docs/threading.md).
 CoalescingTree::Node CoalescingTree::fold_leaves(std::vector<Leaf> leaves,
                                                  TreeUpdateStats* stats) {
   SLIDER_CHECK(!leaves.empty()) << "empty append batch";

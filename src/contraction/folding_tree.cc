@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "contraction/tree_common.h"
 
 namespace slider {
@@ -149,8 +150,16 @@ void FoldingTree::recompute_paths(std::vector<std::size_t> dirty_leaves,
       const std::size_t parent = dirty[i] / 2;
       if (next.empty() || next.back() != parent) next.push_back(parent);
     }
-    for (const std::size_t j : next) {
-      if (stats != nullptr) ++stats->nodes_visited;
+    // Nodes within a level are independent: node j reads only its two
+    // children (levels_[k-1][2j], [2j+1], untouched at this level) and
+    // writes only levels_[k][j]. Run them on the shared pool. Per-node
+    // stats land in `local[idx]` and are folded in `next` order below, so
+    // the accumulated totals are bit-identical for any thread count.
+    std::vector<TreeUpdateStats> local(stats != nullptr ? next.size() : 0);
+    auto process = [&](std::size_t idx) {
+      const std::size_t j = next[idx];
+      TreeUpdateStats* node_stats = stats != nullptr ? &local[idx] : nullptr;
+      if (node_stats != nullptr) ++node_stats->nodes_visited;
       Slot& left = levels_[k - 1][2 * j];
       Slot& right = levels_[k - 1][2 * j + 1];
       Slot& node = levels_[k][j];
@@ -163,7 +172,7 @@ void FoldingTree::recompute_paths(std::vector<std::size_t> dirty_leaves,
         // extra and motivates §3.2's randomized variant.
         const Slot& live = left.table != nullptr ? left : right;
         if (node.id != live.id) {
-          charge_passthrough(ctx_, *live.table, stats);
+          charge_passthrough(ctx_, *live.table, node_stats);
         }
         node.id = live.id;
         node.table = live.table;
@@ -174,21 +183,29 @@ void FoldingTree::recompute_paths(std::vector<std::size_t> dirty_leaves,
           // Content unchanged (e.g. dirt from a sibling void that was
           // already void): nothing to do.
           node.recomputed_this_run = false;
-          continue;
+          return;
         }
         auto left_table =
             left.recomputed_this_run
                 ? left.table
-                : fetch_reused(ctx_, left.id, left.table, stats);
+                : fetch_reused(ctx_, left.id, left.table, node_stats);
         auto right_table =
             right.recomputed_this_run
                 ? right.table
-                : fetch_reused(ctx_, right.id, right.table, stats);
+                : fetch_reused(ctx_, right.id, right.table, node_stats);
         node.id = id;
         node.table = combine_and_memoize(ctx_, combiner_, id, *left_table,
-                                         *right_table, stats);
+                                         *right_table, node_stats);
         node.recomputed_this_run = true;
       }
+    };
+    if (next.size() >= kParallelLevelThreshold) {
+      parallel_for(next.size(), process);
+    } else {
+      for (std::size_t idx = 0; idx < next.size(); ++idx) process(idx);
+    }
+    if (stats != nullptr) {
+      for (const TreeUpdateStats& node_stats : local) *stats += node_stats;
     }
     dirty = std::move(next);
   }

@@ -1,6 +1,7 @@
 #include "contraction/randomized_tree.h"
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "contraction/tree_common.h"
 
 namespace slider {
@@ -72,16 +73,42 @@ void RandomizedFoldingTree::contract(std::vector<Entry> level,
 
   while (level.size() > 1) {
     ++height_;
-    std::vector<Entry> next;
-    next.reserve(level.size() / 2 + 1);
+    // Phase 1 (serial): scan the deterministic boundary coins to split the
+    // level into groups. Cheap — no merges, no memo traffic.
+    struct Group {
+      std::size_t begin = 0;
+      std::size_t end = 0;  // half-open [begin, end)
+    };
+    std::vector<Group> groups;
     std::size_t group_start = 0;
     for (std::size_t i = 0; i < level.size(); ++i) {
-      if (stats != nullptr) ++stats->nodes_visited;
       const bool at_end = i + 1 == level.size();
       if (!closes_group(level[i].id, height_) && !at_end) continue;
+      groups.push_back(Group{group_start, i + 1});
+      group_start = i + 1;
+    }
 
-      // Group [group_start, i] becomes one node of the next level.
-      std::span<Entry> members(level.data() + group_start, i - group_start + 1);
+    // Phase 2 (parallel): process groups on the shared pool. Every memo_
+    // lookup a group performs resolves against the pre-level snapshot: a
+    // group's chain ids are derived from its own members' ids, so they are
+    // disjoint from the ids any *other* group inserts this level — reads
+    // need no lock as long as writes are deferred. Inserts into memo_ /
+    // live_ and per-group stats are buffered and applied in group order in
+    // phase 3, making the result identical to the serial left-to-right run
+    // for any thread count.
+    struct GroupResult {
+      Entry parent;
+      std::vector<std::pair<NodeId, std::shared_ptr<const KVTable>>> inserts;
+      TreeUpdateStats stats;
+    };
+    std::vector<GroupResult> results(groups.size());
+    auto process = [&](std::size_t g) {
+      const Group& group = groups[g];
+      GroupResult& result = results[g];
+      TreeUpdateStats* group_stats = stats != nullptr ? &result.stats : nullptr;
+      std::span<Entry> members(level.data() + group.begin,
+                               group.end - group.begin);
+      if (group_stats != nullptr) group_stats->nodes_visited += members.size();
       NodeId group_id = members[0].id;
       for (std::size_t m = 1; m < members.size(); ++m) {
         group_id = internal_node_id(ctx_, group_id, members[m].id);
@@ -95,16 +122,16 @@ void RandomizedFoldingTree::contract(std::vector<Entry> level,
       if (it != memo_.end() && !member_changed) {
         parent.table = it->second;
         parent.recomputed = false;
-        if (stats != nullptr) ++stats->combiner_reused;
+        if (group_stats != nullptr) ++group_stats->combiner_reused;
       } else if (members.size() == 1) {
         // Singleton group: a passthrough combiner re-execution when its
         // member changed (see folding_tree.cc).
         if (members[0].recomputed) {
-          charge_passthrough(ctx_, *members[0].table, stats);
+          charge_passthrough(ctx_, *members[0].table, group_stats);
         }
         parent.table = members[0].table;
         parent.recomputed = members[0].recomputed;
-        memo_[parent.id] = parent.table;
+        result.inserts.emplace_back(parent.id, parent.table);
       } else {
         // Execute the group's combines left to right, restarting from the
         // longest unchanged prefix whose chain node is memoized — groups
@@ -133,8 +160,10 @@ void RandomizedFoldingTree::contract(std::vector<Entry> level,
         std::shared_ptr<const KVTable> acc;
         NodeId chain_id = members[0].id;
         if (best_prefix_len > 0) {
-          acc = fetch_reused(ctx_, best_prefix_id, memo_[best_prefix_id],
-                             stats);
+          // find(), not operator[]: lookups must never mutate the shared
+          // map while other groups are reading it.
+          acc = fetch_reused(ctx_, best_prefix_id,
+                             memo_.find(best_prefix_id)->second, group_stats);
           for (std::size_t m = 1; m < best_prefix_len; ++m) {
             chain_id = internal_node_id(ctx_, chain_id, members[m].id);
           }
@@ -143,7 +172,7 @@ void RandomizedFoldingTree::contract(std::vector<Entry> level,
           acc = members[0].recomputed
                     ? members[0].table
                     : fetch_reused(ctx_, members[0].id, members[0].table,
-                                   stats);
+                                   group_stats);
           start = 1;
         }
 
@@ -151,29 +180,45 @@ void RandomizedFoldingTree::contract(std::vector<Entry> level,
           auto rhs = members[m].recomputed
                          ? members[m].table
                          : fetch_reused(ctx_, members[m].id, members[m].table,
-                                        stats);
+                                        group_stats);
           MergeStats merge_stats;
           acc = std::make_shared<const KVTable>(
               KVTable::merge(*acc, *rhs, combiner_, &merge_stats));
           chain_id = internal_node_id(ctx_, chain_id, members[m].id);
-          if (stats != nullptr) {
-            ++stats->combiner_invocations;
-            stats->rows_scanned += merge_stats.rows_scanned;
+          if (group_stats != nullptr) {
+            ++group_stats->combiner_invocations;
+            group_stats->rows_scanned += merge_stats.rows_scanned;
           }
           // Memoize the partial chain too, so a future run whose group
           // extends this one restarts from here. Partials stay live until
           // their group dissolves.
-          memoize_payload(ctx_, chain_id, acc, stats);
-          memo_[chain_id] = acc;
-          live_.insert(chain_id);
+          memoize_payload(ctx_, chain_id, acc, group_stats);
+          result.inserts.emplace_back(chain_id, acc);
         }
         SLIDER_CHECK(chain_id == parent.id) << "group chain id mismatch";
         parent.table = acc;
         parent.recomputed = true;
       }
-      live_.insert(parent.id);
-      next.push_back(std::move(parent));
-      group_start = i + 1;
+      result.parent = std::move(parent);
+    };
+    if (groups.size() >= kParallelLevelThreshold) {
+      parallel_for(groups.size(), process);
+    } else {
+      for (std::size_t g = 0; g < groups.size(); ++g) process(g);
+    }
+
+    // Phase 3 (serial): apply buffered memo/live inserts and fold stats in
+    // group order.
+    std::vector<Entry> next;
+    next.reserve(groups.size());
+    for (GroupResult& result : results) {
+      for (auto& [id, table] : result.inserts) {
+        memo_[id] = std::move(table);
+        live_.insert(id);
+      }
+      live_.insert(result.parent.id);
+      if (stats != nullptr) *stats += result.stats;
+      next.push_back(std::move(result.parent));
     }
     level = std::move(next);
   }

@@ -4,6 +4,7 @@
 #include <deque>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "contraction/tree_common.h"
 
 namespace slider {
@@ -80,18 +81,35 @@ void RotatingTree::initial_build(std::vector<Leaf> leaves,
     levels_.emplace_back(size);
   }
 
+  // Buckets are independent (each reads its own leaf span and writes its
+  // own leaf slot): build them on the shared pool. Per-bucket stats are
+  // folded in bucket order below for thread-count-invariant totals.
+  std::vector<std::size_t> offsets(buckets_);
   std::size_t offset = 0;
-  std::vector<std::size_t> dirty;
   for (std::size_t b = 0; b < buckets_; ++b) {
-    Bucket bucket =
-        build_bucket(std::span<Leaf>(leaves.data() + offset, sizes[b]), stats);
+    offsets[b] = offset;
     offset += sizes[b];
+  }
+  std::vector<TreeUpdateStats> bucket_stats(stats != nullptr ? buckets_ : 0);
+  std::vector<std::size_t> dirty(buckets_);
+  auto build_one = [&](std::size_t b) {
+    Bucket bucket =
+        build_bucket(std::span<Leaf>(leaves.data() + offsets[b], sizes[b]),
+                     stats != nullptr ? &bucket_stats[b] : nullptr);
     Slot& slot = levels_[0][b];
     slot.id = bucket.id;
     slot.table = std::move(bucket.table);
     slot.split_count = bucket.split_count;
     slot.recomputed_this_run = true;
-    dirty.push_back(b);
+    dirty[b] = b;
+  };
+  if (buckets_ >= kParallelLevelThreshold) {
+    parallel_for(buckets_, build_one);
+  } else {
+    for (std::size_t b = 0; b < buckets_; ++b) build_one(b);
+  }
+  if (stats != nullptr) {
+    for (const TreeUpdateStats& bs : bucket_stats) *stats += bs;
   }
 
   // Recompute all internal levels (same passthrough/void rules as the
@@ -103,8 +121,14 @@ void RotatingTree::initial_build(std::vector<Leaf> leaves,
       const std::size_t parent = level_dirty[i] / 2;
       if (next.empty() || next.back() != parent) next.push_back(parent);
     }
-    for (const std::size_t j : next) {
-      if (stats != nullptr) ++stats->nodes_visited;
+    // Same-level nodes are independent (node j reads its two children,
+    // writes levels_[k][j]): run the level on the shared pool, folding
+    // per-node stats in `next` order (see folding_tree.cc).
+    std::vector<TreeUpdateStats> local(stats != nullptr ? next.size() : 0);
+    auto process = [&](std::size_t idx) {
+      const std::size_t j = next[idx];
+      TreeUpdateStats* node_stats = stats != nullptr ? &local[idx] : nullptr;
+      if (node_stats != nullptr) ++node_stats->nodes_visited;
       Slot& left = levels_[k - 1][2 * j];
       Slot& right = levels_[k - 1][2 * j + 1];
       Slot& node = levels_[k][j];
@@ -115,7 +139,7 @@ void RotatingTree::initial_build(std::vector<Leaf> leaves,
         // (see folding_tree.cc).
         const Slot& live = left.table != nullptr ? left : right;
         if (node.id != live.id) {
-          charge_passthrough(ctx_, *live.table, stats);
+          charge_passthrough(ctx_, *live.table, node_stats);
         }
         node.id = live.id;
         node.table = live.table;
@@ -124,20 +148,29 @@ void RotatingTree::initial_build(std::vector<Leaf> leaves,
         const NodeId id = internal_node_id(ctx_, left.id, right.id);
         if (id == node.id && node.table != nullptr) {
           node.recomputed_this_run = false;
-          continue;
+          return;
         }
-        auto left_table = left.recomputed_this_run
-                              ? left.table
-                              : fetch_reused(ctx_, left.id, left.table, stats);
+        auto left_table =
+            left.recomputed_this_run
+                ? left.table
+                : fetch_reused(ctx_, left.id, left.table, node_stats);
         auto right_table =
             right.recomputed_this_run
                 ? right.table
-                : fetch_reused(ctx_, right.id, right.table, stats);
+                : fetch_reused(ctx_, right.id, right.table, node_stats);
         node.id = id;
         node.table = combine_and_memoize(ctx_, combiner_, id, *left_table,
-                                         *right_table, stats);
+                                         *right_table, node_stats);
         node.recomputed_this_run = true;
       }
+    };
+    if (next.size() >= kParallelLevelThreshold) {
+      parallel_for(next.size(), process);
+    } else {
+      for (std::size_t idx = 0; idx < next.size(); ++idx) process(idx);
+    }
+    if (stats != nullptr) {
+      for (const TreeUpdateStats& node_stats : local) *stats += node_stats;
     }
     level_dirty = std::move(next);
   }

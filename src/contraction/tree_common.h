@@ -6,6 +6,12 @@
 
 namespace slider {
 
+// Minimum number of independent same-level nodes before a tree hands the
+// level to the shared thread pool; below this the fork/join overhead beats
+// the win. The per-node stats fold is structured identically either way,
+// so the threshold never affects results.
+inline constexpr std::size_t kParallelLevelThreshold = 4;
+
 // Stable identity of a leaf node. Content-hashed so that identical map
 // output re-appearing (e.g. re-run after failure) maps to the same entry.
 NodeId leaf_node_id(const MemoContext& ctx, SplitId split,

@@ -1,5 +1,6 @@
 #include "mapreduce/engine.h"
 
+#include "common/thread_pool.h"
 #include "observability/trace.h"
 
 namespace slider {
@@ -10,19 +11,22 @@ VanillaEngine::MapStage VanillaEngine::run_map_stage(
                     {{"splits", static_cast<double>(splits.size())},
                      {"partitions", static_cast<double>(job.num_partitions)}});
   MapStage stage;
-  stage.outputs.reserve(splits.size());
-  std::vector<SimTask> tasks;
-  tasks.reserve(splits.size());
-  for (const SplitPtr& split : splits) {
+  stage.outputs.resize(splits.size());
+  std::vector<SimTask> tasks(splits.size());
+  // Map tasks are independent; run them on the shared pool. Each index
+  // writes only its own outputs/tasks slot, so the stage result is
+  // identical to the serial loop regardless of thread count.
+  parallel_for(splits.size(), [&](std::size_t i) {
+    const SplitPtr& split = splits[i];
     MapOutput out = run_map_task(job, *split);
     SimTask task;
     task.duration = cost_->task_overhead_sec +
                     cost_->disk_read(split->byte_size) + out.cpu_cost;
     task.preferred = cluster_->place(split->id);
     task.migration_penalty = cost_->net_transfer(split->byte_size);
-    tasks.push_back(task);
-    stage.outputs.push_back(std::move(out));
-  }
+    tasks[i] = task;
+    stage.outputs[i] = std::move(out);
+  });
   // Map placement honors locality in vanilla Hadoop too, and migrates
   // freely: model as hybrid with zero patience for queuing.
   stage.sim = simulator_.run_stage(tasks, SchedulePolicy::kHybrid,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/thread_pool.h"
 #include "contraction/rotating_tree.h"
 #include "observability/stats.h"
 #include "observability/trace.h"
@@ -101,7 +102,9 @@ RunMetrics SliderSession::initial_run(std::vector<SplitPtr> splits) {
   std::vector<std::size_t> new_leaf_bytes(partitions_.size(), 0);
   {
     SLIDER_TRACE_SPAN("session", "session.tree_build");
-    for (std::size_t p = 0; p < partitions_.size(); ++p) {
+    // Partitions own disjoint trees and per-partition stats slots; the
+    // shared MemoStore is thread-safe, so the builds run in parallel.
+    parallel_for(partitions_.size(), [&](std::size_t p) {
       std::vector<Leaf> leaves;
       leaves.reserve(splits.size());
       for (std::size_t i = 0; i < splits.size(); ++i) {
@@ -110,7 +113,7 @@ RunMetrics SliderSession::initial_run(std::vector<SplitPtr> splits) {
         leaves.push_back(Leaf{splits[i]->id, table});
       }
       partitions_[p].tree->initial_build(std::move(leaves), &tree_stats[p]);
-    }
+    });
   }
   for (SplitPtr& split : splits) window_.push_back(std::move(split));
 
@@ -142,7 +145,9 @@ RunMetrics SliderSession::slide(std::size_t remove_front,
   std::vector<std::size_t> new_leaf_bytes(partitions_.size(), 0);
   {
     SLIDER_TRACE_SPAN("session", "session.tree_delta");
-    for (std::size_t p = 0; p < partitions_.size(); ++p) {
+    // Per-partition delta propagation in parallel (disjoint trees,
+    // thread-safe MemoStore, per-partition stats slots).
+    parallel_for(partitions_.size(), [&](std::size_t p) {
       std::vector<Leaf> leaves;
       leaves.reserve(added.size());
       for (std::size_t i = 0; i < added.size(); ++i) {
@@ -152,7 +157,7 @@ RunMetrics SliderSession::slide(std::size_t remove_front,
       }
       partitions_[p].tree->apply_delta(remove_front, std::move(leaves),
                                        &tree_stats[p]);
-    }
+    });
   }
   for (std::size_t i = 0; i < remove_front; ++i) window_.pop_front();
   for (SplitPtr& split : added) window_.push_back(std::move(split));
@@ -181,7 +186,20 @@ void SliderSession::contraction_and_reduce(
 
   const CostModel& cost = engine_->cost_model();
   std::vector<SimTask> tasks(partitions_.size());
-  for (std::size_t p = 0; p < partitions_.size(); ++p) {
+  // Per-partition contributions to RunMetrics. The partitions compute in
+  // parallel into their own slot; the fold below runs in partition order
+  // so floating-point sums match the serial run bit for bit.
+  struct PartitionShare {
+    SimDuration contraction = 0;
+    SimDuration shuffle = 0;
+    SimDuration reduce_tail = 0;  // stream merge + final reduce CPU
+    SimDuration memo_read = 0;
+    std::uint64_t combiner_invocations = 0;
+    std::uint64_t combiner_reused = 0;
+    std::uint64_t memo_bytes_written = 0;
+  };
+  std::vector<PartitionShare> partials(partitions_.size());
+  parallel_for(partitions_.size(), [&](std::size_t p) {
     const TreeUpdateStats& ts = tree_stats[p];
 
     // Contraction phase: combiner merges + memo traffic + lookups.
@@ -195,9 +213,9 @@ void SliderSession::contraction_and_reduce(
     // subtasks; memo I/O also spreads across machines' disks but loses
     // half its parallelism to replication fan-out and store contention.
     const SimDuration contraction_path =
-        contraction_critical_path(ts, merge_cpu + lookup_cpu) +
+        contraction_critical_path(ts, merge_cpu + lookup_cpu, p) +
         (ts.memo_read_cost + ts.memo_write_cost) /
-            std::max(1.0, contraction_breadth(ts) / 2.0);
+            std::max(1.0, contraction_breadth(ts, p) / 2.0);
 
     // Shuffle: fresh map outputs travel to the reduce machine.
     const SimDuration shuffle = cost.net_transfer(new_leaf_bytes[p]);
@@ -225,19 +243,29 @@ void SliderSession::contraction_and_reduce(
     task.preferred = partitions_[p].home;
     task.migration_penalty = cost.net_transfer(ts.memo_bytes_read);
 
-    metrics.contraction_work += contraction;
-    metrics.shuffle_work += shuffle;
-    metrics.reduce_work += stream_merge_cpu + reduced.cpu_cost;
-    metrics.memo_read_work += ts.memo_read_cost;
-    metrics.combiner_invocations += ts.combiner_invocations;
-    metrics.combiner_reused += ts.combiner_reused;
-    metrics.memo_bytes_written += ts.memo_bytes_written;
+    PartitionShare& partial = partials[p];
+    partial.contraction = contraction;
+    partial.shuffle = shuffle;
+    partial.reduce_tail = stream_merge_cpu + reduced.cpu_cost;
+    partial.memo_read = ts.memo_read_cost;
+    partial.combiner_invocations = ts.combiner_invocations;
+    partial.combiner_reused = ts.combiner_reused;
+    partial.memo_bytes_written = ts.memo_bytes_written;
 
     if (tracing) {
       shares[p].contraction_path = contraction_path;
       shares[p].tail = shuffle + stream_merge_cpu + reduced.cpu_cost;
       shares[p].levels = std::max(1, partitions_[p].tree->height());
     }
+  });
+  for (const PartitionShare& partial : partials) {
+    metrics.contraction_work += partial.contraction;
+    metrics.shuffle_work += partial.shuffle;
+    metrics.reduce_work += partial.reduce_tail;
+    metrics.memo_read_work += partial.memo_read;
+    metrics.combiner_invocations += partial.combiner_invocations;
+    metrics.combiner_reused += partial.combiner_reused;
+    metrics.memo_bytes_written += partial.memo_bytes_written;
   }
   metrics.reduce_tasks = partitions_.size();
 
@@ -300,21 +328,31 @@ RunMetrics SliderSession::run_background() {
   SLIDER_TRACE_SPAN("session", "session.run_background");
   const CostModel& cost = engine_->cost_model();
   std::vector<SimTask> tasks(partitions_.size());
-  for (std::size_t p = 0; p < partitions_.size(); ++p) {
+  // Per-partition shares filled by the parallel loop, folded in partition
+  // order below so the floating-point sums match the serial run exactly.
+  struct BackgroundShare {
+    SimDuration work = 0;
+    std::uint64_t memo_bytes_written = 0;
+  };
+  std::vector<BackgroundShare> partials(partitions_.size());
+  parallel_for(partitions_.size(), [&](std::size_t p) {
     TreeUpdateStats ts;
     partitions_[p].tree->background_preprocess(&ts);
     const SimDuration cpu =
         job_.costs.combine_cpu_per_row * static_cast<double>(ts.rows_scanned) +
         config_.memo_lookup_sec * static_cast<double>(ts.nodes_visited);
-    const SimDuration work = cpu + ts.memo_read_cost + ts.memo_write_cost;
+    partials[p].work = cpu + ts.memo_read_cost + ts.memo_write_cost;
     tasks[p].duration = cost.task_overhead_sec +
-                        contraction_critical_path(ts, cpu) +
+                        contraction_critical_path(ts, cpu, p) +
                         (ts.memo_read_cost + ts.memo_write_cost) /
-                            std::max(1.0, contraction_breadth(ts) / 2.0);
+                            std::max(1.0, contraction_breadth(ts, p) / 2.0);
     tasks[p].preferred = partitions_[p].home;
     tasks[p].migration_penalty = cost.net_transfer(ts.memo_bytes_read);
-    metrics.background_work += work;
-    metrics.memo_bytes_written += ts.memo_bytes_written;
+    partials[p].memo_bytes_written = ts.memo_bytes_written;
+  });
+  for (const BackgroundShare& share : partials) {
+    metrics.background_work += share.work;
+    metrics.memo_bytes_written += share.memo_bytes_written;
   }
   obs::TraceCollector& trace = obs::TraceCollector::global();
   const bool tracing = trace.enabled();
@@ -340,16 +378,19 @@ RunMetrics SliderSession::run_background() {
   return metrics;
 }
 
-double SliderSession::contraction_breadth(const TreeUpdateStats& ts) const {
+double SliderSession::contraction_breadth(const TreeUpdateStats& ts,
+                                          std::size_t partition) const {
   // The contraction phase is not one serial task: recomputed combiner
   // nodes within a tree level run as parallel tasks across the cluster
   // (paper §2.2/§6); only the levels are sequential. The usable breadth is
   // the per-level node count, bounded by the slots one partition can
-  // realistically occupy.
+  // realistically occupy. Uses *this* partition's tree height: variants
+  // with data-dependent shapes (e.g. randomized folding) legitimately have
+  // different heights per partition.
   const double invocations = static_cast<double>(ts.combiner_invocations);
   if (invocations <= 1.0) return 1.0;
-  const double levels = static_cast<double>(
-      std::max(1, partitions_.empty() ? 1 : partitions_[0].tree->height()));
+  const double levels = static_cast<double>(std::max(
+      1, partitions_.empty() ? 1 : partitions_[partition].tree->height()));
   const double slots_per_partition = std::max(
       1.0, static_cast<double>(engine_->cluster().num_machines() *
                                engine_->cluster().slots_per_machine()) /
@@ -358,8 +399,8 @@ double SliderSession::contraction_breadth(const TreeUpdateStats& ts) const {
 }
 
 SimDuration SliderSession::contraction_critical_path(
-    const TreeUpdateStats& ts, SimDuration total) const {
-  return total / contraction_breadth(ts);
+    const TreeUpdateStats& ts, SimDuration total, std::size_t partition) const {
+  return total / contraction_breadth(ts, partition);
 }
 
 void SliderSession::garbage_collect() {

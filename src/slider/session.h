@@ -84,6 +84,16 @@ class SliderSession {
   // can run a global GC instead of the session's own (set run_gc=false).
   void collect_live_ids(std::unordered_set<NodeId>& live) const;
 
+  // Critical-path estimate of a partition's contraction phase: nodes
+  // within a level run as parallel combiner tasks, levels are sequential.
+  // Uses the given partition's own tree height (heights differ across
+  // partitions for data-dependent variants). Public as a test hook.
+  double contraction_breadth(const TreeUpdateStats& ts,
+                             std::size_t partition) const;
+  SimDuration contraction_critical_path(const TreeUpdateStats& ts,
+                                        SimDuration total,
+                                        std::size_t partition) const;
+
  private:
   struct PartitionState {
     std::unique_ptr<ContractionTree> tree;
@@ -95,11 +105,6 @@ class SliderSession {
   void contraction_and_reduce(const std::vector<TreeUpdateStats>& tree_stats,
                               const std::vector<std::size_t>& new_leaf_bytes,
                               RunMetrics& metrics);
-  // Critical-path estimate of a partition's contraction phase: nodes
-  // within a level run as parallel combiner tasks, levels are sequential.
-  double contraction_breadth(const TreeUpdateStats& ts) const;
-  SimDuration contraction_critical_path(const TreeUpdateStats& ts,
-                                        SimDuration total) const;
   void garbage_collect();
 
   const VanillaEngine* engine_;

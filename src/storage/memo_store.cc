@@ -18,6 +18,7 @@ struct MemoInstruments {
   obs::Counter& replica_writes;
   obs::Gauge& entries;
   obs::Gauge& bytes;
+  obs::Gauge& memory_bytes;
 };
 
 MemoInstruments& memo_instruments() {
@@ -32,77 +33,157 @@ MemoInstruments& memo_instruments() {
         stats.counter("memo.replica_writes"),
         stats.gauge("memo.entries"),
         stats.gauge("memo.bytes"),
+        stats.gauge("memo.memory_bytes"),
     };
   }();
   return *instruments;
 }
 
+// std::atomic<double>::fetch_add is C++20 but not universally lock-free;
+// a CAS loop keeps us portable (same pattern as obs::Gauge::add).
+void atomic_add(std::atomic<double>& target, double delta) {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
 }  // namespace
 
-void MemoStore::install_memory(NodeId id, Entry& entry,
-                               std::shared_ptr<const KVTable> table) {
-  if (!memory_enabled_ || entry.memory != nullptr) return;
-  entry.memory = std::move(table);
-  lru_.push_front(id);
-  entry.lru_position = lru_.begin();
-  memory_bytes_ += entry.bytes;
-  evict_to_capacity();
+void MemoStore::refresh_gauges() const {
+  // Single source of truth for the gauge values: the atomic counters.
+  // Every mutation path funnels through here, so the gauges can never go
+  // stale the way the old put()/retain_only()-only updates could after
+  // erase(), evict_to_capacity(), or enforce_entry_budget().
+  const auto entries = static_cast<double>(size());
+  const auto bytes = static_cast<double>(total_bytes());
+  const auto mem_bytes = static_cast<double>(memory_bytes());
+  MemoInstruments& instruments = memo_instruments();
+  instruments.entries.set(entries);
+  instruments.bytes.set(bytes);
+  instruments.memory_bytes.set(mem_bytes);
+  SLIDER_TRACE_COUNTER("memo", "memo.entries", entries);
+  SLIDER_TRACE_COUNTER("memo", "memo.bytes", bytes);
+  SLIDER_TRACE_COUNTER("memo", "memo.memory_bytes", mem_bytes);
 }
 
-void MemoStore::drop_memory(Entry& entry) {
+void MemoStore::install_memory(Shard& shard, NodeId id, Entry& entry,
+                               std::shared_ptr<const KVTable> table) {
+  if (!memory_cache_enabled() || entry.memory != nullptr) return;
+  entry.memory = std::move(table);
+  shard.lru.push_front(id);
+  entry.lru_position = shard.lru.begin();
+  entry.touch_seq = next_touch_seq_.fetch_add(1, std::memory_order_relaxed);
+  memory_bytes_.fetch_add(entry.bytes, std::memory_order_relaxed);
+}
+
+void MemoStore::drop_memory(Shard& shard, Entry& entry) {
   if (entry.memory == nullptr) return;
   entry.memory = nullptr;
-  lru_.erase(entry.lru_position);
-  memory_bytes_ -= entry.bytes;
+  shard.lru.erase(entry.lru_position);
+  memory_bytes_.fetch_sub(entry.bytes, std::memory_order_relaxed);
 }
 
-void MemoStore::touch(Entry& entry) {
+void MemoStore::touch(Shard& shard, Entry& entry) {
   if (entry.memory == nullptr) return;
-  lru_.splice(lru_.begin(), lru_, entry.lru_position);
-  entry.lru_position = lru_.begin();
+  shard.lru.splice(shard.lru.begin(), shard.lru, entry.lru_position);
+  entry.lru_position = shard.lru.begin();
+  entry.touch_seq = next_touch_seq_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void MemoStore::evict_to_capacity() {
-  if (memory_capacity_bytes_ == 0) return;
-  while (memory_bytes_ > memory_capacity_bytes_ && !lru_.empty()) {
-    const NodeId victim = lru_.back();
-    const auto it = index_.find(victim);
-    SLIDER_CHECK(it != index_.end()) << "LRU entry not in index";
-    drop_memory(it->second);
-    ++stats_.memory_evictions;
+  const std::uint64_t capacity =
+      memory_capacity_bytes_.load(std::memory_order_relaxed);
+  if (capacity == 0) return;
+  // Serialize evictors; shard mutexes are taken one at a time below, so
+  // this never deadlocks with the single-shard public operations.
+  std::lock_guard<std::mutex> evict_lock(evict_mutex_);
+  while (memory_bytes_.load(std::memory_order_relaxed) > capacity) {
+    // Global LRU victim = the least recent of the per-shard LRU tails.
+    // Exact when writers are quiescent (the single-threaded policy tests);
+    // LRU up to in-flight touches otherwise.
+    NodeId victim = 0;
+    std::size_t victim_shard = kShards;
+    std::uint64_t victim_seq = 0;
+    for (std::size_t s = 0; s < kShards; ++s) {
+      std::lock_guard<std::mutex> lock(shards_[s].mutex);
+      if (shards_[s].lru.empty()) continue;
+      const NodeId tail = shards_[s].lru.back();
+      const auto it = shards_[s].index.find(tail);
+      SLIDER_CHECK(it != shards_[s].index.end()) << "LRU entry not in index";
+      if (victim_shard == kShards || it->second.touch_seq < victim_seq) {
+        victim = tail;
+        victim_shard = s;
+        victim_seq = it->second.touch_seq;
+      }
+    }
+    if (victim_shard == kShards) break;  // nothing memory-resident
+
+    Shard& shard = shards_[victim_shard];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.index.find(victim);
+    if (it == shard.index.end() || it->second.memory == nullptr) continue;
+    drop_memory(shard, it->second);
+    stats_.memory_evictions.fetch_add(1, std::memory_order_relaxed);
     [[maybe_unused]] const double evicted =
         static_cast<double>(memo_instruments().evictions_memory.add());
     SLIDER_TRACE_COUNTER("memo", "memo.evictions_memory", evicted);
   }
+  refresh_gauges();
 }
 
 void MemoStore::enforce_entry_budget() {
-  if (entry_budget_ == 0 || index_.size() <= entry_budget_) return;
+  const std::size_t budget = entry_budget_.load(std::memory_order_relaxed);
+  if (budget == 0 || size() <= budget) return;
+  std::lock_guard<std::mutex> evict_lock(evict_mutex_);
   // Drop the oldest-written entries entirely. Linear scan is fine: the
   // budget policy fires rarely and the index is window-bounded.
-  while (index_.size() > entry_budget_) {
-    auto oldest = index_.begin();
-    for (auto it = index_.begin(); it != index_.end(); ++it) {
-      if (it->second.write_seq < oldest->second.write_seq) oldest = it;
+  while (size() > budget) {
+    NodeId victim = 0;
+    std::size_t victim_shard = kShards;
+    std::uint64_t victim_seq = 0;
+    for (std::size_t s = 0; s < kShards; ++s) {
+      std::lock_guard<std::mutex> lock(shards_[s].mutex);
+      for (const auto& [id, entry] : shards_[s].index) {
+        if (victim_shard == kShards || entry.write_seq < victim_seq) {
+          victim = id;
+          victim_shard = s;
+          victim_seq = entry.write_seq;
+        }
+      }
     }
-    drop_memory(oldest->second);
-    total_bytes_ -= oldest->second.bytes;
-    index_.erase(oldest);
-    ++stats_.budget_evictions;
+    if (victim_shard == kShards) break;  // empty (racing GC)
+
+    Shard& shard = shards_[victim_shard];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.index.find(victim);
+    if (it == shard.index.end()) continue;
+    drop_memory(shard, it->second);
+    total_bytes_.fetch_sub(it->second.bytes, std::memory_order_relaxed);
+    shard.index.erase(it);
+    entry_count_.fetch_sub(1, std::memory_order_relaxed);
+    stats_.budget_evictions.fetch_add(1, std::memory_order_relaxed);
     [[maybe_unused]] const double evicted =
         static_cast<double>(memo_instruments().evictions_budget.add());
     SLIDER_TRACE_COUNTER("memo", "memo.evictions_budget", evicted);
   }
+  refresh_gauges();
 }
 
 void MemoStore::set_memory_capacity_bytes(std::uint64_t capacity) {
-  memory_capacity_bytes_ = capacity;
+  memory_capacity_bytes_.store(capacity, std::memory_order_relaxed);
   evict_to_capacity();
 }
 
 void MemoStore::set_entry_budget(std::size_t budget) {
-  entry_budget_ = budget;
+  entry_budget_.store(budget, std::memory_order_relaxed);
   enforce_entry_budget();
+}
+
+bool MemoStore::contains(NodeId id) const {
+  const Shard& shard = shard_of(id);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  return shard.index.count(id) != 0;
 }
 
 MemoWriteResult MemoStore::put(NodeId id,
@@ -110,151 +191,213 @@ MemoWriteResult MemoStore::put(NodeId id,
   SLIDER_CHECK(table != nullptr) << "memoizing a null table";
   SLIDER_TRACE_SPAN("memo", "memo.write");
   MemoWriteResult result;
-  auto [it, inserted] = index_.try_emplace(id);
-  Entry& entry = it->second;
-  if (!inserted) {
-    // Content-addressed: a re-put of the same id re-installs the memory
-    // copy (e.g. after a failure) but pays no persistent write.
-    if (memory_enabled_ && entry.memory == nullptr &&
-        !cluster_->machine(entry.home).failed) {
-      install_memory(id, entry, std::move(table));
-      result.cost = cost_->mem_read(entry.bytes);  // repopulate cache
+  bool installed_memory = false;
+  {
+    Shard& shard = shard_of(id);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto [it, inserted] = shard.index.try_emplace(id);
+    Entry& entry = it->second;
+    if (!inserted) {
+      // Content-addressed: a re-put of the same id pays no persistent
+      // write. It refreshes the memory tier on the entry's home machine:
+      //   * home failed — the stale in-memory copy (if any) is unusable
+      //     and must stop counting against memory_bytes_;
+      //   * already resident — the node was just recomputed, i.e. it is
+      //     hot: refresh its LRU recency so it is not evicted first;
+      //   * not resident — re-install the copy (e.g. after a failure).
+      if (cluster_->machine(entry.home).failed) {
+        drop_memory(shard, entry);
+      } else if (entry.memory != nullptr) {
+        touch(shard, entry);
+      } else if (memory_cache_enabled()) {
+        install_memory(shard, id, entry, std::move(table));
+        result.cost = cost_->mem_read(entry.bytes);  // repopulate cache
+        installed_memory = true;
+      }
+    } else {
+      entry.persistent = serialize_table(*table);
+      entry.bytes = entry.persistent.size();
+      entry.home = home_of(id);
+      entry.write_seq = next_write_seq_.fetch_add(1, std::memory_order_relaxed);
+      for (int r = 0; r < kReplicas; ++r) {
+        entry.replica_homes[r] = static_cast<MachineId>(
+            (entry.home + 1 + r) % cluster_->num_machines());
+      }
+      install_memory(shard, id, entry, std::move(table));
+      installed_memory = true;
+      total_bytes_.fetch_add(entry.bytes, std::memory_order_relaxed);
+      entry_count_.fetch_add(1, std::memory_order_relaxed);
+
+      // One memory install + a pipelined replica chain (HDFS-style): the
+      // writer streams the bytes once over the network and the replicas
+      // write to disk in parallel, so the charged critical path is one
+      // disk write plus one network transfer, not kReplicas of each.
+      result.bytes_written = entry.bytes;
+      result.cost = estimate_write_cost(entry.bytes);
+      atomic_add(stats_.write_time, result.cost);
+      memo_instruments().replica_writes.add(kReplicas);
     }
-    return result;
   }
-
-  entry.persistent = serialize_table(*table);
-  entry.bytes = entry.persistent.size();
-  entry.home = home_of(id);
-  entry.write_seq = next_write_seq_++;
-  for (int r = 0; r < kReplicas; ++r) {
-    entry.replica_homes[r] = static_cast<MachineId>(
-        (entry.home + 1 + r) % cluster_->num_machines());
-  }
-  install_memory(id, entry, std::move(table));
-  total_bytes_ += entry.bytes;
-
-  // One memory install + a pipelined replica chain (HDFS-style): the
-  // writer streams the bytes once over the network and the replicas write
-  // to disk in parallel, so the charged critical path is one disk write
-  // plus one network transfer, not kReplicas of each.
-  result.bytes_written = entry.bytes;
-  result.cost = estimate_write_cost(entry.bytes);
-  stats_.write_time += result.cost;
-  memo_instruments().replica_writes.add(kReplicas);
-  memo_instruments().entries.set(static_cast<double>(index_.size()));
-  memo_instruments().bytes.set(static_cast<double>(total_bytes_));
-  SLIDER_TRACE_COUNTER("memo", "memo.entries",
-                       static_cast<double>(index_.size()));
+  // Policies run without the shard mutex held (locking discipline).
+  if (installed_memory) evict_to_capacity();
   enforce_entry_budget();
+  refresh_gauges();
   return result;
 }
 
 MemoReadResult MemoStore::get(NodeId id, MachineId reader) {
   SLIDER_TRACE_SPAN("memo", "memo.read");
   MemoReadResult result;
-  const auto it = index_.find(id);
-  if (it == index_.end()) {
-    ++stats_.misses;
-    [[maybe_unused]] const double misses =
-        static_cast<double>(memo_instruments().misses.add());
-    SLIDER_TRACE_COUNTER("memo", "memo.misses", misses);
-    return result;
-  }
-  Entry& entry = it->second;
+  bool installed_memory = false;
+  {
+    Shard& shard = shard_of(id);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.index.find(id);
+    if (it == shard.index.end()) {
+      stats_.misses.fetch_add(1, std::memory_order_relaxed);
+      [[maybe_unused]] const double misses =
+          static_cast<double>(memo_instruments().misses.add());
+      SLIDER_TRACE_COUNTER("memo", "memo.misses", misses);
+      return result;
+    }
+    Entry& entry = it->second;
 
-  const bool home_alive = !cluster_->machine(entry.home).failed;
-  if (memory_enabled_ && entry.memory != nullptr && home_alive) {
+    const bool home_alive = !cluster_->machine(entry.home).failed;
+    if (memory_cache_enabled() && entry.memory != nullptr && home_alive) {
+      result.found = true;
+      result.table = entry.memory;
+      if (reader == entry.home) {
+        result.tier = ReadTier::kLocalMemory;
+        result.cost = cost_->mem_read(entry.bytes);
+      } else {
+        result.tier = ReadTier::kRemoteMemory;
+        result.cost =
+            cost_->mem_read(entry.bytes) + cost_->net_transfer(entry.bytes);
+      }
+      touch(shard, entry);
+      stats_.reads_memory.fetch_add(1, std::memory_order_relaxed);
+      atomic_add(stats_.read_time, result.cost);
+      [[maybe_unused]] const double hits =
+          static_cast<double>(memo_instruments().hits_memory.add());
+      SLIDER_TRACE_COUNTER("memo", "memo.hits_memory", hits);
+      return result;
+    }
+
+    // Fall back to the persistent tier: nearest live replica.
+    MachineId source = -1;
+    for (const MachineId replica : entry.replica_homes) {
+      if (cluster_->machine(replica).failed) continue;
+      if (replica == reader) {
+        source = replica;
+        break;
+      }
+      if (source < 0) source = replica;
+    }
+    if (source < 0) {
+      stats_.misses.fetch_add(1, std::memory_order_relaxed);
+      // All replicas down: behaves like a miss (recompute).
+      [[maybe_unused]] const double misses =
+          static_cast<double>(memo_instruments().misses.add());
+      SLIDER_TRACE_COUNTER("memo", "memo.misses", misses);
+      return result;
+    }
+
+    auto table = deserialize_table(entry.persistent);
+    SLIDER_CHECK(table.has_value()) << "corrupt persistent memo entry " << id;
     result.found = true;
-    result.table = entry.memory;
-    if (reader == entry.home) {
-      result.tier = ReadTier::kLocalMemory;
-      result.cost = cost_->mem_read(entry.bytes);
+    result.table = std::make_shared<const KVTable>(*std::move(table));
+    result.cost = cost_->disk_read(entry.bytes);
+    if (source != reader) {
+      result.cost += cost_->net_transfer(entry.bytes);
+      result.tier = ReadTier::kRemoteDisk;
     } else {
-      result.tier = ReadTier::kRemoteMemory;
-      result.cost = cost_->mem_read(entry.bytes) +
-                    cost_->net_transfer(entry.bytes);
+      result.tier = ReadTier::kLocalDisk;
     }
-    touch(entry);
-    ++stats_.reads_memory;
-    stats_.read_time += result.cost;
-    [[maybe_unused]] const double hits =
-        static_cast<double>(memo_instruments().hits_memory.add());
-    SLIDER_TRACE_COUNTER("memo", "memo.hits_memory", hits);
-    return result;
-  }
+    stats_.reads_disk.fetch_add(1, std::memory_order_relaxed);
+    atomic_add(stats_.read_time, result.cost);
+    [[maybe_unused]] const double disk_hits =
+        static_cast<double>(memo_instruments().hits_disk.add());
+    SLIDER_TRACE_COUNTER("memo", "memo.hits_disk", disk_hits);
 
-  // Fall back to the persistent tier: nearest live replica.
-  MachineId source = -1;
-  for (const MachineId replica : entry.replica_homes) {
-    if (cluster_->machine(replica).failed) continue;
-    if (replica == reader) {
-      source = replica;
-      break;
+    // Re-populate the memory tier on the home machine if it is alive again.
+    if (home_alive && memory_cache_enabled() && entry.memory == nullptr) {
+      install_memory(shard, id, entry, result.table);
+      installed_memory = true;
     }
-    if (source < 0) source = replica;
   }
-  if (source < 0) {
-    ++stats_.misses;  // all replicas down: behaves like a miss (recompute)
-    [[maybe_unused]] const double misses =
-        static_cast<double>(memo_instruments().misses.add());
-    SLIDER_TRACE_COUNTER("memo", "memo.misses", misses);
-    return result;
+  if (installed_memory) {
+    evict_to_capacity();
+    refresh_gauges();
   }
-
-  auto table = deserialize_table(entry.persistent);
-  SLIDER_CHECK(table.has_value()) << "corrupt persistent memo entry " << id;
-  result.found = true;
-  result.table = std::make_shared<const KVTable>(*std::move(table));
-  result.cost = cost_->disk_read(entry.bytes);
-  if (source != reader) {
-    result.cost += cost_->net_transfer(entry.bytes);
-    result.tier = ReadTier::kRemoteDisk;
-  } else {
-    result.tier = ReadTier::kLocalDisk;
-  }
-  ++stats_.reads_disk;
-  stats_.read_time += result.cost;
-  [[maybe_unused]] const double disk_hits =
-      static_cast<double>(memo_instruments().hits_disk.add());
-  SLIDER_TRACE_COUNTER("memo", "memo.hits_disk", disk_hits);
-
-  // Re-populate the memory tier on the home machine if it is alive again.
-  if (home_alive) install_memory(id, entry, result.table);
   return result;
 }
 
 void MemoStore::erase(NodeId id) {
-  const auto it = index_.find(id);
-  if (it == index_.end()) return;
-  drop_memory(it->second);
-  total_bytes_ -= it->second.bytes;
-  index_.erase(it);
+  {
+    Shard& shard = shard_of(id);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.index.find(id);
+    if (it == shard.index.end()) return;
+    drop_memory(shard, it->second);
+    total_bytes_.fetch_sub(it->second.bytes, std::memory_order_relaxed);
+    shard.index.erase(it);
+    entry_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  refresh_gauges();
 }
 
 std::size_t MemoStore::retain_only(const std::unordered_set<NodeId>& live) {
   std::size_t collected = 0;
-  for (auto it = index_.begin(); it != index_.end();) {
-    if (live.count(it->first) == 0) {
-      drop_memory(it->second);
-      total_bytes_ -= it->second.bytes;
-      it = index_.erase(it);
-      ++collected;
-    } else {
-      ++it;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (auto it = shard.index.begin(); it != shard.index.end();) {
+      if (live.count(it->first) == 0) {
+        drop_memory(shard, it->second);
+        total_bytes_.fetch_sub(it->second.bytes, std::memory_order_relaxed);
+        it = shard.index.erase(it);
+        entry_count_.fetch_sub(1, std::memory_order_relaxed);
+        ++collected;
+      } else {
+        ++it;
+      }
     }
   }
-  memo_instruments().entries.set(static_cast<double>(index_.size()));
-  memo_instruments().bytes.set(static_cast<double>(total_bytes_));
-  SLIDER_TRACE_COUNTER("memo", "memo.entries",
-                       static_cast<double>(index_.size()));
+  refresh_gauges();
   return collected;
 }
 
 void MemoStore::drop_memory_on_failed() {
-  for (auto& [id, entry] : index_) {
-    if (cluster_->machine(entry.home).failed) drop_memory(entry);
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (auto& [id, entry] : shard.index) {
+      if (cluster_->machine(entry.home).failed) drop_memory(shard, entry);
+    }
   }
+  refresh_gauges();
+}
+
+MemoStoreStats MemoStore::stats() const {
+  MemoStoreStats snapshot;
+  snapshot.reads_memory = stats_.reads_memory.load(std::memory_order_relaxed);
+  snapshot.reads_disk = stats_.reads_disk.load(std::memory_order_relaxed);
+  snapshot.misses = stats_.misses.load(std::memory_order_relaxed);
+  snapshot.memory_evictions =
+      stats_.memory_evictions.load(std::memory_order_relaxed);
+  snapshot.budget_evictions =
+      stats_.budget_evictions.load(std::memory_order_relaxed);
+  snapshot.read_time = stats_.read_time.load(std::memory_order_relaxed);
+  snapshot.write_time = stats_.write_time.load(std::memory_order_relaxed);
+  return snapshot;
+}
+
+void MemoStore::reset_stats() {
+  stats_.reads_memory.store(0, std::memory_order_relaxed);
+  stats_.reads_disk.store(0, std::memory_order_relaxed);
+  stats_.misses.store(0, std::memory_order_relaxed);
+  stats_.memory_evictions.store(0, std::memory_order_relaxed);
+  stats_.budget_evictions.store(0, std::memory_order_relaxed);
+  stats_.read_time.store(0, std::memory_order_relaxed);
+  stats_.write_time.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace slider

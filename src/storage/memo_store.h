@@ -10,13 +10,25 @@
 // simulated read cost accordingly; this tiering is exactly what Table 2
 // measures. A master-side index tracks every entry so the garbage
 // collector can free state that fell out of the window.
+//
+// Thread safety: the store is shared by every partition's contraction tree
+// and the parallel map stage, so all public methods are safe for
+// concurrent callers. The index is sharded (per-shard mutex + per-shard
+// LRU list); byte/entry/sequence counters are atomics; eviction policies
+// serialize on a dedicated mutex and pick victims by global recency stamps
+// (exact LRU when single-threaded, LRU up to in-flight races otherwise).
+// Locking discipline: public methods take at most one shard mutex at a
+// time and never call the eviction policies while holding it; the eviction
+// policies take evict_mutex_ first and then shard mutexes one at a time —
+// see docs/threading.md.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <list>
-#include <map>
 #include <memory>
-#include <set>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -63,15 +75,21 @@ class MemoStore {
 
   // Table 2 toggles this: with the in-memory cache disabled, every read is
   // served from the persistent tier.
-  void set_memory_cache_enabled(bool enabled) { memory_enabled_ = enabled; }
-  bool memory_cache_enabled() const { return memory_enabled_; }
+  void set_memory_cache_enabled(bool enabled) {
+    memory_enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool memory_cache_enabled() const {
+    return memory_enabled_.load(std::memory_order_relaxed);
+  }
 
   // Bounds the in-memory tier (aggregate bytes across machines); least
   // recently used memory copies are dropped first. Their persistent
   // replicas keep serving, so this only trades read latency for RAM.
   // 0 = unbounded (default).
   void set_memory_capacity_bytes(std::uint64_t capacity);
-  std::uint64_t memory_bytes() const { return memory_bytes_; }
+  std::uint64_t memory_bytes() const {
+    return memory_bytes_.load(std::memory_order_relaxed);
+  }
 
   // Aggressive user-defined GC policy (§6): cap the total number of
   // memoized entries; the oldest-written entries are discarded entirely
@@ -82,12 +100,18 @@ class MemoStore {
   // memo-aware scheduler wants the consuming task to run).
   MachineId home_of(NodeId id) const { return cluster_->place(id); }
 
-  bool contains(NodeId id) const { return index_.count(id) != 0; }
-  std::size_t size() const { return index_.size(); }
-  std::uint64_t total_bytes() const { return total_bytes_; }
+  bool contains(NodeId id) const;
+  std::size_t size() const {
+    return entry_count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t total_bytes() const {
+    return total_bytes_.load(std::memory_order_relaxed);
+  }
 
   // Writes memory copy (home machine) + kReplicas persistent copies.
-  // Idempotent for an existing id (contents are content-addressed).
+  // Idempotent for an existing id (contents are content-addressed); a
+  // re-put of a memory-resident entry refreshes its LRU recency, and a
+  // re-put whose home machine is failed drops the stale memory copy.
   MemoWriteResult put(NodeId id, std::shared_ptr<const KVTable> table);
 
   // Cost of writing `bytes` through the layer without performing the
@@ -114,38 +138,80 @@ class MemoStore {
   // injection); persistent replicas on live machines keep serving.
   void drop_memory_on_failed();
 
-  const MemoStoreStats& stats() const { return stats_; }
-  void reset_stats() { stats_ = {}; }
+  // Snapshot of the internal counters (value, not reference: counters are
+  // atomics updated by concurrent writers).
+  MemoStoreStats stats() const;
+  void reset_stats();
 
  private:
+  static constexpr std::size_t kShards = 16;  // power of two
+
   struct Entry {
     std::shared_ptr<const KVTable> memory;  // null if evicted / lost
     std::string persistent;                 // serialized form
     MachineId home = 0;
     MachineId replica_homes[kReplicas] = {0, 0};
     std::uint64_t bytes = 0;
-    std::uint64_t write_seq = 0;                 // insertion order (budget GC)
-    std::list<NodeId>::iterator lru_position;    // valid iff memory != null
+    std::uint64_t write_seq = 0;  // insertion order (budget GC)
+    std::uint64_t touch_seq = 0;  // global recency stamp (memory LRU)
+    std::list<NodeId>::iterator lru_position;  // valid iff memory != null
   };
 
-  void install_memory(NodeId id, Entry& entry,
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<NodeId, Entry> index;
+    // Front = most recently used *within this shard*; the per-entry
+    // touch_seq stamps order tails across shards for global LRU eviction.
+    std::list<NodeId> lru;
+  };
+
+  static std::size_t shard_index(NodeId id) {
+    // Node ids are already hash outputs; fold the high bits anyway so
+    // shard choice is not the id's low bits alone.
+    return static_cast<std::size_t>((id ^ (id >> 17)) & (kShards - 1));
+  }
+  Shard& shard_of(NodeId id) { return shards_[shard_index(id)]; }
+  const Shard& shard_of(NodeId id) const { return shards_[shard_index(id)]; }
+
+  // All three require the entry's shard mutex held.
+  void install_memory(Shard& shard, NodeId id, Entry& entry,
                       std::shared_ptr<const KVTable> table);
-  void drop_memory(Entry& entry);
-  void touch(Entry& entry);
+  void drop_memory(Shard& shard, Entry& entry);
+  void touch(Shard& shard, Entry& entry);
+
+  // Eviction policies. Must be called WITHOUT any shard mutex held; they
+  // serialize on evict_mutex_ and lock shards one at a time.
   void evict_to_capacity();
   void enforce_entry_budget();
 
+  // Pushes the authoritative entry/byte counts into the stats gauges
+  // ("memo.entries"/"memo.bytes"/"memo.memory_bytes"). Called after every
+  // mutation so the gauges can never go stale.
+  void refresh_gauges() const;
+
   const Cluster* cluster_;
   const CostModel* cost_;
-  bool memory_enabled_ = true;
-  std::unordered_map<NodeId, Entry> index_;
-  std::uint64_t total_bytes_ = 0;
-  std::uint64_t memory_bytes_ = 0;
-  std::uint64_t memory_capacity_bytes_ = 0;  // 0 = unbounded
-  std::size_t entry_budget_ = 0;             // 0 = unbounded
-  std::uint64_t next_write_seq_ = 0;
-  std::list<NodeId> lru_;  // front = most recently used
-  MemoStoreStats stats_;
+  std::atomic<bool> memory_enabled_{true};
+  std::array<Shard, kShards> shards_;
+  std::atomic<std::uint64_t> total_bytes_{0};
+  std::atomic<std::uint64_t> memory_bytes_{0};
+  std::atomic<std::size_t> entry_count_{0};
+  std::atomic<std::uint64_t> memory_capacity_bytes_{0};  // 0 = unbounded
+  std::atomic<std::size_t> entry_budget_{0};             // 0 = unbounded
+  std::atomic<std::uint64_t> next_write_seq_{0};
+  std::atomic<std::uint64_t> next_touch_seq_{0};
+  std::mutex evict_mutex_;  // serializes the two eviction policies
+
+  struct AtomicStats {
+    std::atomic<std::uint64_t> reads_memory{0};
+    std::atomic<std::uint64_t> reads_disk{0};
+    std::atomic<std::uint64_t> misses{0};
+    std::atomic<std::uint64_t> memory_evictions{0};
+    std::atomic<std::uint64_t> budget_evictions{0};
+    std::atomic<double> read_time{0};
+    std::atomic<double> write_time{0};
+  };
+  mutable AtomicStats stats_;
 };
 
 }  // namespace slider
