@@ -1,0 +1,16 @@
+// CRC32C (Castagnoli, reflected polynomial 0x82F63B78) — the checksum the
+// durability subsystem stamps on every segment-log record and checkpoint
+// manifest. Software table-driven implementation: the logs in this
+// laptop-scale reproduction are small, so portability beats SSE4.2.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace slider {
+
+// Incremental: feed the previous return value back in as `crc` to checksum
+// a logically concatenated byte stream. `crc = 0` starts a fresh stream.
+std::uint32_t crc32c(std::string_view data, std::uint32_t crc = 0);
+
+}  // namespace slider

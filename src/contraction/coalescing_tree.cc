@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "contraction/tree_common.h"
+#include "data/serde.h"
 
 namespace slider {
 
@@ -121,6 +122,43 @@ std::vector<std::shared_ptr<const KVTable>> CoalescingTree::reduce_inputs()
     const {
   if (pending_delta_ != nullptr) return {root_node_.table, pending_delta_};
   return {root()};
+}
+
+void CoalescingTree::serialize(durability::CheckpointWriter& writer) const {
+  std::string& blob = writer.blob();
+  wire::put_u64(blob, leaf_count_);
+  wire::put_u32(blob, static_cast<std::uint32_t>(height_));
+  writer.put_node(root_node_.id, root_node_.table.get());
+  wire::put_u8(blob, pending_delta_ != nullptr ? 1 : 0);
+  if (pending_delta_ != nullptr) {
+    writer.put_node(pending_delta_id_, pending_delta_.get());
+  }
+}
+
+bool CoalescingTree::restore(durability::CheckpointReader& reader) {
+  std::uint64_t leaf_count = 0;
+  std::uint32_t height = 0;
+  Node root_node;
+  std::uint8_t has_pending = 0;
+  if (!reader.get_u64(&leaf_count) || !reader.get_u32(&height) ||
+      !reader.get_node(&root_node.id, &root_node.table) ||
+      root_node.table == nullptr || !reader.get_u8(&has_pending)) {
+    return false;
+  }
+  std::shared_ptr<const KVTable> pending;
+  NodeId pending_id = 0;
+  if (has_pending != 0) {
+    if (!reader.get_node(&pending_id, &pending) || pending == nullptr) {
+      return false;
+    }
+  }
+  leaf_count_ = static_cast<std::size_t>(leaf_count);
+  height_ = static_cast<int>(height);
+  root_node_ = std::move(root_node);
+  pending_delta_ = std::move(pending);
+  pending_delta_id_ = pending_id;
+  root_override_.reset();  // lazy cache; rebuilt on demand, uncharged
+  return true;
 }
 
 void CoalescingTree::collect_live_ids(std::unordered_set<NodeId>& live) const {

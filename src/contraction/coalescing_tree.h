@@ -32,6 +32,8 @@ class CoalescingTree final : public ContractionTree {
   std::size_t leaf_count() const override { return leaf_count_; }
   std::string_view kind() const override { return "coalescing"; }
   void collect_live_ids(std::unordered_set<NodeId>& live) const override;
+  void serialize(durability::CheckpointWriter& writer) const override;
+  bool restore(durability::CheckpointReader& reader) override;
 
   bool has_pending_coalesce() const { return pending_delta_ != nullptr; }
 

@@ -5,6 +5,7 @@
 #include "common/logging.h"
 #include "common/thread_pool.h"
 #include "contraction/tree_common.h"
+#include "data/serde.h"
 
 namespace slider {
 namespace {
@@ -221,6 +222,52 @@ std::shared_ptr<const KVTable> FoldingTree::root() const {
   const Slot& top = levels_.back()[0];
   if (top.table == nullptr) return std::make_shared<const KVTable>();
   return top.table;
+}
+
+void FoldingTree::serialize(durability::CheckpointWriter& writer) const {
+  std::string& blob = writer.blob();
+  wire::put_u64(blob, first_);
+  wire::put_u64(blob, end_);
+  wire::put_u32(blob, static_cast<std::uint32_t>(levels_.size()));
+  // Bottom-up, so internal passthrough nodes that alias a child's table
+  // serialize as by-ref to the already-encoded child payload.
+  for (const auto& level : levels_) {
+    wire::put_u32(blob, static_cast<std::uint32_t>(level.size()));
+    for (const Slot& slot : level) {
+      writer.put_node(slot.id, slot.table.get());
+    }
+  }
+}
+
+bool FoldingTree::restore(durability::CheckpointReader& reader) {
+  std::uint64_t first = 0;
+  std::uint64_t end = 0;
+  std::uint32_t level_count = 0;
+  if (!reader.get_u64(&first) || !reader.get_u64(&end) ||
+      !reader.get_u32(&level_count) || level_count == 0) {
+    return false;
+  }
+  std::vector<std::vector<Slot>> levels;
+  levels.reserve(level_count);
+  for (std::uint32_t k = 0; k < level_count; ++k) {
+    std::uint32_t slot_count = 0;
+    if (!reader.get_u32(&slot_count)) return false;
+    std::vector<Slot> level(slot_count);
+    for (Slot& slot : level) {
+      // recomputed_this_run stays false: a checkpoint captures post-run
+      // state, where every mark has been reset.
+      if (!reader.get_node(&slot.id, &slot.table)) return false;
+    }
+    levels.push_back(std::move(level));
+  }
+  if (levels.back().size() != 1 || first > end ||
+      end > levels.front().size()) {
+    return false;
+  }
+  levels_ = std::move(levels);
+  first_ = static_cast<std::size_t>(first);
+  end_ = static_cast<std::size_t>(end);
+  return true;
 }
 
 void FoldingTree::collect_live_ids(std::unordered_set<NodeId>& live) const {

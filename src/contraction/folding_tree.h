@@ -36,6 +36,8 @@ class FoldingTree final : public ContractionTree {
   std::size_t leaf_count() const override { return end_ - first_; }
   std::string_view kind() const override { return "folding"; }
   void collect_live_ids(std::unordered_set<NodeId>& live) const override;
+  void serialize(durability::CheckpointWriter& writer) const override;
+  bool restore(durability::CheckpointReader& reader) override;
 
   // Test hooks.
   std::size_t capacity() const {

@@ -1,8 +1,11 @@
 #include "contraction/randomized_tree.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 #include "common/thread_pool.h"
 #include "contraction/tree_common.h"
+#include "data/serde.h"
 
 namespace slider {
 
@@ -68,6 +71,7 @@ void RandomizedFoldingTree::contract(std::vector<Entry> level,
   height_ = 0;
   if (level.empty()) {
     root_ = std::make_shared<const KVTable>();
+    root_id_ = 0;
     return;
   }
 
@@ -224,6 +228,7 @@ void RandomizedFoldingTree::contract(std::vector<Entry> level,
   }
 
   root_ = level[0].table;
+  root_id_ = level[0].id;
 
   // Prune the memo to live nodes (mirrors the master-side GC).
   for (auto it = memo_.begin(); it != memo_.end();) {
@@ -239,6 +244,63 @@ std::shared_ptr<const KVTable> RandomizedFoldingTree::root() const {
 void RandomizedFoldingTree::collect_live_ids(
     std::unordered_set<NodeId>& live) const {
   live.insert(live_.begin(), live_.end());
+}
+
+void RandomizedFoldingTree::serialize(
+    durability::CheckpointWriter& writer) const {
+  std::string& blob = writer.blob();
+  // Memo entries first (sorted for a deterministic blob); the root
+  // reference below then encodes as by-ref.
+  std::vector<NodeId> ids;
+  ids.reserve(memo_.size());
+  for (const auto& [id, table] : memo_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  wire::put_u32(blob, static_cast<std::uint32_t>(ids.size()));
+  for (const NodeId id : ids) writer.put_node(id, memo_.at(id).get());
+
+  wire::put_u32(blob, static_cast<std::uint32_t>(leaf_ids_.size()));
+  for (const NodeId id : leaf_ids_) wire::put_u64(blob, id);
+  wire::put_u32(blob, static_cast<std::uint32_t>(height_));
+  writer.put_node(root_id_, root_.get());
+}
+
+bool RandomizedFoldingTree::restore(durability::CheckpointReader& reader) {
+  std::uint32_t memo_count = 0;
+  if (!reader.get_u32(&memo_count)) return false;
+  std::unordered_map<NodeId, std::shared_ptr<const KVTable>> memo;
+  memo.reserve(memo_count);
+  for (std::uint32_t i = 0; i < memo_count; ++i) {
+    NodeId id = 0;
+    std::shared_ptr<const KVTable> table;
+    if (!reader.get_node(&id, &table) || table == nullptr) return false;
+    memo.emplace(id, std::move(table));
+  }
+  std::uint32_t leaf_count = 0;
+  if (!reader.get_u32(&leaf_count)) return false;
+  std::vector<NodeId> leaf_ids;
+  leaf_ids.reserve(leaf_count);
+  for (std::uint32_t i = 0; i < leaf_count; ++i) {
+    NodeId id = 0;
+    if (!reader.get_u64(&id)) return false;
+    // apply_delta resolves every surviving leaf through memo_.
+    if (memo.count(id) == 0) return false;
+    leaf_ids.push_back(id);
+  }
+  std::uint32_t height = 0;
+  NodeId root_id = 0;
+  std::shared_ptr<const KVTable> root;
+  if (!reader.get_u32(&height) || !reader.get_node(&root_id, &root) ||
+      root == nullptr) {
+    return false;
+  }
+  memo_ = std::move(memo);
+  live_.clear();
+  for (const auto& [id, table] : memo_) live_.insert(id);  // memo == live
+  leaf_ids_ = std::move(leaf_ids);
+  root_ = std::move(root);
+  root_id_ = root_id;
+  height_ = static_cast<int>(height);
+  return true;
 }
 
 }  // namespace slider

@@ -34,6 +34,8 @@ class RandomizedFoldingTree final : public ContractionTree {
   std::size_t leaf_count() const override { return leaf_ids_.size(); }
   std::string_view kind() const override { return "randomized-folding"; }
   void collect_live_ids(std::unordered_set<NodeId>& live) const override;
+  void serialize(durability::CheckpointWriter& writer) const override;
+  bool restore(durability::CheckpointReader& reader) override;
 
  private:
   struct Entry {
@@ -57,6 +59,7 @@ class RandomizedFoldingTree final : public ContractionTree {
   std::unordered_map<NodeId, std::shared_ptr<const KVTable>> memo_;
   std::unordered_set<NodeId> live_;
   std::shared_ptr<const KVTable> root_;
+  NodeId root_id_ = 0;  // 0 for the empty window's empty root
   int height_ = 0;
 };
 

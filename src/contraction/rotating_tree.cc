@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "common/thread_pool.h"
 #include "contraction/tree_common.h"
+#include "data/serde.h"
 
 namespace slider {
 namespace {
@@ -322,6 +323,112 @@ std::vector<std::shared_ptr<const KVTable>> RotatingTree::reduce_inputs()
     return {intermediate_->table, fresh_bucket_table_};
   }
   return {root()};
+}
+
+void RotatingTree::serialize(durability::CheckpointWriter& writer) const {
+  std::string& blob = writer.blob();
+  wire::put_u64(blob, buckets_);
+  wire::put_u64(blob, next_victim_);
+  wire::put_u64(blob, window_splits_);
+  wire::put_u32(blob, static_cast<std::uint32_t>(levels_.size()));
+  for (const auto& level : levels_) {
+    wire::put_u32(blob, static_cast<std::uint32_t>(level.size()));
+    for (const Slot& slot : level) {
+      writer.put_node(slot.id, slot.table.get());
+      wire::put_u64(blob, slot.split_count);
+    }
+  }
+  // Split-processing residue. fresh_bucket_table_ is only meaningful
+  // alongside a pending install (root()/reduce_inputs() read it then) and
+  // always aliases the pending bucket's table, so it is not stored
+  // separately.
+  wire::put_u8(blob, pending_install_.has_value() ? 1 : 0);
+  if (pending_install_.has_value()) {
+    wire::put_u64(blob, pending_install_->first);
+    writer.put_node(pending_install_->second.id,
+                    pending_install_->second.table.get());
+    wire::put_u64(blob, pending_install_->second.split_count);
+  }
+  wire::put_u8(blob, intermediate_.has_value() ? 1 : 0);
+  if (intermediate_.has_value()) {
+    wire::put_u64(blob, intermediate_->victim);
+    writer.put_node(intermediate_->id, intermediate_->table.get());
+  }
+}
+
+bool RotatingTree::restore(durability::CheckpointReader& reader) {
+  std::uint64_t buckets = 0;
+  std::uint64_t next_victim = 0;
+  std::uint64_t window_splits = 0;
+  std::uint32_t level_count = 0;
+  if (!reader.get_u64(&buckets) || !reader.get_u64(&next_victim) ||
+      !reader.get_u64(&window_splits) || !reader.get_u32(&level_count) ||
+      level_count == 0) {
+    return false;
+  }
+  std::vector<std::vector<Slot>> levels;
+  levels.reserve(level_count);
+  for (std::uint32_t k = 0; k < level_count; ++k) {
+    std::uint32_t slot_count = 0;
+    if (!reader.get_u32(&slot_count)) return false;
+    std::vector<Slot> level(slot_count);
+    for (Slot& slot : level) {
+      std::uint64_t split_count = 0;
+      if (!reader.get_node(&slot.id, &slot.table) ||
+          !reader.get_u64(&split_count)) {
+        return false;
+      }
+      slot.split_count = static_cast<std::size_t>(split_count);
+    }
+    levels.push_back(std::move(level));
+  }
+  if (levels.back().size() != 1 || buckets > levels.front().size() ||
+      (buckets > 0 && next_victim >= buckets)) {
+    return false;
+  }
+
+  std::uint8_t has_pending = 0;
+  std::optional<std::pair<std::size_t, Bucket>> pending;
+  if (!reader.get_u8(&has_pending)) return false;
+  if (has_pending != 0) {
+    std::uint64_t slot_index = 0;
+    Bucket bucket;
+    std::uint64_t split_count = 0;
+    if (!reader.get_u64(&slot_index) ||
+        !reader.get_node(&bucket.id, &bucket.table) ||
+        !reader.get_u64(&split_count) || bucket.table == nullptr) {
+      return false;
+    }
+    bucket.split_count = static_cast<std::size_t>(split_count);
+    pending = {static_cast<std::size_t>(slot_index), std::move(bucket)};
+  }
+  std::uint8_t has_intermediate = 0;
+  std::optional<Intermediate> intermediate;
+  if (!reader.get_u8(&has_intermediate)) return false;
+  if (has_intermediate != 0) {
+    Intermediate i;
+    std::uint64_t victim = 0;
+    if (!reader.get_u64(&victim) || !reader.get_node(&i.id, &i.table) ||
+        i.table == nullptr) {
+      return false;
+    }
+    i.victim = static_cast<std::size_t>(victim);
+    intermediate = std::move(i);
+  }
+  // Foreground split mode requires both halves of {I, fresh bucket}.
+  if (pending.has_value() && !intermediate.has_value()) return false;
+
+  levels_ = std::move(levels);
+  buckets_ = static_cast<std::size_t>(buckets);
+  next_victim_ = static_cast<std::size_t>(next_victim);
+  window_splits_ = static_cast<std::size_t>(window_splits);
+  pending_install_ = std::move(pending);
+  intermediate_ = std::move(intermediate);
+  fresh_bucket_table_ = pending_install_.has_value()
+                            ? pending_install_->second.table
+                            : nullptr;
+  root_override_.reset();  // lazy cache; rebuilt on demand, uncharged
+  return true;
 }
 
 void RotatingTree::collect_live_ids(std::unordered_set<NodeId>& live) const {

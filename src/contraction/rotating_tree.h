@@ -49,6 +49,8 @@ class RotatingTree final : public ContractionTree {
   std::size_t leaf_count() const override { return window_splits_; }
   std::string_view kind() const override { return "rotating"; }
   void collect_live_ids(std::unordered_set<NodeId>& live) const override;
+  void serialize(durability::CheckpointWriter& writer) const override;
+  bool restore(durability::CheckpointReader& reader) override;
 
   std::size_t bucket_count() const { return buckets_; }
   std::size_t next_victim() const { return next_victim_; }

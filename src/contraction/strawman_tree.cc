@@ -1,9 +1,11 @@
 #include "contraction/strawman_tree.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/logging.h"
 #include "contraction/tree_common.h"
+#include "data/serde.h"
 
 namespace slider {
 
@@ -84,11 +86,13 @@ void StrawmanTree::rebuild(TreeUpdateStats* stats) {
   live_.clear();
   if (leaves_.empty()) {
     root_ = std::make_shared<const KVTable>();
+    root_id_ = 0;
     height_ = 0;
     return;
   }
   const Built top = build_range(0, leaves_.size(), stats);
   root_ = top.table;
+  root_id_ = top.id;
   height_ = static_cast<int>(
       std::ceil(std::log2(static_cast<double>(leaves_.size()))));
 
@@ -101,6 +105,68 @@ void StrawmanTree::rebuild(TreeUpdateStats* stats) {
 
 void StrawmanTree::collect_live_ids(std::unordered_set<NodeId>& live) const {
   live.insert(live_.begin(), live_.end());
+}
+
+void StrawmanTree::serialize(durability::CheckpointWriter& writer) const {
+  std::string& blob = writer.blob();
+  // Memo entries first (sorted for a deterministic blob); the leaf and
+  // root references below then mostly encode as by-ref to these.
+  std::vector<NodeId> ids;
+  ids.reserve(memo_.size());
+  for (const auto& [id, table] : memo_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  wire::put_u32(blob, static_cast<std::uint32_t>(ids.size()));
+  for (const NodeId id : ids) writer.put_node(id, memo_.at(id).get());
+
+  wire::put_u32(blob, static_cast<std::uint32_t>(leaves_.size()));
+  for (const Leaf& leaf : leaves_) {
+    wire::put_u64(blob, leaf.split_id);
+    writer.put_node(leaf_node_id(ctx_, leaf.split_id, *leaf.table),
+                    leaf.table.get());
+  }
+  wire::put_u32(blob, static_cast<std::uint32_t>(height_));
+  writer.put_node(root_id_, root_.get());
+}
+
+bool StrawmanTree::restore(durability::CheckpointReader& reader) {
+  std::uint32_t memo_count = 0;
+  if (!reader.get_u32(&memo_count)) return false;
+  std::unordered_map<NodeId, std::shared_ptr<const KVTable>> memo;
+  memo.reserve(memo_count);
+  for (std::uint32_t i = 0; i < memo_count; ++i) {
+    NodeId id = 0;
+    std::shared_ptr<const KVTable> table;
+    if (!reader.get_node(&id, &table) || table == nullptr) return false;
+    memo.emplace(id, std::move(table));
+  }
+  std::uint32_t leaf_count = 0;
+  if (!reader.get_u32(&leaf_count)) return false;
+  std::vector<Leaf> leaves;
+  leaves.reserve(leaf_count);
+  for (std::uint32_t i = 0; i < leaf_count; ++i) {
+    Leaf leaf;
+    NodeId id = 0;
+    if (!reader.get_u64(&leaf.split_id) ||
+        !reader.get_node(&id, &leaf.table) || leaf.table == nullptr) {
+      return false;
+    }
+    leaves.push_back(std::move(leaf));
+  }
+  std::uint32_t height = 0;
+  NodeId root_id = 0;
+  std::shared_ptr<const KVTable> root;
+  if (!reader.get_u32(&height) || !reader.get_node(&root_id, &root) ||
+      root == nullptr) {
+    return false;
+  }
+  memo_ = std::move(memo);
+  live_.clear();
+  for (const auto& [id, table] : memo_) live_.insert(id);  // memo == live
+  leaves_ = std::move(leaves);
+  root_ = std::move(root);
+  root_id_ = root_id;
+  height_ = static_cast<int>(height);
+  return true;
 }
 
 }  // namespace slider

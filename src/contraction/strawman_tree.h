@@ -31,6 +31,8 @@ class StrawmanTree final : public ContractionTree {
   std::size_t leaf_count() const override { return leaves_.size(); }
   std::string_view kind() const override { return "strawman"; }
   void collect_live_ids(std::unordered_set<NodeId>& live) const override;
+  void serialize(durability::CheckpointWriter& writer) const override;
+  bool restore(durability::CheckpointReader& reader) override;
 
  private:
   struct Built {
@@ -46,6 +48,7 @@ class StrawmanTree final : public ContractionTree {
   CombineFn combiner_;
   std::vector<Leaf> leaves_;
   std::shared_ptr<const KVTable> root_;
+  NodeId root_id_ = 0;  // 0 for the empty window's empty root
   int height_ = 0;
 
   // Cross-run memo of node payloads (the in-process view of what the memo

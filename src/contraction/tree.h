@@ -26,6 +26,7 @@
 #include "common/metrics.h"
 #include "data/record.h"
 #include "data/split.h"
+#include "durability/checkpoint.h"
 #include "storage/memo_store.h"
 
 namespace slider {
@@ -112,6 +113,22 @@ class ContractionTree {
 
   // Node ids this tree still needs; everything else is garbage (§6 GC).
   virtual void collect_live_ids(std::unordered_set<NodeId>& live) const = 0;
+
+  // --- checkpoint/restore (§6; src/durability) -------------------------
+  //
+  // serialize() writes the tree's structural state — node ids, window
+  // bookkeeping, split-processing residue — into `writer`. Payloads are
+  // encoded by reference when the durable memo tier holds them and inline
+  // otherwise (see durability/checkpoint.h for the marker scheme).
+  //
+  // restore() rebuilds that state on a freshly constructed tree of the
+  // same kind/options (resolving by-ref payloads from the recovered memo
+  // store). A restored tree is in post-run state: root()/reduce_inputs()
+  // return the pre-checkpoint values and the next apply_delta performs
+  // the same delta-proportional work an uninterrupted run would — no
+  // hidden rebuild. Returns false on a malformed or unresolvable blob.
+  virtual void serialize(durability::CheckpointWriter& writer) const = 0;
+  virtual bool restore(durability::CheckpointReader& reader) = 0;
 };
 
 enum class TreeKind {

@@ -3,7 +3,11 @@
 #include <cstring>
 
 namespace slider {
-namespace {
+namespace wire {
+
+void put_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
 
 void put_u32(std::string& out, std::uint32_t v) {
   char buf[4];
@@ -12,6 +16,23 @@ void put_u32(std::string& out, std::uint32_t v) {
   buf[2] = static_cast<char>((v >> 16) & 0xff);
   buf[3] = static_cast<char>((v >> 24) & 0xff);
   out.append(buf, 4);
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v & 0xffffffffull));
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+void put_bytes(std::string& out, std::string_view bytes) {
+  put_u32(out, static_cast<std::uint32_t>(bytes.size()));
+  out.append(bytes);
+}
+
+bool get_u8(std::string_view& in, std::uint8_t* v) {
+  if (in.empty()) return false;
+  *v = static_cast<std::uint8_t>(in[0]);
+  in.remove_prefix(1);
+  return true;
 }
 
 bool get_u32(std::string_view& in, std::uint32_t* v) {
@@ -24,7 +45,30 @@ bool get_u32(std::string_view& in, std::uint32_t* v) {
   return true;
 }
 
-bool get_bytes(std::string_view& in, std::uint32_t len, std::string* out) {
+bool get_u64(std::string_view& in, std::uint64_t* v) {
+  if (in.size() < 8) return false;
+  std::uint32_t lo = 0;
+  std::uint32_t hi = 0;
+  get_u32(in, &lo);
+  get_u32(in, &hi);
+  *v = static_cast<std::uint64_t>(lo) | (static_cast<std::uint64_t>(hi) << 32);
+  return true;
+}
+
+bool get_bytes(std::string_view& in, std::string* out) {
+  std::uint32_t len = 0;
+  if (!get_u32(in, &len)) return false;
+  if (in.size() < len) return false;
+  out->assign(in.data(), len);
+  in.remove_prefix(len);
+  return true;
+}
+
+}  // namespace wire
+
+namespace {
+
+bool get_raw(std::string_view& in, std::uint32_t len, std::string* out) {
   if (in.size() < len) return false;
   out->assign(in.data(), len);
   in.remove_prefix(len);
@@ -36,11 +80,11 @@ bool get_bytes(std::string_view& in, std::uint32_t len, std::string* out) {
 std::string serialize_table(const KVTable& table) {
   std::string out;
   out.reserve(table.byte_size() + 4);
-  put_u32(out, static_cast<std::uint32_t>(table.size()));
+  wire::put_u32(out, static_cast<std::uint32_t>(table.size()));
   for (const Record& r : table.rows()) {
-    put_u32(out, static_cast<std::uint32_t>(r.key.size()));
+    wire::put_u32(out, static_cast<std::uint32_t>(r.key.size()));
     out.append(r.key);
-    put_u32(out, static_cast<std::uint32_t>(r.value.size()));
+    wire::put_u32(out, static_cast<std::uint32_t>(r.value.size()));
     out.append(r.value);
   }
   return out;
@@ -48,7 +92,7 @@ std::string serialize_table(const KVTable& table) {
 
 std::optional<KVTable> deserialize_table(std::string_view bytes) {
   std::uint32_t count = 0;
-  if (!get_u32(bytes, &count)) return std::nullopt;
+  if (!wire::get_u32(bytes, &count)) return std::nullopt;
   std::vector<Record> rows;
   // A corrupt header must not drive allocation: each record occupies at
   // least 8 framing bytes, so a count beyond bytes/8 is provably invalid.
@@ -57,10 +101,10 @@ std::optional<KVTable> deserialize_table(std::string_view bytes) {
   for (std::uint32_t i = 0; i < count; ++i) {
     std::uint32_t len = 0;
     Record r;
-    if (!get_u32(bytes, &len) || !get_bytes(bytes, len, &r.key)) {
+    if (!wire::get_u32(bytes, &len) || !get_raw(bytes, len, &r.key)) {
       return std::nullopt;
     }
-    if (!get_u32(bytes, &len) || !get_bytes(bytes, len, &r.value)) {
+    if (!wire::get_u32(bytes, &len) || !get_raw(bytes, len, &r.value)) {
       return std::nullopt;
     }
     rows.push_back(std::move(r));

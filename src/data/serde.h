@@ -4,14 +4,38 @@
 // length, value bytes). Little-endian, length-prefixed — simple, and the
 // per-record framing matches KVTable::byte_size() so cost-model bytes and
 // real bytes agree.
+//
+// The `wire` namespace exposes the little-endian primitives the table
+// format is built from. The durability subsystem (segment-log records and
+// session checkpoints, src/durability/) uses the same primitives, so the
+// on-disk formats and the memo wire format can never drift apart.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 
 #include "data/record.h"
 
 namespace slider {
+
+namespace wire {
+
+void put_u8(std::string& out, std::uint8_t v);
+void put_u32(std::string& out, std::uint32_t v);
+void put_u64(std::string& out, std::uint64_t v);
+// Length-prefixed byte string: u32 length + raw bytes.
+void put_bytes(std::string& out, std::string_view bytes);
+
+// Readers consume from the front of `in`; they return false (and leave the
+// output untouched) on a truncated buffer.
+bool get_u8(std::string_view& in, std::uint8_t* v);
+bool get_u32(std::string_view& in, std::uint32_t* v);
+bool get_u64(std::string_view& in, std::uint64_t* v);
+bool get_bytes(std::string_view& in, std::string* out);
+
+}  // namespace wire
 
 std::string serialize_table(const KVTable& table);
 

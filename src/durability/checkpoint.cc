@@ -1,0 +1,184 @@
+#include "durability/checkpoint.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+#include <utility>
+
+#include "common/crc32c.h"
+#include "common/logging.h"
+#include "data/serde.h"
+#include "observability/stats.h"
+
+namespace slider::durability {
+namespace {
+
+constexpr char kMagic[8] = {'S', 'L', 'I', 'D', 'R', 'C', 'K', 'P'};
+
+enum NodeMarker : std::uint8_t {
+  kNull = 0,
+  kByRef = 1,
+  kInline = 2,
+};
+
+}  // namespace
+
+void CheckpointWriter::put_node(std::uint64_t id, const KVTable* table) {
+  wire::put_u64(blob_, id);
+  if (table == nullptr) {
+    wire::put_u8(blob_, kNull);
+    return;
+  }
+  const bool resolvable =
+      id != 0 && (inlined_.count(id) != 0 ||
+                  (persisted_ && persisted_(id)));
+  if (resolvable) {
+    wire::put_u8(blob_, kByRef);
+    return;
+  }
+  wire::put_u8(blob_, kInline);
+  wire::put_bytes(blob_, serialize_table(*table));
+  if (id != 0) inlined_.insert(id);
+}
+
+bool CheckpointWriter::write_manifest(const std::string& path) const {
+  std::string header;
+  header.append(kMagic, sizeof(kMagic));
+  wire::put_u32(header, kCheckpointVersion);
+  wire::put_u32(header, crc32c(blob_));
+  wire::put_u64(header, blob_.size());
+
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return false;
+  bool ok = std::fwrite(header.data(), 1, header.size(), f) == header.size();
+  ok = ok &&
+       std::fwrite(blob_.data(), 1, blob_.size(), f) == blob_.size();
+  ok = ok && std::fflush(f) == 0;
+  if (ok) ::fsync(fileno(f));
+  std::fclose(f);
+  if (!ok) {
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+    return false;
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return false;
+  }
+  auto& reg = obs::StatsRegistry::global();
+  reg.counter("durability.checkpoints_written").add();
+  reg.counter("durability.checkpoint_bytes")
+      .add(header.size() + blob_.size());
+  return true;
+}
+
+std::unique_ptr<CheckpointReader> CheckpointReader::open(
+    const std::string& path, ResolveFn resolve) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return nullptr;
+
+  char magic[sizeof(kMagic)];
+  std::string fixed(4 + 4 + 8, '\0');
+  bool ok = std::fread(magic, 1, sizeof(magic), f) == sizeof(magic) &&
+            std::memcmp(magic, kMagic, sizeof(kMagic)) == 0 &&
+            std::fread(fixed.data(), 1, fixed.size(), f) == fixed.size();
+  std::uint32_t version = 0;
+  std::uint32_t expect_crc = 0;
+  std::uint64_t blob_size = 0;
+  std::string blob;
+  if (ok) {
+    std::string_view cursor(fixed);
+    wire::get_u32(cursor, &version);
+    wire::get_u32(cursor, &expect_crc);
+    wire::get_u64(cursor, &blob_size);
+    ok = version == kCheckpointVersion && blob_size <= (1ull << 32);
+  }
+  if (ok) {
+    blob.resize(static_cast<std::size_t>(blob_size));
+    ok = std::fread(blob.data(), 1, blob.size(), f) == blob.size();
+  }
+  std::fclose(f);
+  if (!ok || crc32c(blob) != expect_crc) {
+    SLIDER_LOG(Warning) << "checkpoint: rejecting manifest " << path;
+    return nullptr;
+  }
+  obs::StatsRegistry::global().counter("durability.checkpoints_loaded").add();
+  return std::unique_ptr<CheckpointReader>(
+      new CheckpointReader(std::move(blob), std::move(resolve)));
+}
+
+bool CheckpointReader::get_u8(std::uint8_t* v) {
+  std::string_view cursor = rest();
+  if (!wire::get_u8(cursor, v)) return false;
+  advance_to(cursor);
+  return true;
+}
+
+bool CheckpointReader::get_u32(std::uint32_t* v) {
+  std::string_view cursor = rest();
+  if (!wire::get_u32(cursor, v)) return false;
+  advance_to(cursor);
+  return true;
+}
+
+bool CheckpointReader::get_u64(std::uint64_t* v) {
+  std::string_view cursor = rest();
+  if (!wire::get_u64(cursor, v)) return false;
+  advance_to(cursor);
+  return true;
+}
+
+bool CheckpointReader::get_bytes(std::string* out) {
+  std::string_view cursor = rest();
+  if (!wire::get_bytes(cursor, out)) return false;
+  advance_to(cursor);
+  return true;
+}
+
+bool CheckpointReader::get_node(std::uint64_t* id,
+                                std::shared_ptr<const KVTable>* table) {
+  std::uint8_t marker = 0;
+  if (!get_u64(id) || !get_u8(&marker)) return false;
+  switch (marker) {
+    case kNull:
+      table->reset();
+      return true;
+    case kByRef: {
+      const auto cached = cache_.find(*id);
+      if (cached != cache_.end()) {
+        *table = cached->second;
+        return true;
+      }
+      if (!resolve_) return false;
+      auto resolved = resolve_(*id);
+      if (resolved == nullptr) {
+        SLIDER_LOG(Warning)
+            << "checkpoint: unresolvable node reference " << *id;
+        return false;
+      }
+      cache_.emplace(*id, resolved);
+      *table = std::move(resolved);
+      return true;
+    }
+    case kInline: {
+      std::string bytes;
+      if (!get_bytes(&bytes)) return false;
+      auto decoded = deserialize_table(bytes);
+      if (!decoded.has_value()) return false;
+      auto shared = std::make_shared<const KVTable>(*std::move(decoded));
+      if (*id != 0) cache_.emplace(*id, shared);
+      *table = std::move(shared);
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+}  // namespace slider::durability

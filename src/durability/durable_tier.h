@@ -1,0 +1,91 @@
+// Replicated persistent tier for the memoization layer (paper §6).
+//
+// A DurableTier owns `replicas` segment logs under one root directory:
+//
+//   <root>/replica-0/seg-*.slog
+//   <root>/replica-1/seg-*.slog
+//
+// and mirrors every put/tombstone into all of them, so any single replica
+// surviving intact is enough to recover every entry. Writer sequence
+// numbers are assigned by the caller (MemoStore owns the sequence space);
+// recovery merges replicas by highest seq per key (recovery.h).
+//
+// Compaction piggybacks on the memo GC: MemoStore::retain_only already
+// computes the live-node set, and maybe_compact() rewrites the logs down
+// to it once enough garbage has accumulated.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "durability/recovery.h"
+#include "durability/segment_log.h"
+
+namespace slider::durability {
+
+struct DurableTierOptions {
+  std::size_t replicas = 2;  // matches MemoStore::kReplicas
+  SegmentLogOptions log;
+  // maybe_compact() rewrites the logs once this many bytes were appended
+  // since the last compaction. 0 disables automatic compaction.
+  std::uint64_t compact_after_bytes = 256ull << 10;
+};
+
+class DurableTier {
+ public:
+  explicit DurableTier(std::string root, DurableTierOptions options = {});
+
+  DurableTier(const DurableTier&) = delete;
+  DurableTier& operator=(const DurableTier&) = delete;
+
+  // Merges all replica logs into the newest per-key state (tolerating torn
+  // tails and corrupt records per the SegmentLog recovery contract). Call
+  // before the first put of a fresh process; appends made earlier in this
+  // process would be scanned too (harmlessly — they are the newest).
+  std::unordered_map<LogKey, RecoveredEntry> recover(
+      RecoveryStats* stats = nullptr);
+
+  // Appends one put/tombstone to every replica. Returns how many replicas
+  // accepted the record — 0 means the entry is not durable at all, any
+  // value > 0 means it will survive recovery.
+  std::size_t put(LogKey key, std::uint64_t seq, std::string_view payload);
+  std::size_t tombstone(LogKey key, std::uint64_t seq);
+
+  void flush();
+  void sync();
+  void close();
+
+  // True when every replica log has failed (nothing is durable anymore).
+  bool all_failed() const;
+
+  // Compacts every replica down to `live` if compact_after_bytes of new
+  // records accumulated since the last compaction (nullopt otherwise).
+  std::optional<SegmentLog::CompactionResult> maybe_compact(
+      const std::unordered_set<LogKey>& live);
+  // Unconditional compaction; result aggregates all replicas.
+  SegmentLog::CompactionResult compact(
+      const std::unordered_set<LogKey>& live);
+
+  // Fault injection on one replica's low-level writes. Not owned.
+  void set_fault_injector(std::size_t replica, FaultInjector* injector);
+
+  const std::string& root() const { return root_; }
+  std::size_t replicas() const { return logs_.size(); }
+  SegmentLog& log(std::size_t replica) { return *logs_[replica]; }
+  std::uint64_t bytes_on_disk() const;
+  std::uint64_t records_appended() const;
+
+ private:
+  std::string root_;
+  DurableTierOptions options_;
+  std::vector<std::unique_ptr<SegmentLog>> logs_;
+  std::uint64_t bytes_since_compact_ = 0;
+};
+
+}  // namespace slider::durability

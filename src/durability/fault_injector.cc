@@ -1,0 +1,54 @@
+#include "durability/fault_injector.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+namespace slider::durability {
+
+std::size_t FileFaultInjector::admit(std::size_t want) {
+  if (!limited_) return want;
+  const std::uint64_t admitted =
+      budget_ < want ? budget_ : static_cast<std::uint64_t>(want);
+  budget_ -= admitted;
+  if (admitted < want) tripped_ = true;
+  return static_cast<std::size_t>(admitted);
+}
+
+std::optional<std::uint64_t> FileFaultInjector::file_size(
+    const std::string& path) {
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  if (ec) return std::nullopt;
+  return static_cast<std::uint64_t>(size);
+}
+
+bool FileFaultInjector::truncate_tail(const std::string& path,
+                                      std::uint64_t drop_bytes) {
+  const auto size = file_size(path);
+  if (!size.has_value()) return false;
+  const std::uint64_t keep = drop_bytes >= *size ? 0 : *size - drop_bytes;
+  std::error_code ec;
+  std::filesystem::resize_file(path, keep, ec);
+  return !ec;
+}
+
+bool FileFaultInjector::flip_bit(const std::string& path,
+                                 std::uint64_t byte_offset, int bit) {
+  if (bit < 0 || bit > 7) return false;
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  if (f == nullptr) return false;
+  bool ok = false;
+  if (std::fseek(f, static_cast<long>(byte_offset), SEEK_SET) == 0) {
+    const int c = std::fgetc(f);
+    if (c != EOF &&
+        std::fseek(f, static_cast<long>(byte_offset), SEEK_SET) == 0) {
+      const int flipped = c ^ (1 << bit);
+      ok = std::fputc(flipped, f) != EOF;
+    }
+  }
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace slider::durability

@@ -1,0 +1,64 @@
+// Fault injection for the durability layer (tests + crash-recovery smoke).
+//
+// Two flavours:
+//   * a write-path hook (FaultInjector::admit) consulted by SegmentLog
+//     before every low-level file write — returning fewer bytes than asked
+//     simulates the process dying mid-write, which is exactly how torn
+//     tail records appear in real logs;
+//   * post-hoc corruption helpers (truncate_tail, flip_bit) that mutate
+//     closed segment files directly, simulating disk corruption that the
+//     tail-scan recovery must detect via CRC and skip.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace slider::durability {
+
+// Injection point used by SegmentLog's writer: before writing `want`
+// bytes, the log asks how many may actually reach the file. A return
+// value < want makes the log write exactly that prefix (a torn record),
+// mark itself failed, and refuse all further appends — the closest a
+// single process gets to being SIGKILLed mid-fwrite.
+class FaultInjector {
+ public:
+  virtual ~FaultInjector() = default;
+  virtual std::size_t admit(std::size_t want) = 0;
+};
+
+// File-level fault injector used by the durability tests: a
+// fail-after-N-bytes write budget plus static corruption helpers.
+class FileFaultInjector final : public FaultInjector {
+ public:
+  // Admits `budget` more bytes, then fails every write (torn from the
+  // first byte past the budget). Unlimited until called.
+  void fail_after_bytes(std::uint64_t budget) {
+    limited_ = true;
+    budget_ = budget;
+  }
+
+  std::size_t admit(std::size_t want) override;
+
+  // True once a write has been cut short.
+  bool tripped() const { return tripped_; }
+
+  // --- post-hoc corruption (operate directly on files) -----------------
+
+  static std::optional<std::uint64_t> file_size(const std::string& path);
+  // Drops the last `drop_bytes` bytes of `path` (a torn tail). Dropping
+  // more than the file holds truncates to empty. Returns false on I/O
+  // error or missing file.
+  static bool truncate_tail(const std::string& path, std::uint64_t drop_bytes);
+  // Flips bit `bit` (0..7) of the byte at `byte_offset` in place.
+  static bool flip_bit(const std::string& path, std::uint64_t byte_offset,
+                       int bit);
+
+ private:
+  bool limited_ = false;
+  bool tripped_ = false;
+  std::uint64_t budget_ = 0;
+};
+
+}  // namespace slider::durability

@@ -1,0 +1,401 @@
+#include "durability/segment_log.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <system_error>
+
+#include "common/crc32c.h"
+#include "common/logging.h"
+#include "data/serde.h"
+#include "observability/stats.h"
+
+namespace slider::durability {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::size_t kHeaderBytes = 8;        // u32 len + u32 crc
+constexpr std::size_t kBodyFixedBytes = 17;    // u8 type + u64 seq + u64 key
+// A body longer than this is taken as framing garbage rather than a real
+// record: resyncing past it would mean trusting a corrupt length to jump
+// anywhere in the file, so the scan abandons the segment instead.
+constexpr std::uint32_t kMaxPlausibleBody = 1u << 30;
+
+struct DurabilityInstruments {
+  obs::Counter& records_appended;
+  obs::Counter& bytes_appended;
+  obs::Counter& bytes_flushed;
+  obs::Counter& fsyncs;
+  obs::Counter& segments_rotated;
+  obs::Counter& segments_compacted;
+  obs::Counter& compaction_bytes_reclaimed;
+  obs::Counter& torn_records;
+  obs::Counter& crc_failures;
+};
+
+DurabilityInstruments& instruments() {
+  auto& reg = obs::StatsRegistry::global();
+  static DurabilityInstruments inst{
+      reg.counter("durability.records_appended"),
+      reg.counter("durability.bytes_appended"),
+      reg.counter("durability.bytes_flushed"),
+      reg.counter("durability.fsyncs"),
+      reg.counter("durability.segments_rotated"),
+      reg.counter("durability.segments_compacted"),
+      reg.counter("durability.compaction_bytes_reclaimed"),
+      reg.counter("durability.torn_records"),
+      reg.counter("durability.crc_failures"),
+  };
+  return inst;
+}
+
+std::string segment_name(std::uint64_t index) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "seg-%06" PRIu64 ".slog", index);
+  return buf;
+}
+
+// seg-000042.slog -> 42; nullopt for anything else.
+std::optional<std::uint64_t> segment_index(const std::string& filename) {
+  constexpr std::string_view kPrefix = "seg-";
+  constexpr std::string_view kSuffix = ".slog";
+  if (filename.size() <= kPrefix.size() + kSuffix.size()) return std::nullopt;
+  if (filename.compare(0, kPrefix.size(), kPrefix) != 0) return std::nullopt;
+  if (filename.compare(filename.size() - kSuffix.size(), kSuffix.size(),
+                       kSuffix) != 0) {
+    return std::nullopt;
+  }
+  std::uint64_t index = 0;
+  bool any = false;
+  for (std::size_t i = kPrefix.size(); i < filename.size() - kSuffix.size();
+       ++i) {
+    const char c = filename[i];
+    if (c < '0' || c > '9') return std::nullopt;
+    index = index * 10 + static_cast<std::uint64_t>(c - '0');
+    any = true;
+  }
+  if (!any) return std::nullopt;
+  return index;
+}
+
+std::string encode_record(LogRecordType type, std::uint64_t seq, LogKey key,
+                          std::string_view payload) {
+  std::string body;
+  body.reserve(kBodyFixedBytes + payload.size());
+  wire::put_u8(body, static_cast<std::uint8_t>(type));
+  wire::put_u64(body, seq);
+  wire::put_u64(body, key);
+  body.append(payload);
+
+  std::string frame;
+  frame.reserve(kHeaderBytes + body.size());
+  wire::put_u32(frame, static_cast<std::uint32_t>(body.size()));
+  wire::put_u32(frame, crc32c(body));
+  frame.append(body);
+  return frame;
+}
+
+// Scans one segment file. Returns the number of bytes the file should be
+// truncated to if a torn tail was found and `repair` is set (nullopt when
+// no truncation is needed).
+std::optional<std::uint64_t> scan_segment(const std::string& path,
+                                          const SegmentLog::ScanCallback& cb,
+                                          LogScanStats& stats) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return std::nullopt;
+  ++stats.segments_scanned;
+
+  std::optional<std::uint64_t> truncate_to;
+  std::uint64_t offset = 0;
+  std::string buf;
+  for (;;) {
+    char header[kHeaderBytes];
+    const std::size_t got = std::fread(header, 1, sizeof(header), f);
+    if (got == 0) break;  // clean end of segment
+    if (got < sizeof(header)) {
+      // Incomplete header: the shape a crash mid-write leaves behind.
+      ++stats.torn_records;
+      truncate_to = offset;
+      break;
+    }
+    std::string_view hv(header, sizeof(header));
+    std::uint32_t body_len = 0;
+    std::uint32_t expect_crc = 0;
+    wire::get_u32(hv, &body_len);
+    wire::get_u32(hv, &expect_crc);
+    if (body_len < kBodyFixedBytes || body_len > kMaxPlausibleBody) {
+      // Garbage length — can't resync safely; give up on this segment.
+      ++stats.crc_failures;
+      break;
+    }
+    buf.resize(body_len);
+    const std::size_t body_got = std::fread(buf.data(), 1, body_len, f);
+    if (body_got < body_len) {
+      ++stats.torn_records;
+      truncate_to = offset;
+      break;
+    }
+    offset += kHeaderBytes + body_len;
+    if (crc32c(buf) != expect_crc) {
+      // Mid-file corruption: skip this frame and resync at the next one
+      // (the length was plausible, so the frame boundary is our best bet).
+      ++stats.crc_failures;
+      continue;
+    }
+    std::string_view body(buf);
+    LogRecord record;
+    std::uint8_t type = 0;
+    wire::get_u8(body, &type);
+    wire::get_u64(body, &record.seq);
+    wire::get_u64(body, &record.key);
+    record.type = static_cast<LogRecordType>(type);
+    record.payload.assign(body);
+    ++stats.records_scanned;
+    stats.bytes_scanned += kHeaderBytes + body_len;
+    if (cb) cb(record);
+  }
+  std::fclose(f);
+  return truncate_to;
+}
+
+}  // namespace
+
+LogScanStats& LogScanStats::operator+=(const LogScanStats& o) {
+  segments_scanned += o.segments_scanned;
+  records_scanned += o.records_scanned;
+  bytes_scanned += o.bytes_scanned;
+  torn_records += o.torn_records;
+  crc_failures += o.crc_failures;
+  return *this;
+}
+
+SegmentLog::SegmentLog(std::string dir, SegmentLogOptions options)
+    : dir_(std::move(dir)), options_(std::move(options)) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  // Continue numbering after any existing (sealed) segments.
+  for (const auto& path : list_segments(dir_)) {
+    const auto index = segment_index(fs::path(path).filename().string());
+    if (index.has_value() && *index >= next_segment_index_) {
+      next_segment_index_ = *index + 1;
+    }
+  }
+  open_fresh_segment();
+}
+
+SegmentLog::~SegmentLog() { close(); }
+
+void SegmentLog::open_fresh_segment() {
+  active_path_ = (fs::path(dir_) / segment_name(next_segment_index_)).string();
+  ++next_segment_index_;
+  active_ = std::fopen(active_path_.c_str(), "wb");
+  if (active_ == nullptr) {
+    SLIDER_LOG(Warning) << "segment log: cannot open " << active_path_;
+    failed_ = true;
+  }
+  active_bytes_ = 0;
+  unflushed_bytes_ = 0;
+  records_since_flush_ = 0;
+}
+
+void SegmentLog::rotate() {
+  if (active_ != nullptr) {
+    std::fflush(active_);
+    if (options_.fsync != FsyncPolicy::kNever) {
+      instruments().fsyncs.add();
+      ::fsync(fileno(active_));
+    }
+    std::fclose(active_);
+    active_ = nullptr;
+  }
+  ++segments_rotated_;
+  instruments().segments_rotated.add();
+  open_fresh_segment();
+}
+
+bool SegmentLog::write_raw(std::string_view bytes) {
+  if (active_ == nullptr) {
+    failed_ = true;
+    return false;
+  }
+  std::size_t admitted = bytes.size();
+  if (injector_ != nullptr) admitted = injector_->admit(bytes.size());
+  if (admitted > 0) {
+    const std::size_t written = std::fwrite(bytes.data(), 1, admitted, active_);
+    if (written < admitted) admitted = written;
+  }
+  if (admitted < bytes.size()) {
+    // Torn write: flush whatever prefix reached the file (so the on-disk
+    // state is exactly what a crash would leave) and fail permanently.
+    std::fflush(active_);
+    failed_ = true;
+    return false;
+  }
+  active_bytes_ += bytes.size();
+  unflushed_bytes_ += bytes.size();
+  return true;
+}
+
+bool SegmentLog::append(LogRecordType type, std::uint64_t seq, LogKey key,
+                        std::string_view payload) {
+  if (failed_) return false;
+  const std::string frame = encode_record(type, seq, key, payload);
+  if (!write_raw(frame)) return false;
+  bytes_appended_ += frame.size();
+  ++records_appended_;
+  instruments().records_appended.add();
+  instruments().bytes_appended.add(frame.size());
+  ++records_since_flush_;
+  if (options_.flush_every_records != 0 &&
+      records_since_flush_ >= options_.flush_every_records) {
+    flush();
+  }
+  if (options_.fsync == FsyncPolicy::kEveryAppend) sync();
+  if (active_bytes_ >= options_.segment_bytes) rotate();
+  return true;
+}
+
+void SegmentLog::flush() {
+  if (active_ == nullptr) return;
+  std::fflush(active_);
+  instruments().bytes_flushed.add(unflushed_bytes_);
+  unflushed_bytes_ = 0;
+  records_since_flush_ = 0;
+}
+
+void SegmentLog::sync() {
+  if (active_ == nullptr) return;
+  flush();
+  instruments().fsyncs.add();
+  ::fsync(fileno(active_));
+}
+
+void SegmentLog::close() {
+  if (active_ == nullptr) return;
+  flush();
+  if (options_.fsync != FsyncPolicy::kNever) {
+    instruments().fsyncs.add();
+    ::fsync(fileno(active_));
+  }
+  std::fclose(active_);
+  active_ = nullptr;
+}
+
+SegmentLog::CompactionResult SegmentLog::compact(
+    const std::unordered_set<LogKey>& live) {
+  CompactionResult result;
+  if (failed_) return result;
+  close();
+
+  result.bytes_before = dir_bytes(dir_);
+
+  // Newest record per key across the whole log (append order == age order,
+  // ties broken by seq for robustness).
+  struct Latest {
+    bool seen = false;
+    std::uint64_t seq = 0;
+    bool is_put = false;
+    std::string payload;
+  };
+  std::map<LogKey, Latest> latest;
+  std::uint64_t total_records = 0;
+  LogScanStats scan_stats = scan_dir(
+      dir_,
+      [&](const LogRecord& record) {
+        ++total_records;
+        Latest& slot = latest[record.key];
+        if (slot.seen && record.seq < slot.seq) return;
+        slot.seen = true;
+        slot.seq = record.seq;
+        slot.is_put = record.type == LogRecordType::kPut;
+        slot.payload = record.payload;
+      },
+      /*repair_torn_tail=*/true);
+  (void)scan_stats;
+
+  const auto old_segments = list_segments(dir_);
+
+  // Rewrite survivors into fresh segments (indices keep increasing, so the
+  // rewritten log sorts after nothing and before future appends).
+  open_fresh_segment();
+  std::uint64_t kept = 0;
+  for (const auto& [key, slot] : latest) {
+    if (!slot.is_put || live.find(key) == live.end()) continue;
+    const std::string frame =
+        encode_record(LogRecordType::kPut, slot.seq, key, slot.payload);
+    if (!write_raw(frame)) break;
+    ++kept;
+    if (active_bytes_ >= options_.segment_bytes) rotate();
+  }
+  flush();
+  if (options_.fsync != FsyncPolicy::kNever) sync();
+
+  if (!failed_) {
+    std::error_code ec;
+    for (const auto& path : old_segments) fs::remove(path, ec);
+  }
+
+  result.bytes_after = dir_bytes(dir_);
+  result.records_dropped = total_records - kept;
+  instruments().segments_compacted.add(old_segments.size());
+  if (result.bytes_before > result.bytes_after) {
+    instruments().compaction_bytes_reclaimed.add(result.bytes_before -
+                                                 result.bytes_after);
+  }
+  return result;
+}
+
+LogScanStats SegmentLog::scan_dir(const std::string& dir,
+                                  const ScanCallback& cb,
+                                  bool repair_torn_tail) {
+  LogScanStats stats;
+  for (const auto& path : list_segments(dir)) {
+    const auto truncate_to = scan_segment(path, cb, stats);
+    if (truncate_to.has_value() && repair_torn_tail) {
+      std::error_code ec;
+      fs::resize_file(path, *truncate_to, ec);
+      if (ec) {
+        SLIDER_LOG(Warning)
+            << "segment log: cannot repair torn tail of " << path;
+      }
+    }
+  }
+  instruments().torn_records.add(stats.torn_records);
+  instruments().crc_failures.add(stats.crc_failures);
+  return stats;
+}
+
+std::vector<std::string> SegmentLog::list_segments(const std::string& dir) {
+  std::vector<std::pair<std::uint64_t, std::string>> indexed;
+  std::error_code ec;
+  fs::directory_iterator it(dir, ec);
+  if (ec) return {};
+  for (const auto& entry : it) {
+    if (!entry.is_regular_file(ec)) continue;
+    const auto index = segment_index(entry.path().filename().string());
+    if (!index.has_value()) continue;
+    indexed.emplace_back(*index, entry.path().string());
+  }
+  std::sort(indexed.begin(), indexed.end());
+  std::vector<std::string> paths;
+  paths.reserve(indexed.size());
+  for (auto& [index, path] : indexed) paths.push_back(std::move(path));
+  return paths;
+}
+
+std::uint64_t SegmentLog::dir_bytes(const std::string& dir) {
+  std::uint64_t total = 0;
+  for (const auto& path : list_segments(dir)) {
+    std::error_code ec;
+    const auto size = fs::file_size(path, ec);
+    if (!ec) total += static_cast<std::uint64_t>(size);
+  }
+  return total;
+}
+
+}  // namespace slider::durability

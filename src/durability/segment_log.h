@@ -1,0 +1,157 @@
+// Log-structured segment store (paper §6, made real).
+//
+// An append-only log of length-prefixed, CRC32C-checksummed records,
+// split across rotating segment files:
+//
+//   <dir>/seg-000001.slog, seg-000002.slog, ...
+//
+// Record wire format (little-endian, built on slider::wire):
+//
+//   [u32 body_len][u32 crc32c(body)][body]
+//   body = [u8 type][u64 seq][u64 key][payload (body_len - 17 bytes)]
+//
+// The writer rotates to a fresh segment once the active one exceeds
+// `segment_bytes`, flushes on a configurable record cadence, and fsyncs
+// per policy. Every process (re)start opens a fresh segment — sealed
+// segments are immutable, which is what makes tail-scan recovery and
+// compaction simple.
+//
+// Recovery contract (see recovery.h for the replica-merging layer):
+//   * a torn record at the tail (incomplete header or body — the shape a
+//     crash mid-write leaves behind) is truncated away and counted;
+//   * a checksum-mismatched record mid-file is skipped and counted; the
+//     scan resyncs at the next frame using the (untrusted) length, and
+//     gives up on the segment if the length is implausible;
+//   * everything else is surfaced to the callback in append order.
+//
+// Compaction rewrites the log keeping only the newest record of each key
+// in a caller-provided live set — the GC hook: MemoStore::retain_only
+// already computes exactly that set.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "durability/fault_injector.h"
+
+namespace slider::durability {
+
+using LogKey = std::uint64_t;
+
+enum class FsyncPolicy : std::uint8_t {
+  kNever,        // rely on the OS page cache (tests, benches)
+  kOnRotate,     // fsync each segment as it seals + on close
+  kEveryAppend,  // fsync after every record (durable but slow)
+};
+
+struct SegmentLogOptions {
+  std::uint64_t segment_bytes = 1ull << 20;  // rotate threshold
+  // fflush() after this many records; 0 = only on rotate/sync/close.
+  std::size_t flush_every_records = 1;
+  FsyncPolicy fsync = FsyncPolicy::kNever;
+};
+
+enum class LogRecordType : std::uint8_t {
+  kPut = 1,
+  kTombstone = 2,  // key erased (explicit erase / budget eviction)
+};
+
+struct LogRecord {
+  LogRecordType type = LogRecordType::kPut;
+  std::uint64_t seq = 0;  // writer-assigned, monotone across segments
+  LogKey key = 0;
+  std::string payload;  // empty for tombstones
+};
+
+struct LogScanStats {
+  std::uint64_t segments_scanned = 0;
+  std::uint64_t records_scanned = 0;  // intact records delivered
+  std::uint64_t bytes_scanned = 0;
+  std::uint64_t torn_records = 0;   // incomplete tails dropped
+  std::uint64_t crc_failures = 0;   // checksum mismatches skipped
+
+  LogScanStats& operator+=(const LogScanStats& o);
+};
+
+class SegmentLog {
+ public:
+  explicit SegmentLog(std::string dir, SegmentLogOptions options = {});
+  ~SegmentLog();
+
+  SegmentLog(const SegmentLog&) = delete;
+  SegmentLog& operator=(const SegmentLog&) = delete;
+
+  // Appends one record. Returns false — and permanently marks the log
+  // failed — when the fault injector cut the write short (torn record on
+  // disk) or the underlying file write failed.
+  bool append(LogRecordType type, std::uint64_t seq, LogKey key,
+              std::string_view payload);
+
+  // fflush() the active segment (counts durability.bytes_flushed).
+  void flush();
+  // flush + fsync the active segment (counts durability.fsyncs).
+  void sync();
+  void close();
+
+  bool failed() const { return failed_; }
+  // Injects write faults on the *next* low-level writes. Not owned.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+
+  const std::string& dir() const { return dir_; }
+  std::uint64_t bytes_appended() const { return bytes_appended_; }
+  std::uint64_t records_appended() const { return records_appended_; }
+  std::uint64_t segments_rotated() const { return segments_rotated_; }
+
+  struct CompactionResult {
+    std::uint64_t bytes_before = 0;
+    std::uint64_t bytes_after = 0;
+    std::uint64_t records_dropped = 0;  // dead/stale records rewritten away
+  };
+
+  // Rewrites the whole log, keeping only the newest put of every key in
+  // `live`. Sealed and active segments are replaced; appends continue in
+  // a fresh segment afterwards. No-op on a failed log.
+  CompactionResult compact(const std::unordered_set<LogKey>& live);
+
+  // --- static scan interface (usable without opening for append) ------
+
+  using ScanCallback = std::function<void(const LogRecord&)>;
+
+  // Scans every segment in `dir` oldest-first, invoking `cb` for each
+  // intact record. With `repair_torn_tail`, an incomplete trailing record
+  // is physically truncated away so a reopened writer never follows
+  // garbage.
+  static LogScanStats scan_dir(const std::string& dir, const ScanCallback& cb,
+                               bool repair_torn_tail);
+
+  // Segment files in `dir`, sorted oldest-first. Empty if no directory.
+  static std::vector<std::string> list_segments(const std::string& dir);
+
+  // Total size of all segment files in `dir`.
+  static std::uint64_t dir_bytes(const std::string& dir);
+
+ private:
+  void open_fresh_segment();
+  void rotate();
+  // Low-level write honoring the fault injector; updates failed_.
+  bool write_raw(std::string_view bytes);
+
+  std::string dir_;
+  SegmentLogOptions options_;
+  std::FILE* active_ = nullptr;
+  std::string active_path_;
+  std::uint64_t next_segment_index_ = 1;
+  std::uint64_t active_bytes_ = 0;
+  std::uint64_t unflushed_bytes_ = 0;
+  std::size_t records_since_flush_ = 0;
+  std::uint64_t bytes_appended_ = 0;
+  std::uint64_t records_appended_ = 0;
+  std::uint64_t segments_rotated_ = 0;
+  bool failed_ = false;
+  FaultInjector* injector_ = nullptr;
+};
+
+}  // namespace slider::durability

@@ -1,9 +1,13 @@
 #include "slider/session.h"
 
 #include <algorithm>
+#include <bit>
+#include <filesystem>
 
 #include "common/thread_pool.h"
 #include "contraction/rotating_tree.h"
+#include "data/serde.h"
+#include "durability/checkpoint.h"
 #include "observability/stats.h"
 #include "observability/trace.h"
 
@@ -401,6 +405,126 @@ double SliderSession::contraction_breadth(const TreeUpdateStats& ts,
 SimDuration SliderSession::contraction_critical_path(
     const TreeUpdateStats& ts, SimDuration total, std::size_t partition) const {
   return total / contraction_breadth(ts, partition);
+}
+
+bool SliderSession::checkpoint(const std::string& dir) const {
+  SLIDER_CHECK(initialized_) << "checkpoint before initial_run";
+  SLIDER_TRACE_SPAN("durability", "session.checkpoint");
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    SLIDER_LOG(Warning) << "checkpoint: cannot create " << dir << ": "
+                        << ec.message();
+    return false;
+  }
+
+  durability::CheckpointWriter writer(
+      [this](std::uint64_t id) { return memo_->persisted_durably(id); });
+  std::string& blob = writer.blob();
+
+  // Identity header: a restore against the wrong job or a differently
+  // partitioned session must fail loudly, not mis-slice the trees.
+  wire::put_u64(blob, job_.job_hash());
+  wire::put_u32(blob, static_cast<std::uint32_t>(partitions_.size()));
+
+  // Window metadata. Records are NOT stored: live splits' map outputs sit
+  // in the trees, and a restored session never re-maps old splits — the
+  // stubs only carry the id (leaf identity) and byte size (cost model).
+  wire::put_u32(blob, static_cast<std::uint32_t>(window_.size()));
+  for (const SplitPtr& split : window_) {
+    wire::put_u64(blob, split->id);
+    wire::put_u64(blob, static_cast<std::uint64_t>(split->byte_size));
+  }
+
+  wire::put_u64(blob, std::bit_cast<std::uint64_t>(sim_clock_));
+
+  // Reduced outputs are plain tables (not memo nodes): inline them.
+  wire::put_u32(blob, static_cast<std::uint32_t>(output_.size()));
+  for (const KVTable& table : output_) {
+    wire::put_bytes(blob, serialize_table(table));
+  }
+
+  for (const PartitionState& p : partitions_) {
+    p.tree->serialize(writer);
+  }
+
+  const std::string path = dir + "/session.slckpt";
+  if (!writer.write_manifest(path)) {
+    SLIDER_LOG(Warning) << "checkpoint: manifest write failed: " << path;
+    return false;
+  }
+  return true;
+}
+
+bool SliderSession::restore(const std::string& dir) {
+  SLIDER_CHECK(!initialized_) << "restore on an initialized session";
+  SLIDER_TRACE_SPAN("durability", "session.restore");
+  const std::string path = dir + "/session.slckpt";
+  auto reader = durability::CheckpointReader::open(
+      path, [this](std::uint64_t id) { return memo_->peek(id); });
+  if (reader == nullptr) return false;
+
+  std::uint64_t job_hash = 0;
+  std::uint32_t num_partitions = 0;
+  if (!reader->get_u64(&job_hash) || !reader->get_u32(&num_partitions)) {
+    return false;
+  }
+  if (job_hash != job_.job_hash() ||
+      num_partitions != partitions_.size()) {
+    SLIDER_LOG(Warning) << "restore: checkpoint belongs to a different "
+                        << "job/partitioning: " << path;
+    return false;
+  }
+
+  std::uint32_t window_count = 0;
+  if (!reader->get_u32(&window_count)) return false;
+  std::deque<SplitPtr> window;
+  for (std::uint32_t i = 0; i < window_count; ++i) {
+    std::uint64_t id = 0;
+    std::uint64_t byte_size = 0;
+    if (!reader->get_u64(&id) || !reader->get_u64(&byte_size)) return false;
+    InputSplit stub;
+    stub.id = id;
+    stub.byte_size = static_cast<std::size_t>(byte_size);
+    window.push_back(std::make_shared<const InputSplit>(std::move(stub)));
+  }
+
+  std::uint64_t clock_bits = 0;
+  if (!reader->get_u64(&clock_bits)) return false;
+
+  std::uint32_t output_count = 0;
+  if (!reader->get_u32(&output_count) ||
+      output_count != partitions_.size()) {
+    return false;
+  }
+  std::vector<KVTable> output;
+  output.reserve(output_count);
+  for (std::uint32_t i = 0; i < output_count; ++i) {
+    std::string bytes;
+    if (!reader->get_bytes(&bytes)) return false;
+    std::optional<KVTable> table = deserialize_table(bytes);
+    if (!table.has_value()) return false;
+    output.push_back(std::move(*table));
+  }
+
+  // Trees restore serially: they share the CheckpointReader cursor. Only
+  // commit session state after every tree accepted its slice.
+  for (PartitionState& p : partitions_) {
+    if (!p.tree->restore(*reader)) {
+      SLIDER_LOG(Warning) << "restore: tree restore failed: " << path;
+      return false;
+    }
+  }
+  if (!reader->done()) {
+    SLIDER_LOG(Warning) << "restore: trailing bytes in manifest: " << path;
+    return false;
+  }
+
+  window_ = std::move(window);
+  output_ = std::move(output);
+  sim_clock_ = std::bit_cast<SimDuration>(clock_bits);
+  initialized_ = true;
+  return true;
 }
 
 void SliderSession::garbage_collect() {

@@ -15,6 +15,7 @@
 
 #include <deque>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "contraction/tree.h"
@@ -78,6 +79,24 @@ class SliderSession {
   // background) are laid out back-to-back on this clock, which is what
   // the simulated-time trace spans are anchored to.
   SimDuration sim_clock() const { return sim_clock_; }
+
+  // Durability (§6): persists the session's full incremental state — the
+  // window's split metadata, every partition tree's structure, and the
+  // reduced outputs — as a checkpoint manifest at `<dir>/session.slckpt`.
+  // Tree node payloads that already live in the memo store's durable tier
+  // are written by-reference; everything else is inlined. Returns false if
+  // the manifest could not be written.
+  bool checkpoint(const std::string& dir) const;
+
+  // Restores a freshly constructed session (same engine/job/config) from a
+  // checkpoint written by `checkpoint()`. Call instead of initial_run(),
+  // after MemoStore::restore_from_durable() when a durable tier is
+  // attached, so by-ref node payloads resolve. On success the session is
+  // initialized: output() serves the checkpointed result and the next
+  // slide() performs delta-proportional work, exactly as if the process
+  // had never died. Returns false (leaving the session unusable) on any
+  // validation failure.
+  bool restore(const std::string& dir);
 
   // Node ids the session's trees still need. Exposed so that a composite
   // runtime (e.g. a multi-stage query pipeline sharing this MemoStore)

@@ -1,6 +1,12 @@
 #include "storage/memo_store.h"
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
 #include "data/serde.h"
+#include "durability/durable_tier.h"
 #include "observability/stats.h"
 #include "observability/trace.h"
 
@@ -135,6 +141,7 @@ void MemoStore::evict_to_capacity() {
 void MemoStore::enforce_entry_budget() {
   const std::size_t budget = entry_budget_.load(std::memory_order_relaxed);
   if (budget == 0 || size() <= budget) return;
+  std::vector<NodeId> durable_victims;
   std::lock_guard<std::mutex> evict_lock(evict_mutex_);
   // Drop the oldest-written entries entirely. Linear scan is fine: the
   // budget policy fires rarely and the index is window-bounded.
@@ -158,6 +165,7 @@ void MemoStore::enforce_entry_budget() {
     std::lock_guard<std::mutex> lock(shard.mutex);
     const auto it = shard.index.find(victim);
     if (it == shard.index.end()) continue;
+    if (it->second.durable) durable_victims.push_back(victim);
     drop_memory(shard, it->second);
     total_bytes_.fetch_sub(it->second.bytes, std::memory_order_relaxed);
     shard.index.erase(it);
@@ -166,6 +174,14 @@ void MemoStore::enforce_entry_budget() {
     [[maybe_unused]] const double evicted =
         static_cast<double>(memo_instruments().evictions_budget.add());
     SLIDER_TRACE_COUNTER("memo", "memo.evictions_budget", evicted);
+  }
+  if (durable_ != nullptr) {
+    // Budget eviction is a deliberate forget: tombstone the victims so a
+    // restart does not resurrect entries the policy discarded.
+    for (const NodeId id : durable_victims) {
+      durable_->tombstone(
+          id, next_write_seq_.fetch_add(1, std::memory_order_relaxed));
+    }
   }
   refresh_gauges();
 }
@@ -192,6 +208,9 @@ MemoWriteResult MemoStore::put(NodeId id,
   SLIDER_TRACE_SPAN("memo", "memo.write");
   MemoWriteResult result;
   bool installed_memory = false;
+  bool do_durable = false;
+  std::string durable_payload;
+  std::uint64_t durable_seq = 0;
   {
     Shard& shard = shard_of(id);
     std::lock_guard<std::mutex> lock(shard.mutex);
@@ -236,6 +255,28 @@ MemoWriteResult MemoStore::put(NodeId id,
       result.cost = estimate_write_cost(entry.bytes);
       atomic_add(stats_.write_time, result.cost);
       memo_instruments().replica_writes.add(kReplicas);
+
+      if (durable_ != nullptr) {
+        // Copy what the log needs; the actual file I/O happens after the
+        // shard mutex is released (locking discipline: durable I/O never
+        // runs under a shard lock).
+        do_durable = true;
+        durable_payload = entry.persistent;
+        durable_seq = entry.write_seq;
+      }
+    }
+  }
+  if (do_durable) {
+    const std::size_t accepted = durable_->put(id, durable_seq,
+                                               durable_payload);
+    if (accepted > 0) {
+      stats_.persistent_writes.fetch_add(1, std::memory_order_relaxed);
+      stats_.bytes_persisted.fetch_add(durable_payload.size(),
+                                       std::memory_order_relaxed);
+      Shard& shard = shard_of(id);
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      const auto it = shard.index.find(id);
+      if (it != shard.index.end()) it->second.durable = true;
     }
   }
   // Policies run without the shard mutex held (locking discipline).
@@ -333,15 +374,21 @@ MemoReadResult MemoStore::get(NodeId id, MachineId reader) {
 }
 
 void MemoStore::erase(NodeId id) {
+  bool was_durable = false;
   {
     Shard& shard = shard_of(id);
     std::lock_guard<std::mutex> lock(shard.mutex);
     const auto it = shard.index.find(id);
     if (it == shard.index.end()) return;
+    was_durable = it->second.durable;
     drop_memory(shard, it->second);
     total_bytes_.fetch_sub(it->second.bytes, std::memory_order_relaxed);
     shard.index.erase(it);
     entry_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  if (was_durable && durable_ != nullptr) {
+    durable_->tombstone(
+        id, next_write_seq_.fetch_add(1, std::memory_order_relaxed));
   }
   refresh_gauges();
 }
@@ -362,6 +409,13 @@ std::size_t MemoStore::retain_only(const std::unordered_set<NodeId>& live) {
       }
     }
   }
+  if (durable_ != nullptr) {
+    // GC does not tombstone (a tombstone per collected node would flood
+    // the log every slide); instead the live set drives log compaction.
+    // Consequence: recovery may resurrect entries the GC dropped — the
+    // first post-restore GC prunes them again (documented invariant).
+    durable_->maybe_compact(live);
+  }
   refresh_gauges();
   return collected;
 }
@@ -376,6 +430,89 @@ void MemoStore::drop_memory_on_failed() {
   refresh_gauges();
 }
 
+std::size_t MemoStore::restore_from_durable(
+    durability::RecoveryStats* recovery) {
+  if (durable_ == nullptr) return 0;
+  durability::RecoveryStats recovery_stats;
+  auto recovered = durable_->recover(&recovery_stats);
+  if (recovery != nullptr) *recovery = recovery_stats;
+
+  // Install in ascending write-seq order so iteration-order noise from the
+  // recovery map never changes which entry wins a (theoretical) id clash
+  // and the budget policy's age ordering survives the restart.
+  std::vector<std::pair<std::uint64_t, NodeId>> order;
+  order.reserve(recovered.size());
+  for (const auto& [id, entry] : recovered) order.emplace_back(entry.seq, id);
+  std::sort(order.begin(), order.end());
+
+  std::size_t installed = 0;
+  std::uint64_t max_seq = 0;
+  for (const auto& [seq, id] : order) {
+    auto& payload = recovered.at(id).payload;
+    if (!deserialize_table(payload).has_value()) {
+      // Both replicas of this record decayed (or a stale-format log):
+      // recovery serves what it can and recomputation covers the rest.
+      SLIDER_LOG(Warning) << "memo restore: dropping undecodable entry "
+                          << id;
+      continue;
+    }
+    max_seq = std::max(max_seq, seq);
+    Shard& shard = shard_of(id);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto [it, inserted] = shard.index.try_emplace(id);
+    if (!inserted) continue;  // already re-put by this process
+    Entry& entry = it->second;
+    entry.persistent = std::move(payload);
+    entry.bytes = entry.persistent.size();
+    entry.home = home_of(id);
+    for (int r = 0; r < kReplicas; ++r) {
+      entry.replica_homes[r] = static_cast<MachineId>(
+          (entry.home + 1 + r) % cluster_->num_machines());
+    }
+    entry.write_seq = seq;  // preserve pre-crash age ordering
+    entry.durable = true;
+    // Memory tier starts cold; reads repopulate it lazily.
+    total_bytes_.fetch_add(entry.bytes, std::memory_order_relaxed);
+    entry_count_.fetch_add(1, std::memory_order_relaxed);
+    ++installed;
+  }
+
+  // Future appends must outrank every recovered record.
+  std::uint64_t expected =
+      next_write_seq_.load(std::memory_order_relaxed);
+  while (expected <= max_seq && !next_write_seq_.compare_exchange_weak(
+                                    expected, max_seq + 1,
+                                    std::memory_order_relaxed)) {
+  }
+
+  stats_.recovered_entries.fetch_add(installed, std::memory_order_relaxed);
+  refresh_gauges();
+  return installed;
+}
+
+std::shared_ptr<const KVTable> MemoStore::peek(NodeId id) const {
+  const Shard& shard = shard_of(id);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.index.find(id);
+  if (it == shard.index.end()) return nullptr;
+  if (it->second.memory != nullptr) return it->second.memory;
+  auto table = deserialize_table(it->second.persistent);
+  if (!table.has_value()) return nullptr;
+  return std::make_shared<const KVTable>(*std::move(table));
+}
+
+bool MemoStore::persisted_durably(NodeId id) const {
+  if (durable_ == nullptr) return false;
+  const Shard& shard = shard_of(id);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.index.find(id);
+  return it != shard.index.end() && it->second.durable;
+}
+
+void MemoStore::flush_durable() {
+  if (durable_ != nullptr) durable_->flush();
+}
+
 MemoStoreStats MemoStore::stats() const {
   MemoStoreStats snapshot;
   snapshot.reads_memory = stats_.reads_memory.load(std::memory_order_relaxed);
@@ -385,6 +522,12 @@ MemoStoreStats MemoStore::stats() const {
       stats_.memory_evictions.load(std::memory_order_relaxed);
   snapshot.budget_evictions =
       stats_.budget_evictions.load(std::memory_order_relaxed);
+  snapshot.persistent_writes =
+      stats_.persistent_writes.load(std::memory_order_relaxed);
+  snapshot.bytes_persisted =
+      stats_.bytes_persisted.load(std::memory_order_relaxed);
+  snapshot.recovered_entries =
+      stats_.recovered_entries.load(std::memory_order_relaxed);
   snapshot.read_time = stats_.read_time.load(std::memory_order_relaxed);
   snapshot.write_time = stats_.write_time.load(std::memory_order_relaxed);
   return snapshot;
@@ -396,6 +539,9 @@ void MemoStore::reset_stats() {
   stats_.misses.store(0, std::memory_order_relaxed);
   stats_.memory_evictions.store(0, std::memory_order_relaxed);
   stats_.budget_evictions.store(0, std::memory_order_relaxed);
+  stats_.persistent_writes.store(0, std::memory_order_relaxed);
+  stats_.bytes_persisted.store(0, std::memory_order_relaxed);
+  stats_.recovered_entries.store(0, std::memory_order_relaxed);
   stats_.read_time.store(0, std::memory_order_relaxed);
   stats_.write_time.store(0, std::memory_order_relaxed);
 }

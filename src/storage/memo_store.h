@@ -38,6 +38,11 @@
 #include "common/metrics.h"
 #include "data/record.h"
 
+namespace slider::durability {
+class DurableTier;
+struct RecoveryStats;
+}  // namespace slider::durability
+
 namespace slider {
 
 using NodeId = std::uint64_t;
@@ -62,6 +67,9 @@ struct MemoStoreStats {
   std::uint64_t misses = 0;
   std::uint64_t memory_evictions = 0;  // LRU drops from the memory tier
   std::uint64_t budget_evictions = 0;  // whole entries dropped by policy
+  std::uint64_t persistent_writes = 0;   // records appended to the durable log
+  std::uint64_t bytes_persisted = 0;     // payload bytes of those records
+  std::uint64_t recovered_entries = 0;   // entries restored from the log
   SimDuration read_time = 0;
   SimDuration write_time = 0;
 };
@@ -138,6 +146,37 @@ class MemoStore {
   // injection); persistent replicas on live machines keep serving.
   void drop_memory_on_failed();
 
+  // --- real on-disk durability (src/durability, paper §6 made real) ----
+  //
+  // Without a durable tier the "persistent" copies above are simulated
+  // (serialized bytes held in process memory, costs charged by the model).
+  // Attaching a DurableTier additionally mirrors every new entry into its
+  // replicated segment logs, so a *process* restart can rebuild the store
+  // with restore_from_durable(). Attach before the first put; entries
+  // written earlier stay simulation-only. The tier is not owned.
+  void attach_durable_tier(durability::DurableTier* tier) { durable_ = tier; }
+  durability::DurableTier* durable_tier() const { return durable_; }
+
+  // Rebuilds the index from the attached tier's logs (replica merge, torn
+  // tails repaired). Entries keep their original write sequence numbers;
+  // the memory tier starts cold and repopulates on reads. Returns the
+  // number of entries installed (pre-existing ids are left untouched).
+  // `recovery` (optional) receives the underlying scan/merge statistics,
+  // including wall-clock recovery time.
+  std::size_t restore_from_durable(
+      durability::RecoveryStats* recovery = nullptr);
+
+  // Uncharged, side-effect-free read used by checkpoint resolution: no
+  // cost accounting, no LRU touch, no memory-tier install.
+  std::shared_ptr<const KVTable> peek(NodeId id) const;
+
+  // True when `id` is currently backed by the durable log (i.e. a
+  // checkpoint may reference it instead of inlining the payload).
+  bool persisted_durably(NodeId id) const;
+
+  // Flushes the attached tier's logs (no-op without one).
+  void flush_durable();
+
   // Snapshot of the internal counters (value, not reference: counters are
   // atomics updated by concurrent writers).
   MemoStoreStats stats() const;
@@ -154,6 +193,7 @@ class MemoStore {
     std::uint64_t bytes = 0;
     std::uint64_t write_seq = 0;  // insertion order (budget GC)
     std::uint64_t touch_seq = 0;  // global recency stamp (memory LRU)
+    bool durable = false;  // mirrored into the attached DurableTier's logs
     std::list<NodeId>::iterator lru_position;  // valid iff memory != null
   };
 
@@ -201,6 +241,7 @@ class MemoStore {
   std::atomic<std::uint64_t> next_write_seq_{0};
   std::atomic<std::uint64_t> next_touch_seq_{0};
   std::mutex evict_mutex_;  // serializes the two eviction policies
+  durability::DurableTier* durable_ = nullptr;  // optional; not owned
 
   struct AtomicStats {
     std::atomic<std::uint64_t> reads_memory{0};
@@ -208,6 +249,9 @@ class MemoStore {
     std::atomic<std::uint64_t> misses{0};
     std::atomic<std::uint64_t> memory_evictions{0};
     std::atomic<std::uint64_t> budget_evictions{0};
+    std::atomic<std::uint64_t> persistent_writes{0};
+    std::atomic<std::uint64_t> bytes_persisted{0};
+    std::atomic<std::uint64_t> recovered_entries{0};
     std::atomic<double> read_time{0};
     std::atomic<double> write_time{0};
   };

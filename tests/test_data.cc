@@ -95,6 +95,107 @@ TEST(Serde, RejectsCorruptInput) {
   EXPECT_FALSE(deserialize_table(bytes));
 }
 
+TEST(Serde, PropertyRoundTripAcrossSizes) {
+  // Property: deserialize(serialize(t)) == t for tables of widely varying
+  // shapes — empty, singleton, power-of-two edges, and a few hundred rows
+  // of random sizes.
+  Rng rng(0xD15C);
+  for (const std::size_t rows :
+       {std::size_t{0}, std::size_t{1}, std::size_t{2}, std::size_t{31},
+        std::size_t{32}, std::size_t{257}}) {
+    std::vector<Record> records;
+    records.reserve(rows);
+    for (std::size_t i = 0; i < rows; ++i) {
+      std::string key = "k" + std::to_string(i);
+      std::string value(rng.next_below(64), 'v');
+      records.push_back({std::move(key), std::move(value)});
+    }
+    const KVTable t =
+        KVTable::from_records(std::move(records), sum_combiner());
+    const std::string bytes = serialize_table(t);
+    const auto back = deserialize_table(bytes);
+    ASSERT_TRUE(back.has_value()) << rows << " rows";
+    EXPECT_EQ(*back, t) << rows << " rows";
+    // And the serialized form itself is stable (no hidden state).
+    EXPECT_EQ(serialize_table(*back), bytes) << rows << " rows";
+  }
+}
+
+TEST(Serde, PropertyRoundTripArbitraryBytes) {
+  // Keys and values are raw byte strings, not text: embedded NULs, high
+  // bytes, and invalid UTF-8 must all survive the round trip.
+  Rng rng(0xB17E5);
+  std::vector<Record> records;
+  for (int i = 0; i < 64; ++i) {
+    std::string key;
+    std::string value;
+    const std::size_t key_len = 1 + rng.next_below(24);
+    const std::size_t value_len = rng.next_below(128);
+    for (std::size_t b = 0; b < key_len; ++b) {
+      key.push_back(static_cast<char>(rng.next_below(256)));
+    }
+    for (std::size_t b = 0; b < value_len; ++b) {
+      value.push_back(static_cast<char>(rng.next_below(256)));
+    }
+    records.push_back({std::move(key), std::move(value)});
+  }
+  records.push_back({std::string("\x00\x00", 2), std::string("\xff\xfe", 2)});
+  records.push_back({std::string("\xc3\x28", 2), ""});  // invalid UTF-8
+  const KVTable t = KVTable::from_records(
+      std::move(records), [](const std::string&, const std::string& a,
+                             const std::string& b) { return a + b; });
+  const auto back = deserialize_table(serialize_table(t));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, t);
+}
+
+TEST(Serde, WirePrimitivesRoundTrip) {
+  // The wire primitives carry both the memo format and the durability
+  // formats; check the full value range edges round-trip.
+  std::string buffer;
+  wire::put_u8(buffer, 0);
+  wire::put_u8(buffer, 0xFF);
+  wire::put_u32(buffer, 0);
+  wire::put_u32(buffer, 0xFFFFFFFFu);
+  wire::put_u64(buffer, 0);
+  wire::put_u64(buffer, 0xFFFFFFFFFFFFFFFFull);
+  wire::put_u64(buffer, 0x0123456789ABCDEFull);
+  wire::put_bytes(buffer, std::string("\x00pay\xffload", 9));
+  wire::put_bytes(buffer, "");
+
+  std::string_view in = buffer;
+  std::uint8_t u8 = 1;
+  std::uint32_t u32 = 1;
+  std::uint64_t u64 = 1;
+  std::string bytes;
+  ASSERT_TRUE(wire::get_u8(in, &u8));
+  EXPECT_EQ(u8, 0u);
+  ASSERT_TRUE(wire::get_u8(in, &u8));
+  EXPECT_EQ(u8, 0xFFu);
+  ASSERT_TRUE(wire::get_u32(in, &u32));
+  EXPECT_EQ(u32, 0u);
+  ASSERT_TRUE(wire::get_u32(in, &u32));
+  EXPECT_EQ(u32, 0xFFFFFFFFu);
+  ASSERT_TRUE(wire::get_u64(in, &u64));
+  EXPECT_EQ(u64, 0u);
+  ASSERT_TRUE(wire::get_u64(in, &u64));
+  EXPECT_EQ(u64, 0xFFFFFFFFFFFFFFFFull);
+  ASSERT_TRUE(wire::get_u64(in, &u64));
+  EXPECT_EQ(u64, 0x0123456789ABCDEFull);
+  ASSERT_TRUE(wire::get_bytes(in, &bytes));
+  EXPECT_EQ(bytes, std::string("\x00pay\xffload", 9));
+  ASSERT_TRUE(wire::get_bytes(in, &bytes));
+  EXPECT_TRUE(bytes.empty());
+  EXPECT_TRUE(in.empty());
+
+  // Truncated reads fail without consuming.
+  std::string short_buf;
+  wire::put_u32(short_buf, 7);
+  std::string_view short_in(short_buf.data(), 2);
+  EXPECT_FALSE(wire::get_u32(short_in, &u32));
+  EXPECT_EQ(short_in.size(), 2u);
+}
+
 TEST(Serde, SerializedSizeMatchesByteSizeModel) {
   const KVTable t = KVTable::from_records(
       {{"alpha", "12345"}, {"beta", "xy"}}, sum_combiner());

@@ -1,0 +1,578 @@
+// Durability subsystem tests: segment-log wire format and recovery
+// contract (torn tails, bit flips, replica merge), the durable memo tier,
+// checkpoint manifests, and the end-to-end invariant from the issue: a
+// checkpointed, torn-down, restored session produces byte-identical output
+// and its first post-restore slide does delta-proportional work.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "apps/microbench.h"
+#include "common/crc32c.h"
+#include "data/serde.h"
+#include "durability/checkpoint.h"
+#include "durability/durable_tier.h"
+#include "durability/fault_injector.h"
+#include "durability/recovery.h"
+#include "durability/segment_log.h"
+#include "slider/session.h"
+#include "tests/test_util.h"
+
+namespace slider {
+namespace {
+
+namespace fs = std::filesystem;
+using durability::DurableTier;
+using durability::DurableTierOptions;
+using durability::FileFaultInjector;
+using durability::LogRecord;
+using durability::LogRecordType;
+using durability::LogScanStats;
+using durability::RecoveryStats;
+using durability::SegmentLog;
+using durability::SegmentLogOptions;
+
+// Fresh scratch directory per test, removed on teardown.
+class DurabilityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = fs::temp_directory_path() /
+           (std::string("slider_durability_") + info->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string path(const std::string& sub = "") const {
+    return sub.empty() ? dir_.string() : (dir_ / sub).string();
+  }
+
+  fs::path dir_;
+};
+
+std::vector<LogRecord> scan_all(const std::string& dir, LogScanStats* stats,
+                                bool repair = false) {
+  std::vector<LogRecord> records;
+  LogScanStats s = SegmentLog::scan_dir(
+      dir, [&](const LogRecord& r) { records.push_back(r); }, repair);
+  if (stats != nullptr) *stats = s;
+  return records;
+}
+
+// --- crc32c ----------------------------------------------------------------
+
+TEST(Crc32c, KnownAnswers) {
+  // RFC 3720 §B.4 test vectors.
+  EXPECT_EQ(crc32c(std::string(32, '\0')), 0x8A9136AAu);
+  EXPECT_EQ(crc32c(std::string(32, '\xff')), 0x62A8AB43u);
+  std::string ascending(32, '\0');
+  for (int i = 0; i < 32; ++i) ascending[static_cast<std::size_t>(i)] =
+      static_cast<char>(i);
+  EXPECT_EQ(crc32c(ascending), 0x46DD794Eu);
+  EXPECT_EQ(crc32c("123456789"), 0xE3069283u);
+}
+
+TEST(Crc32c, IncrementalMatchesOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  for (std::size_t split = 0; split <= data.size(); ++split) {
+    const std::uint32_t partial = crc32c(data.substr(0, split));
+    EXPECT_EQ(crc32c(data.substr(split), partial), crc32c(data));
+  }
+}
+
+// --- segment log -----------------------------------------------------------
+
+TEST_F(DurabilityTest, SegmentLogRoundTrip) {
+  {
+    SegmentLog log(path());
+    ASSERT_TRUE(log.append(LogRecordType::kPut, 1, 10, "alpha"));
+    ASSERT_TRUE(log.append(LogRecordType::kPut, 2, 20, ""));
+    ASSERT_TRUE(log.append(LogRecordType::kTombstone, 3, 10, ""));
+    ASSERT_TRUE(log.append(LogRecordType::kPut, 4, 30,
+                           std::string("\x00\xff\x7f bytes", 9)));
+    log.close();
+  }
+  LogScanStats stats;
+  const auto records = scan_all(path(), &stats);
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_EQ(stats.torn_records, 0u);
+  EXPECT_EQ(stats.crc_failures, 0u);
+  EXPECT_EQ(records[0].key, 10u);
+  EXPECT_EQ(records[0].payload, "alpha");
+  EXPECT_EQ(records[1].payload, "");
+  EXPECT_EQ(records[2].type, LogRecordType::kTombstone);
+  EXPECT_EQ(records[3].payload, std::string("\x00\xff\x7f bytes", 9));
+  // Append order == (seq order here): scan preserves it.
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].seq, i + 1);
+  }
+}
+
+TEST_F(DurabilityTest, SegmentRotationAndReopenNumbering) {
+  SegmentLogOptions options;
+  options.segment_bytes = 64;  // force rotation every couple of records
+  {
+    SegmentLog log(path(), options);
+    for (std::uint64_t i = 0; i < 10; ++i) {
+      ASSERT_TRUE(log.append(LogRecordType::kPut, i, i, "payload-bytes"));
+    }
+    EXPECT_GT(log.segments_rotated(), 0u);
+    log.close();
+  }
+  const auto before = SegmentLog::list_segments(path());
+  ASSERT_GT(before.size(), 1u);
+  {
+    // A restarted process must seal the old segments and continue the
+    // numbering, never append into a sealed file.
+    SegmentLog log(path(), options);
+    ASSERT_TRUE(log.append(LogRecordType::kPut, 10, 10, "after-restart"));
+    log.close();
+  }
+  const auto after = SegmentLog::list_segments(path());
+  EXPECT_EQ(after.size(), before.size() + 1);
+  const auto records = scan_all(path(), nullptr);
+  ASSERT_EQ(records.size(), 11u);
+  EXPECT_EQ(records.back().payload, "after-restart");
+}
+
+TEST_F(DurabilityTest, TornTailIsDetectedAndRepaired) {
+  {
+    SegmentLog log(path());
+    ASSERT_TRUE(log.append(LogRecordType::kPut, 1, 1, "first"));
+    ASSERT_TRUE(log.append(LogRecordType::kPut, 2, 2, "second-record"));
+    log.close();
+  }
+  const auto segments = SegmentLog::list_segments(path());
+  ASSERT_EQ(segments.size(), 1u);
+  // Tear the last record mid-body.
+  ASSERT_TRUE(FileFaultInjector::truncate_tail(segments[0], 5));
+
+  LogScanStats stats;
+  auto records = scan_all(path(), &stats, /*repair=*/true);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].payload, "first");
+  EXPECT_EQ(stats.torn_records, 1u);
+  EXPECT_EQ(stats.crc_failures, 0u);
+
+  // Repair truncated the torn frame: a second scan is clean.
+  records = scan_all(path(), &stats);
+  EXPECT_EQ(records.size(), 1u);
+  EXPECT_EQ(stats.torn_records, 0u);
+}
+
+TEST_F(DurabilityTest, WriteFaultProducesTornRecordAndFailsLog) {
+  FileFaultInjector injector;
+  SegmentLog log(path());
+  log.set_fault_injector(&injector);
+  ASSERT_TRUE(log.append(LogRecordType::kPut, 1, 1, "intact"));
+  injector.fail_after_bytes(4);  // next frame is cut after 4 bytes
+  EXPECT_FALSE(log.append(LogRecordType::kPut, 2, 2, "torn-away"));
+  EXPECT_TRUE(injector.tripped());
+  EXPECT_TRUE(log.failed());
+  // A failed log refuses everything from then on.
+  EXPECT_FALSE(log.append(LogRecordType::kPut, 3, 3, "rejected"));
+  log.close();
+
+  LogScanStats stats;
+  const auto records = scan_all(path(), &stats, /*repair=*/true);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].payload, "intact");
+  EXPECT_EQ(stats.torn_records, 1u);
+}
+
+TEST_F(DurabilityTest, BitFlipIsSkippedAndScanResyncs) {
+  {
+    SegmentLog log(path());
+    ASSERT_TRUE(log.append(LogRecordType::kPut, 1, 1, "aaaaaaaa"));
+    ASSERT_TRUE(log.append(LogRecordType::kPut, 2, 2, "bbbbbbbb"));
+    ASSERT_TRUE(log.append(LogRecordType::kPut, 3, 3, "cccccccc"));
+    log.close();
+  }
+  const auto segments = SegmentLog::list_segments(path());
+  ASSERT_EQ(segments.size(), 1u);
+  // Flip a payload bit inside the middle record. Frame = 25 + 8 bytes.
+  ASSERT_TRUE(FileFaultInjector::flip_bit(segments[0], 33 + 25 + 2, 3));
+
+  LogScanStats stats;
+  const auto records = scan_all(path(), &stats);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].payload, "aaaaaaaa");
+  EXPECT_EQ(records[1].payload, "cccccccc");  // resynced past the bad frame
+  EXPECT_EQ(stats.crc_failures, 1u);
+  EXPECT_EQ(stats.torn_records, 0u);
+}
+
+TEST_F(DurabilityTest, CompactionKeepsNewestLivePutOnly) {
+  SegmentLog log(path());
+  ASSERT_TRUE(log.append(LogRecordType::kPut, 1, 100, "stale"));
+  ASSERT_TRUE(log.append(LogRecordType::kPut, 2, 100, "fresh"));
+  ASSERT_TRUE(log.append(LogRecordType::kPut, 3, 200, "dead"));
+  ASSERT_TRUE(log.append(LogRecordType::kPut, 4, 300, "erased"));
+  ASSERT_TRUE(log.append(LogRecordType::kTombstone, 5, 300, ""));
+  const auto result = log.compact({100});
+  EXPECT_LT(result.bytes_after, result.bytes_before);
+  EXPECT_EQ(result.records_dropped, 4u);
+  // The log keeps accepting appends after compaction.
+  ASSERT_TRUE(log.append(LogRecordType::kPut, 6, 400, "post-compact"));
+  log.close();
+
+  const auto records = scan_all(path(), nullptr);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].key, 100u);
+  EXPECT_EQ(records[0].payload, "fresh");
+  EXPECT_EQ(records[0].seq, 2u);  // original seq preserved
+  EXPECT_EQ(records[1].payload, "post-compact");
+}
+
+// --- durable tier + replica-merge recovery ---------------------------------
+
+TEST_F(DurabilityTest, TierRecoversNewestPerKeyAcrossReplicas) {
+  {
+    DurableTier tier(path());
+    EXPECT_EQ(tier.put(1, 1, "one-v1"), 2u);
+    EXPECT_EQ(tier.put(2, 2, "two"), 2u);
+    EXPECT_EQ(tier.put(1, 3, "one-v2"), 2u);
+    EXPECT_EQ(tier.tombstone(2, 4), 2u);
+    tier.close();
+  }
+  DurableTier tier(path());
+  RecoveryStats stats;
+  const auto recovered = tier.recover(&stats);
+  ASSERT_EQ(recovered.size(), 1u);
+  EXPECT_EQ(recovered.at(1).payload, "one-v2");
+  EXPECT_EQ(recovered.at(1).seq, 3u);
+  EXPECT_EQ(stats.replicas_scanned, 2u);
+  EXPECT_EQ(stats.tombstoned_keys, 1u);
+  // Every record exists on both replicas: all but the first sighting of a
+  // key/seq pair count as duplicates.
+  EXPECT_GT(stats.duplicate_records, 0u);
+}
+
+TEST_F(DurabilityTest, SingleIntactReplicaServesEverything) {
+  FileFaultInjector injector;
+  {
+    DurableTier tier(path());
+    ASSERT_EQ(tier.put(1, 1, "before-fault"), 2u);
+    // Replica 0 dies mid-write from here on; replica 1 stays intact.
+    tier.set_fault_injector(0, &injector);
+    injector.fail_after_bytes(3);
+    EXPECT_EQ(tier.put(2, 2, "replica1-only"), 1u);
+    EXPECT_EQ(tier.put(3, 3, "also-replica1"), 1u);
+    EXPECT_FALSE(tier.all_failed());
+    tier.close();
+  }
+  // Corrupt a record on replica 1's copy of key 1 too: bit-flip, so the
+  // replica-0 copy (written before the fault) serves it.
+  const auto replica1_segments =
+      SegmentLog::list_segments(durability::replica_dir(path(), 1));
+  ASSERT_FALSE(replica1_segments.empty());
+  ASSERT_TRUE(FileFaultInjector::flip_bit(replica1_segments[0], 30, 1));
+
+  DurableTier tier(path());
+  RecoveryStats stats;
+  const auto recovered = tier.recover(&stats);
+  ASSERT_EQ(recovered.size(), 3u);
+  EXPECT_EQ(recovered.at(1).payload, "before-fault");
+  EXPECT_EQ(recovered.at(2).payload, "replica1-only");
+  EXPECT_EQ(recovered.at(3).payload, "also-replica1");
+  EXPECT_EQ(stats.scan.torn_records, 1u);   // replica 0's cut frame
+  EXPECT_GE(stats.scan.crc_failures, 1u);   // replica 1's flipped bit
+}
+
+// --- memo store over the durable tier --------------------------------------
+
+TEST_F(DurabilityTest, MemoStoreRestoresFromDurableTier) {
+  ClusterConfig cluster_config{.num_machines = 4, .slots_per_machine = 2};
+  CostModel cost;
+  Cluster cluster(cluster_config);
+  const CombineFn combiner = testing::sum_combiner();
+
+  std::vector<std::pair<NodeId, std::shared_ptr<const KVTable>>> written;
+  {
+    DurableTier tier(path());
+    MemoStore store(cluster, cost);
+    store.attach_durable_tier(&tier);
+    Rng rng(7);
+    for (NodeId id = 1; id <= 20; ++id) {
+      auto leaf = testing::random_leaf(id, rng, combiner);
+      store.put(id * 1000, leaf.table);
+      written.emplace_back(id * 1000, leaf.table);
+    }
+    // Erase one entry: the tombstone must outlive recovery.
+    store.erase(5000);
+    const MemoStoreStats stats = store.stats();
+    EXPECT_GT(stats.persistent_writes, 0u);
+    EXPECT_GT(stats.bytes_persisted, 0u);
+    store.flush_durable();
+    tier.close();
+  }
+
+  DurableTier tier(path());
+  MemoStore store(cluster, cost);
+  store.attach_durable_tier(&tier);
+  const std::size_t recovered = store.restore_from_durable();
+  EXPECT_EQ(recovered, written.size() - 1);  // minus the tombstoned entry
+  EXPECT_EQ(store.stats().recovered_entries, recovered);
+  for (const auto& [id, table] : written) {
+    auto got = store.peek(id);
+    if (id == 5000) {
+      EXPECT_EQ(got, nullptr);
+      continue;
+    }
+    ASSERT_NE(got, nullptr) << "lost id " << id;
+    EXPECT_EQ(*got, *table) << "id " << id;
+    EXPECT_TRUE(store.persisted_durably(id));
+  }
+}
+
+// --- checkpoint manifests --------------------------------------------------
+
+TEST_F(DurabilityTest, CheckpointManifestRoundTrip) {
+  const CombineFn combiner = testing::sum_combiner();
+  Rng rng(11);
+  auto inline_table = testing::random_leaf(1, rng, combiner).table;
+  auto shared_table = testing::random_leaf(2, rng, combiner).table;
+
+  durability::CheckpointWriter writer;  // no persisted fn: all inline
+  wire::put_u64(writer.blob(), 0xFEEDFACEull);
+  writer.put_node(7, inline_table.get());
+  writer.put_node(8, shared_table.get());
+  writer.put_node(8, shared_table.get());  // repeat: becomes by-ref
+  writer.put_node(9, nullptr);
+  const std::string manifest = path("ckpt.slckpt");
+  ASSERT_TRUE(writer.write_manifest(manifest));
+
+  auto reader = durability::CheckpointReader::open(manifest, nullptr);
+  ASSERT_NE(reader, nullptr);
+  std::uint64_t magic = 0;
+  ASSERT_TRUE(reader->get_u64(&magic));
+  EXPECT_EQ(magic, 0xFEEDFACEull);
+  std::uint64_t id = 0;
+  std::shared_ptr<const KVTable> a;
+  std::shared_ptr<const KVTable> b;
+  std::shared_ptr<const KVTable> b2;
+  std::shared_ptr<const KVTable> c;
+  ASSERT_TRUE(reader->get_node(&id, &a));
+  EXPECT_EQ(id, 7u);
+  EXPECT_EQ(*a, *inline_table);
+  ASSERT_TRUE(reader->get_node(&id, &b));
+  ASSERT_TRUE(reader->get_node(&id, &b2));
+  EXPECT_EQ(*b, *shared_table);
+  // Pointer sharing is reconstructed, not just equality.
+  EXPECT_EQ(b.get(), b2.get());
+  ASSERT_TRUE(reader->get_node(&id, &c));
+  EXPECT_EQ(id, 9u);
+  EXPECT_EQ(c, nullptr);
+  EXPECT_TRUE(reader->done());
+}
+
+TEST_F(DurabilityTest, CheckpointRejectsCorruption) {
+  durability::CheckpointWriter writer;
+  wire::put_u64(writer.blob(), 42);
+  const std::string manifest = path("ckpt.slckpt");
+  ASSERT_TRUE(writer.write_manifest(manifest));
+
+  EXPECT_NE(durability::CheckpointReader::open(manifest, nullptr), nullptr);
+  // Flip one blob bit: CRC must reject the manifest.
+  const auto size = FileFaultInjector::file_size(manifest);
+  ASSERT_TRUE(size.has_value());
+  ASSERT_TRUE(FileFaultInjector::flip_bit(manifest, *size - 1, 0));
+  EXPECT_EQ(durability::CheckpointReader::open(manifest, nullptr), nullptr);
+  // Missing file is a clean failure, not a crash.
+  EXPECT_EQ(durability::CheckpointReader::open(path("absent"), nullptr),
+            nullptr);
+}
+
+// --- end-to-end session checkpoint/restore ---------------------------------
+
+struct SessionCase {
+  WindowMode mode;
+  TreeKind kind;
+  bool split_processing;
+};
+
+std::string session_case_name(
+    const ::testing::TestParamInfo<SessionCase>& info) {
+  std::string name;
+  switch (info.param.kind) {
+    case TreeKind::kFolding: name = "folding"; break;
+    case TreeKind::kRandomizedFolding: name = "randomized"; break;
+    case TreeKind::kRotating: name = "rotating"; break;
+    case TreeKind::kCoalescing: name = "coalescing"; break;
+    case TreeKind::kStrawman: name = "strawman"; break;
+  }
+  switch (info.param.mode) {
+    case WindowMode::kAppendOnly: name += "_append"; break;
+    case WindowMode::kFixedWidth: name += "_fixed"; break;
+    case WindowMode::kVariableWidth: name += "_variable"; break;
+  }
+  if (info.param.split_processing) name += "_split";
+  return name;
+}
+
+class SessionCheckpointRestore
+    : public ::testing::TestWithParam<SessionCase> {
+ protected:
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = fs::temp_directory_path() /
+           (std::string("slider_ckpt_") +
+            session_case_name(::testing::TestParamInfo<SessionCase>(
+                GetParam(), 0)) +
+            "_" + info->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+};
+
+TEST_P(SessionCheckpointRestore, ByteIdenticalOutputAndIncrementalSlide) {
+  const SessionCase c = GetParam();
+  const auto bench = apps::make_microbenchmark(apps::MicroApp::kHct);
+
+  ClusterConfig cluster_config{.num_machines = 8, .slots_per_machine = 2};
+  CostModel cost;
+  Cluster cluster(cluster_config);
+  VanillaEngine engine(cluster, cost);
+
+  SliderConfig config;
+  config.mode = c.mode;
+  config.tree_kind = c.kind;
+  config.split_processing = c.split_processing;
+  config.bucket_width = 3;
+
+  constexpr std::size_t kWindowSplits = 12;
+  constexpr std::size_t kRecordsPerSplit = 25;
+  constexpr std::size_t kSlide = 3;
+  const std::size_t remove = c.mode == WindowMode::kAppendOnly ? 0 : kSlide;
+
+  auto make_batch = [&](std::size_t count, SplitId first_id) {
+    Rng rng(900 + first_id);
+    auto records = apps::generate_input(apps::MicroApp::kHct,
+                                        count * kRecordsPerSplit, rng,
+                                        first_id * 1'000'000);
+    return make_splits(std::move(records), kRecordsPerSplit, first_id);
+  };
+
+  // Control: an uninterrupted session over the same slide schedule.
+  MemoStore control_memo(cluster, cost);
+  SliderSession control(engine, control_memo, bench.job, config);
+
+  const std::string ckpt_dir = (dir_ / "checkpoint").string();
+  const std::string tier_dir = (dir_ / "memo").string();
+  RunMetrics control_final;
+  std::vector<KVTable> checkpoint_output;
+  SimDuration checkpoint_clock = 0;
+  std::size_t checkpoint_window = 0;
+  {
+    durability::DurableTier tier(tier_dir);
+    MemoStore memo(cluster, cost);
+    memo.attach_durable_tier(&tier);
+    SliderSession session(engine, memo, bench.job, config);
+
+    auto initial = make_batch(kWindowSplits, 0);
+    session.initial_run(initial);
+    control.initial_run(std::move(initial));
+    SplitId next_id = kWindowSplits;
+    for (int slide = 0; slide < 3; ++slide) {
+      auto added = make_batch(kSlide, next_id);
+      next_id += kSlide;
+      session.slide(remove, added);
+      control.slide(remove, std::move(added));
+      if (c.split_processing) {
+        session.run_background();
+        control.run_background();
+      }
+    }
+    ASSERT_TRUE(session.checkpoint(ckpt_dir));
+    memo.flush_durable();
+    tier.close();
+    // The process "dies" here: session, memo, and tier all go away. The
+    // control session keeps running to produce the expected next step;
+    // snapshot its checkpoint-time state first.
+    checkpoint_output = control.output();
+    checkpoint_clock = control.sim_clock();
+    checkpoint_window = control.window().size();
+    control_final = control.slide(remove, make_batch(kSlide, next_id));
+  }
+
+  // Restart: recover the memo from the log, restore the session from the
+  // checkpoint manifest.
+  durability::DurableTier tier(tier_dir);
+  MemoStore memo(cluster, cost);
+  memo.attach_durable_tier(&tier);
+  EXPECT_GT(memo.restore_from_durable(), 0u);
+  SliderSession restored(engine, memo, bench.job, config);
+  ASSERT_TRUE(restored.restore(ckpt_dir));
+
+  // Byte-identical output at the checkpoint...
+  ASSERT_EQ(restored.output().size(), checkpoint_output.size());
+  for (std::size_t p = 0; p < checkpoint_output.size(); ++p) {
+    EXPECT_EQ(restored.output()[p], checkpoint_output[p]) << "partition " << p;
+  }
+  ASSERT_EQ(restored.window().size(), checkpoint_window);
+  EXPECT_EQ(restored.sim_clock(), checkpoint_clock);
+
+  // ...and after the next slide, which must do the same delta-proportional
+  // work the uninterrupted control did — not a from-scratch rebuild.
+  const SplitId next_id = kWindowSplits + 3 * kSlide;
+  const RunMetrics restored_metrics =
+      restored.slide(remove, make_batch(kSlide, next_id));
+  ASSERT_EQ(restored.output().size(), control.output().size());
+  for (std::size_t p = 0; p < restored.output().size(); ++p) {
+    EXPECT_EQ(restored.output()[p], control.output()[p]) << "partition " << p;
+  }
+  EXPECT_EQ(restored_metrics.combiner_invocations,
+            control_final.combiner_invocations);
+  EXPECT_EQ(restored_metrics.combiner_reused, control_final.combiner_reused);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTrees, SessionCheckpointRestore,
+    ::testing::Values(
+        SessionCase{WindowMode::kVariableWidth, TreeKind::kFolding, false},
+        SessionCase{WindowMode::kVariableWidth, TreeKind::kRandomizedFolding,
+                    false},
+        SessionCase{WindowMode::kVariableWidth, TreeKind::kStrawman, false},
+        SessionCase{WindowMode::kFixedWidth, TreeKind::kRotating, false},
+        SessionCase{WindowMode::kFixedWidth, TreeKind::kRotating, true},
+        SessionCase{WindowMode::kAppendOnly, TreeKind::kCoalescing, false},
+        SessionCase{WindowMode::kAppendOnly, TreeKind::kCoalescing, true}),
+    session_case_name);
+
+TEST_F(DurabilityTest, RestoreRejectsWrongJobOrMissingManifest) {
+  const auto bench = apps::make_microbenchmark(apps::MicroApp::kHct);
+  const auto other = apps::make_microbenchmark(apps::MicroApp::kKMeans);
+  ClusterConfig cluster_config{.num_machines = 4, .slots_per_machine = 2};
+  CostModel cost;
+  Cluster cluster(cluster_config);
+  VanillaEngine engine(cluster, cost);
+  SliderConfig config;
+
+  MemoStore memo(cluster, cost);
+  SliderSession session(engine, memo, bench.job, config);
+  Rng rng(5);
+  auto records = apps::generate_input(apps::MicroApp::kHct, 60, rng, 0);
+  session.initial_run(make_splits(std::move(records), 20, 0));
+  ASSERT_TRUE(session.checkpoint(path("ckpt")));
+
+  MemoStore other_memo(cluster, cost);
+  SliderSession wrong_job(engine, other_memo, other.job, config);
+  EXPECT_FALSE(wrong_job.restore(path("ckpt")));
+
+  MemoStore fresh_memo(cluster, cost);
+  SliderSession no_manifest(engine, fresh_memo, bench.job, config);
+  EXPECT_FALSE(no_manifest.restore(path("nonexistent")));
+}
+
+}  // namespace
+}  // namespace slider
