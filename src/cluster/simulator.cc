@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "observability/work_ledger.h"
+
 namespace slider {
 namespace {
 
@@ -125,7 +127,8 @@ StageResult StageSimulator::run_stage(std::span<const SimTask> tasks,
     const SimDuration start = slot.free_at;
     slot.free_at += effective;
     result.work += effective;
-    result.makespan = std::max(result.makespan, slot.free_at);
+    const std::size_t primary_timeline_index =
+        timeline != nullptr ? timeline->size() : 0;
     if (timeline != nullptr) {
       timeline->push_back(TaskPlacement{.task = idx,
                                         .machine = slot.machine,
@@ -133,6 +136,76 @@ StageResult StageSimulator::run_stage(std::span<const SimTask> tasks,
                                         .end = slot.free_at,
                                         .migrated = migrated});
     }
+
+    // Straggler speculation (§6 / Table 1, kHybrid only): if the primary
+    // copy landed on a machine at or beyond the slowdown threshold, launch
+    // a backup on the earliest slot of another machine. Whichever copy
+    // finishes first wins; the loser is killed at that moment, so it only
+    // occupies its slot (and bills work) up to the winner's finish time.
+    if (policy == SchedulePolicy::kHybrid && hybrid.speculate_slowdown > 0 &&
+        cluster_->duration_factor(slot.machine) >= hybrid.speculate_slowdown &&
+        cluster_->num_machines() > 1) {
+      const std::size_t backup_idx =
+          earliest_slot_excluding(slots, slot.machine, spm);
+      Slot& backup = slots[backup_idx];
+      if (backup.machine != slot.machine) {
+        SimDuration backup_effective =
+            task.duration * cluster_->duration_factor(backup.machine);
+        if (backup.machine != task.preferred) {
+          backup_effective += task.migration_penalty;
+        }
+        const SimDuration backup_start = backup.free_at;
+        const SimDuration backup_end = backup_start + backup_effective;
+        const SimDuration primary_end = slot.free_at;
+        ++result.speculative_launched;
+        // Every backup is a speculative re-execution of already-scheduled
+        // work; the causal ledger records the launch regardless of which
+        // copy wins.
+        obs::WorkLedger::global().note_speculative_reexec();
+        if (backup_end < primary_end) {
+          // Backup wins: the primary is killed when the backup finishes.
+          ++result.speculative_wins;
+          const SimDuration primary_ran = backup_end - start;
+          result.work -= (primary_end - start);  // undo full primary charge
+          result.work += primary_ran;            // primary until killed
+          result.work += backup_effective;
+          slot.free_at = backup_end;  // slot freed at the kill
+          backup.free_at = backup_end;
+          if (timeline != nullptr) {
+            (*timeline)[primary_timeline_index].end = backup_end;
+            timeline->push_back(TaskPlacement{.task = idx,
+                                              .machine = backup.machine,
+                                              .start = backup_start,
+                                              .end = backup_end,
+                                              .migrated =
+                                                  backup.machine !=
+                                                  task.preferred,
+                                              .speculative = true});
+          }
+        } else {
+          // Primary wins: the backup is killed at the primary's finish.
+          const SimDuration backup_ran =
+              std::max<SimDuration>(0, primary_end - backup_start);
+          result.work += backup_ran;
+          backup.free_at = backup_start + backup_ran;
+          if (timeline != nullptr && backup_ran > 0) {
+            timeline->push_back(TaskPlacement{.task = idx,
+                                              .machine = backup.machine,
+                                              .start = backup_start,
+                                              .end = backup.free_at,
+                                              .migrated =
+                                                  backup.machine !=
+                                                  task.preferred,
+                                              .speculative = true});
+          }
+        }
+      }
+    }
+  }
+  // Makespan is computed at the end rather than incrementally: speculation
+  // kills can rewind a slot's free_at, so the running max would overstate.
+  for (const Slot& slot : slots) {
+    result.makespan = std::max(result.makespan, slot.free_at);
   }
   return result;
 }

@@ -39,6 +39,11 @@ struct StageResult {
   SimDuration makespan = 0;
   SimDuration work = 0;  // sum of effective task durations
   std::uint64_t migrations = 0;
+  // Straggler mitigation (§6 / Table 1): backup copies launched for tasks
+  // placed on slow machines, and how many of those backups finished first
+  // (the primary was killed at the backup's completion).
+  std::uint64_t speculative_launched = 0;
+  std::uint64_t speculative_wins = 0;
 };
 
 // One scheduled task occurrence in a stage: which machine ran it, when
@@ -53,6 +58,7 @@ struct TaskPlacement {
   SimDuration start = 0;
   SimDuration end = 0;
   bool migrated = false;
+  bool speculative = false;  // backup copy of an already-placed task
 };
 
 // Placements in scheduling order (longest-task-first), one per task.
@@ -65,6 +71,13 @@ struct HybridOptions {
   // short tasks flee stragglers too.
   double patience_factor = 0.5;
   SimDuration patience_floor = 0.02;  // absolute slack tolerated
+  // Straggler speculation (kHybrid only): when a task lands on a machine
+  // whose duration factor is >= this threshold, a backup copy is scheduled
+  // on the earliest slot of another machine; whichever copy finishes first
+  // wins and the loser is killed at that moment. 0 disables speculation.
+  // Every launched backup is a speculative re-execution in the causal work
+  // ledger (WorkCause::kSpeculativeReexec).
+  double speculate_slowdown = 0;
 };
 
 class StageSimulator {

@@ -17,6 +17,8 @@ RunMetrics& RunMetrics::operator+=(const RunMetrics& other) {
   combiner_reused += other.combiner_reused;
   reduce_tasks += other.reduce_tasks;
   migrations += other.migrations;
+  speculative_launched += other.speculative_launched;
+  speculative_wins += other.speculative_wins;
   memo_bytes_written += other.memo_bytes_written;
   return *this;
 }

@@ -47,6 +47,10 @@ struct RunMetrics {
   std::uint64_t reduce_tasks = 0;
   // Tasks the scheduler ran off their memo-preferred machine (Table 1).
   std::uint64_t migrations = 0;
+  // Straggler mitigation (Table 1): speculative backup copies launched and
+  // how many of them beat their primary.
+  std::uint64_t speculative_launched = 0;
+  std::uint64_t speculative_wins = 0;
 
   // Bytes of memoized state written by this run (Fig 13c space overhead).
   std::uint64_t memo_bytes_written = 0;

@@ -19,6 +19,8 @@ CoalescingTree::Node CoalescingTree::fold_leaves(std::vector<Leaf> leaves,
   // (stable regardless of merge order); the payload is merged in balanced
   // order so the batch combine costs O(rows · log n), like the single
   // large Combiner invocation of Fig 5, not a quadratic left-fold.
+  // Batch fold is leaf-level work.
+  if (stats != nullptr) stats->level = 0;
   Node node;
   node.id = leaf_node_id(ctx_, leaves[0].split_id, *leaves[0].table);
   std::deque<std::shared_ptr<const KVTable>> queue;
@@ -36,10 +38,7 @@ CoalescingTree::Node CoalescingTree::fold_leaves(std::vector<Leaf> leaves,
     MergeStats merge_stats;
     queue.push_back(std::make_shared<const KVTable>(
         KVTable::merge(*a, *b, combiner_, &merge_stats)));
-    if (stats != nullptr) {
-      ++stats->combiner_invocations;
-      stats->rows_scanned += merge_stats.rows_scanned;
-    }
+    if (stats != nullptr) stats->charge_invocation(merge_stats.rows_scanned);
   }
   node.table = std::move(queue.front());
   memoize_payload(ctx_, node.id, node.table, stats);
@@ -61,6 +60,8 @@ void CoalescingTree::initial_build(std::vector<Leaf> leaves,
 
 void CoalescingTree::coalesce_pending(TreeUpdateStats* stats) {
   if (pending_delta_ == nullptr) return;
+  // The spine merge happens at the running root's level.
+  if (stats != nullptr) stats->level = static_cast<std::uint16_t>(height_);
   // Reuse of the previous root is a memoized read (it was produced by an
   // earlier run's combiner).
   auto prev = fetch_reused(ctx_, root_node_.id, root_node_.table, stats);
@@ -71,6 +72,7 @@ void CoalescingTree::coalesce_pending(TreeUpdateStats* stats) {
   pending_delta_.reset();
   root_override_.reset();
   ++height_;
+  if (stats != nullptr) stats->level = 0;
 }
 
 void CoalescingTree::apply_delta(std::size_t remove_front,
@@ -93,12 +95,14 @@ void CoalescingTree::apply_delta(std::size_t remove_front,
     pending_delta_id_ = delta.id;
     return;
   }
+  if (stats != nullptr) stats->level = static_cast<std::uint16_t>(height_);
   auto prev = fetch_reused(ctx_, root_node_.id, root_node_.table, stats);
   const NodeId id = internal_node_id(ctx_, root_node_.id, delta.id);
   root_node_.table =
       combine_and_memoize(ctx_, combiner_, id, *prev, *delta.table, stats);
   root_node_.id = id;
   ++height_;
+  if (stats != nullptr) stats->level = 0;
 }
 
 void CoalescingTree::background_preprocess(TreeUpdateStats* stats) {
@@ -159,6 +163,37 @@ bool CoalescingTree::restore(durability::CheckpointReader& reader) {
   pending_delta_id_ = pending_id;
   root_override_.reset();  // lazy cache; rebuilt on demand, uncharged
   return true;
+}
+
+TreeDescription CoalescingTree::describe() const {
+  TreeDescription d;
+  d.kind = std::string(kind());
+  d.height = height_;
+  d.leaf_count = leaf_count_;
+  d.root_id = root_node_.id;
+  if (root_node_.table != nullptr) {
+    TreeNodeDescription root;
+    root.id = root_node_.id;
+    root.level = height_;
+    root.index = 0;
+    root.rows = root_node_.table->size();
+    root.bytes = root_node_.table->byte_size();
+    root.materialized = true;
+    root.role = "root";
+    d.nodes.push_back(std::move(root));
+  }
+  if (pending_delta_ != nullptr) {
+    TreeNodeDescription pending;
+    pending.id = pending_delta_id_;
+    pending.level = 0;
+    pending.index = 1;
+    pending.rows = pending_delta_->size();
+    pending.bytes = pending_delta_->byte_size();
+    pending.materialized = true;
+    pending.role = "pending";
+    d.nodes.push_back(std::move(pending));
+  }
+  return d;
 }
 
 void CoalescingTree::collect_live_ids(std::unordered_set<NodeId>& live) const {

@@ -31,6 +31,7 @@ class CoalescingTree final : public ContractionTree {
   int height() const override { return height_; }
   std::size_t leaf_count() const override { return leaf_count_; }
   std::string_view kind() const override { return "coalescing"; }
+  TreeDescription describe() const override;
   void collect_live_ids(std::unordered_set<NodeId>& live) const override;
   void serialize(durability::CheckpointWriter& writer) const override;
   bool restore(durability::CheckpointReader& reader) override;

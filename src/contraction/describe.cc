@@ -1,0 +1,87 @@
+#include "contraction/describe.h"
+
+#include <cstdio>
+
+#include "observability/json_writer.h"
+
+namespace slider {
+namespace {
+
+std::string id_string(NodeId id) { return std::to_string(id); }
+
+// Graphviz attributes per role; unknown roles fall back to plain ellipses.
+const char* dot_attributes(const std::string& role) {
+  if (role == "root") return "shape=doubleoctagon style=filled fillcolor=gold";
+  if (role.rfind("leaf", 0) == 0) {
+    return "shape=box style=filled fillcolor=lightblue";
+  }
+  if (role == "void") return "shape=box style=dashed color=gray";
+  if (role == "pending" || role == "intermediate") {
+    return "shape=box style=dotted color=red";
+  }
+  return "shape=ellipse";
+}
+
+}  // namespace
+
+std::string tree_description_to_json(const TreeDescription& description) {
+  obs::JsonWriter json;
+  json.begin_object();
+  json.key("kind").value(description.kind);
+  json.key("height").value(static_cast<std::int64_t>(description.height));
+  json.key("leaf_count")
+      .value(static_cast<std::uint64_t>(description.leaf_count));
+  json.key("root_id").value(id_string(description.root_id));
+  json.key("nodes").begin_array();
+  for (const TreeNodeDescription& node : description.nodes) {
+    json.begin_object();
+    json.key("id").value(id_string(node.id));
+    json.key("level").value(static_cast<std::int64_t>(node.level));
+    json.key("index").value(node.index);
+    json.key("children").begin_array();
+    for (const NodeId child : node.children) json.value(id_string(child));
+    json.end_array();
+    json.key("rows").value(node.rows);
+    json.key("bytes").value(node.bytes);
+    json.key("materialized").value(node.materialized);
+    json.key("role").value(node.role);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return json.take();
+}
+
+std::string tree_description_to_dot(const TreeDescription& description) {
+  std::string out;
+  out += "digraph slider_tree {\n";
+  out += "  rankdir=BT;\n";
+  out += "  node [fontname=\"monospace\" fontsize=10];\n";
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "  label=\"%s tree  height=%d  leaves=%zu\";\n",
+                description.kind.c_str(), description.height,
+                description.leaf_count);
+  out += line;
+  for (const TreeNodeDescription& node : description.nodes) {
+    std::snprintf(line, sizeof(line),
+                  "  n%llu [%s label=\"%s\\nL%d#%llu\\n%llu rows\"];\n",
+                  static_cast<unsigned long long>(node.id),
+                  dot_attributes(node.role), node.role.c_str(), node.level,
+                  static_cast<unsigned long long>(node.index),
+                  static_cast<unsigned long long>(node.rows));
+    out += line;
+  }
+  for (const TreeNodeDescription& node : description.nodes) {
+    for (const NodeId child : node.children) {
+      std::snprintf(line, sizeof(line), "  n%llu -> n%llu;\n",
+                    static_cast<unsigned long long>(child),
+                    static_cast<unsigned long long>(node.id));
+      out += line;
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace slider

@@ -1,0 +1,23 @@
+// Renderers for ContractionTree::describe() structure dumps — the payload
+// of the /tree introspection route (JSON for programmatic consumers, DOT
+// for `dot -Tsvg` / graphviz-online eyeballing of the live tree shape).
+#pragma once
+
+#include <string>
+
+#include "contraction/tree.h"
+
+namespace slider {
+
+// Standalone JSON document: kind/height/leaf_count/root_id plus a flat
+// node array (id, level, index, children, rows, bytes, materialized,
+// role). Node ids are emitted as decimal strings — they are 64-bit hashes
+// and JavaScript numbers lose precision past 2^53.
+std::string tree_description_to_json(const TreeDescription& description);
+
+// Graphviz digraph, leaves at the bottom (rankdir=BT). Roles pick the
+// shape/fill: root doubleoctagon, leaves boxes, voids dashed, pending /
+// intermediate split-processing residue dotted.
+std::string tree_description_to_dot(const TreeDescription& description);
+
+}  // namespace slider

@@ -154,13 +154,17 @@ void FoldingTree::recompute_paths(std::vector<std::size_t> dirty_leaves,
     // Nodes within a level are independent: node j reads only its two
     // children (levels_[k-1][2j], [2j+1], untouched at this level) and
     // writes only levels_[k][j]. Run them on the shared pool. Per-node
-    // stats land in `local[idx]` and are folded in `next` order below, so
-    // the accumulated totals are bit-identical for any thread count.
-    std::vector<TreeUpdateStats> local(stats != nullptr ? next.size() : 0);
+    // stats land in `local[idx]` (seeded with the caller's charge context
+    // at this level) and are folded in `next` order below, so the
+    // accumulated totals are bit-identical for any thread count.
+    std::vector<TreeUpdateStats> local(
+        stats != nullptr ? next.size() : 0,
+        stats != nullptr ? stats->at_level(static_cast<std::uint16_t>(k))
+                         : TreeUpdateStats{});
     auto process = [&](std::size_t idx) {
       const std::size_t j = next[idx];
       TreeUpdateStats* node_stats = stats != nullptr ? &local[idx] : nullptr;
-      if (node_stats != nullptr) ++node_stats->nodes_visited;
+      if (node_stats != nullptr) node_stats->charge_visits();
       Slot& left = levels_[k - 1][2 * j];
       Slot& right = levels_[k - 1][2 * j + 1];
       Slot& node = levels_[k][j];
@@ -268,6 +272,40 @@ bool FoldingTree::restore(durability::CheckpointReader& reader) {
   first_ = static_cast<std::size_t>(first);
   end_ = static_cast<std::size_t>(end);
   return true;
+}
+
+TreeDescription FoldingTree::describe() const {
+  TreeDescription desc;
+  desc.kind = std::string(kind());
+  desc.height = height();
+  desc.leaf_count = leaf_count();
+  if (!levels_.empty() && levels_.back()[0].table != nullptr) {
+    desc.root_id = levels_.back()[0].id;
+  }
+  for (std::size_t k = 0; k < levels_.size(); ++k) {
+    for (std::size_t j = 0; j < levels_[k].size(); ++j) {
+      const Slot& slot = levels_[k][j];
+      if (slot.table == nullptr) continue;  // void slots are omitted
+      TreeNodeDescription node;
+      node.id = slot.id;
+      node.level = static_cast<int>(k);
+      node.index = j;
+      node.rows = slot.table->size();
+      node.bytes = slot.table->byte_size();
+      node.materialized = true;
+      if (k == 0) {
+        node.role = "leaf";
+      } else {
+        node.role = k + 1 == levels_.size() ? "root" : "internal";
+        const Slot& left = levels_[k - 1][2 * j];
+        const Slot& right = levels_[k - 1][2 * j + 1];
+        if (left.table != nullptr) node.children.push_back(left.id);
+        if (right.table != nullptr) node.children.push_back(right.id);
+      }
+      desc.nodes.push_back(std::move(node));
+    }
+  }
+  return desc;
 }
 
 void FoldingTree::collect_live_ids(std::unordered_set<NodeId>& live) const {

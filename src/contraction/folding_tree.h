@@ -35,6 +35,7 @@ class FoldingTree final : public ContractionTree {
   int height() const override { return static_cast<int>(levels_.size()) - 1; }
   std::size_t leaf_count() const override { return end_ - first_; }
   std::string_view kind() const override { return "folding"; }
+  TreeDescription describe() const override;
   void collect_live_ids(std::unordered_set<NodeId>& live) const override;
   void serialize(durability::CheckpointWriter& writer) const override;
   bool restore(durability::CheckpointReader& reader) override;

@@ -110,9 +110,14 @@ void RandomizedFoldingTree::contract(std::vector<Entry> level,
       const Group& group = groups[g];
       GroupResult& result = results[g];
       TreeUpdateStats* group_stats = stats != nullptr ? &result.stats : nullptr;
+      if (group_stats != nullptr) {
+        // Seed the per-group partial with the caller's charge context at
+        // this level (folded in group order in phase 3).
+        *group_stats = stats->at_level(static_cast<std::uint16_t>(height_));
+      }
       std::span<Entry> members(level.data() + group.begin,
                                group.end - group.begin);
-      if (group_stats != nullptr) group_stats->nodes_visited += members.size();
+      if (group_stats != nullptr) group_stats->charge_visits(members.size());
       NodeId group_id = members[0].id;
       for (std::size_t m = 1; m < members.size(); ++m) {
         group_id = internal_node_id(ctx_, group_id, members[m].id);
@@ -126,7 +131,7 @@ void RandomizedFoldingTree::contract(std::vector<Entry> level,
       if (it != memo_.end() && !member_changed) {
         parent.table = it->second;
         parent.recomputed = false;
-        if (group_stats != nullptr) ++group_stats->combiner_reused;
+        if (group_stats != nullptr) group_stats->charge_reuse();
       } else if (members.size() == 1) {
         // Singleton group: a passthrough combiner re-execution when its
         // member changed (see folding_tree.cc).
@@ -190,8 +195,7 @@ void RandomizedFoldingTree::contract(std::vector<Entry> level,
               KVTable::merge(*acc, *rhs, combiner_, &merge_stats));
           chain_id = internal_node_id(ctx_, chain_id, members[m].id);
           if (group_stats != nullptr) {
-            ++group_stats->combiner_invocations;
-            group_stats->rows_scanned += merge_stats.rows_scanned;
+            group_stats->charge_invocation(merge_stats.rows_scanned);
           }
           // Memoize the partial chain too, so a future run whose group
           // extends this one restarts from here. Partials stay live until
@@ -239,6 +243,66 @@ void RandomizedFoldingTree::contract(std::vector<Entry> level,
 std::shared_ptr<const KVTable> RandomizedFoldingTree::root() const {
   SLIDER_CHECK(root_ != nullptr) << "root() before build";
   return root_;
+}
+
+TreeDescription RandomizedFoldingTree::describe() const {
+  // The level structure is a pure function of the leaf-id sequence (the
+  // boundary coins and chain ids are deterministic), so it is recomputed
+  // here without touching any payload — no merges, no memo traffic.
+  TreeDescription desc;
+  desc.kind = std::string(kind());
+  desc.height = height_;
+  desc.leaf_count = leaf_ids_.size();
+  desc.root_id = root_id_;
+  auto emit = [&](NodeId id, int level, std::uint64_t index,
+                  std::vector<NodeId> children, const char* role) {
+    TreeNodeDescription node;
+    node.id = id;
+    node.level = level;
+    node.index = index;
+    node.children = std::move(children);
+    const auto it = memo_.find(id);
+    if (it != memo_.end() && it->second != nullptr) {
+      node.materialized = true;
+      node.rows = it->second->size();
+      node.bytes = it->second->byte_size();
+    }
+    node.role = role;
+    desc.nodes.push_back(std::move(node));
+  };
+
+  std::vector<NodeId> level_ids = leaf_ids_;
+  for (std::uint64_t i = 0; i < level_ids.size(); ++i) {
+    emit(level_ids[i], 0, i, {}, "leaf");
+  }
+  int level = 0;
+  while (level_ids.size() > 1) {
+    ++level;
+    std::vector<NodeId> next;
+    std::vector<NodeId> group_members;
+    std::size_t group_start = 0;
+    for (std::size_t i = 0; i < level_ids.size(); ++i) {
+      const bool at_end = i + 1 == level_ids.size();
+      if (!closes_group(level_ids[i], level) && !at_end) continue;
+      NodeId parent = level_ids[group_start];
+      group_members.assign(level_ids.begin() + static_cast<std::ptrdiff_t>(group_start),
+                           level_ids.begin() + static_cast<std::ptrdiff_t>(i + 1));
+      for (std::size_t m = group_start + 1; m <= i; ++m) {
+        parent = internal_node_id(ctx_, parent, level_ids[m]);
+      }
+      next.push_back(parent);
+      // Singleton groups pass the member id through unchanged; emitting
+      // them again per level would just duplicate the node.
+      if (group_members.size() > 1) {
+        emit(parent, level, next.size() - 1, std::move(group_members),
+             level_ids.size() == i + 1 && group_start == 0 ? "root"
+                                                           : "internal");
+      }
+      group_start = i + 1;
+    }
+    level_ids = std::move(next);
+  }
+  return desc;
 }
 
 void RandomizedFoldingTree::collect_live_ids(

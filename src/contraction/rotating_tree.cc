@@ -26,6 +26,7 @@ RotatingTree::Bucket RotatingTree::build_bucket(std::span<Leaf> leaves,
   // merge, O(rows · log w) instead of a quadratic left-fold.
   Bucket bucket;
   bucket.split_count = leaves.size();
+  if (stats != nullptr) stats->level = 0;  // bucket build is leaf-level work
   bucket.id = leaf_node_id(ctx_, leaves[0].split_id, *leaves[0].table);
   std::deque<std::shared_ptr<const KVTable>> queue;
   queue.push_back(leaves[0].table);
@@ -43,8 +44,7 @@ RotatingTree::Bucket RotatingTree::build_bucket(std::span<Leaf> leaves,
     queue.push_back(std::make_shared<const KVTable>(
         KVTable::merge(*a, *b, combiner_, &merge_stats)));
     if (stats != nullptr) {
-      ++stats->combiner_invocations;
-      stats->rows_scanned += merge_stats.rows_scanned;
+      stats->charge_invocation(merge_stats.rows_scanned);
     }
   }
   bucket.table = std::move(queue.front());
@@ -91,7 +91,9 @@ void RotatingTree::initial_build(std::vector<Leaf> leaves,
     offsets[b] = offset;
     offset += sizes[b];
   }
-  std::vector<TreeUpdateStats> bucket_stats(stats != nullptr ? buckets_ : 0);
+  std::vector<TreeUpdateStats> bucket_stats(
+      stats != nullptr ? buckets_ : 0,
+      stats != nullptr ? stats->at_level(0) : TreeUpdateStats{});
   std::vector<std::size_t> dirty(buckets_);
   auto build_one = [&](std::size_t b) {
     Bucket bucket =
@@ -125,11 +127,14 @@ void RotatingTree::initial_build(std::vector<Leaf> leaves,
     // Same-level nodes are independent (node j reads its two children,
     // writes levels_[k][j]): run the level on the shared pool, folding
     // per-node stats in `next` order (see folding_tree.cc).
-    std::vector<TreeUpdateStats> local(stats != nullptr ? next.size() : 0);
+    std::vector<TreeUpdateStats> local(
+        stats != nullptr ? next.size() : 0,
+        stats != nullptr ? stats->at_level(static_cast<std::uint16_t>(k))
+                         : TreeUpdateStats{});
     auto process = [&](std::size_t idx) {
       const std::size_t j = next[idx];
       TreeUpdateStats* node_stats = stats != nullptr ? &local[idx] : nullptr;
-      if (node_stats != nullptr) ++node_stats->nodes_visited;
+      if (node_stats != nullptr) node_stats->charge_visits();
       Slot& left = levels_[k - 1][2 * j];
       Slot& right = levels_[k - 1][2 * j + 1];
       Slot& node = levels_[k][j];
@@ -191,7 +196,10 @@ void RotatingTree::install_bucket(std::size_t slot_index, Bucket bucket,
   std::size_t index = slot_index;
   for (std::size_t k = 1; k < levels_.size(); ++k) {
     index /= 2;
-    if (stats != nullptr) ++stats->nodes_visited;
+    if (stats != nullptr) {
+      stats->level = static_cast<std::uint16_t>(k);
+      stats->charge_visits();
+    }
     Slot& left = levels_[k - 1][2 * index];
     Slot& right = levels_[k - 1][2 * index + 1];
     Slot& node = levels_[k][index];
@@ -217,6 +225,7 @@ void RotatingTree::install_bucket(std::size_t slot_index, Bucket bucket,
                                      *right_table, stats);
     node.recomputed_this_run = true;
   }
+  if (stats != nullptr) stats->level = 0;  // leave the context at leaf level
   for (auto& level : levels_) {
     for (Slot& slot : level) slot.recomputed_this_run = false;
   }
@@ -274,6 +283,7 @@ void RotatingTree::compute_intermediate(TreeUpdateStats* stats) {
     const Slot& sibling = levels_[k][sibling_index];
     index /= 2;
     if (sibling.table == nullptr) continue;  // void padding
+    if (stats != nullptr) stats->level = static_cast<std::uint16_t>(k);
     auto sibling_table = fetch_reused(ctx_, sibling.id, sibling.table, stats);
     if (acc == nullptr) {
       acc = std::move(sibling_table);
@@ -284,6 +294,7 @@ void RotatingTree::compute_intermediate(TreeUpdateStats* stats) {
     acc = combine_and_memoize(ctx_, combiner_, acc_id, *acc, *sibling_table,
                               stats);
   }
+  if (stats != nullptr) stats->level = 0;
   if (acc == nullptr) acc = std::make_shared<const KVTable>();  // N == 1
   intermediate_ = Intermediate{next_victim_, acc_id, std::move(acc)};
 }
@@ -429,6 +440,62 @@ bool RotatingTree::restore(durability::CheckpointReader& reader) {
                             : nullptr;
   root_override_.reset();  // lazy cache; rebuilt on demand, uncharged
   return true;
+}
+
+TreeDescription RotatingTree::describe() const {
+  TreeDescription desc;
+  desc.kind = std::string(kind());
+  desc.height = height();
+  desc.leaf_count = leaf_count();
+  if (!levels_.empty() && levels_.back()[0].table != nullptr) {
+    desc.root_id = levels_.back()[0].id;
+  }
+  for (std::size_t k = 0; k < levels_.size(); ++k) {
+    for (std::size_t j = 0; j < levels_[k].size(); ++j) {
+      const Slot& slot = levels_[k][j];
+      if (slot.table == nullptr) continue;
+      TreeNodeDescription node;
+      node.id = slot.id;
+      node.level = static_cast<int>(k);
+      node.index = j;
+      node.rows = slot.table->size();
+      node.bytes = slot.table->byte_size();
+      node.materialized = true;
+      if (k == 0) {
+        node.role = j == next_victim_ ? "leaf:next_victim" : "leaf";
+      } else {
+        node.role = k + 1 == levels_.size() ? "root" : "internal";
+        const Slot& left = levels_[k - 1][2 * j];
+        const Slot& right = levels_[k - 1][2 * j + 1];
+        if (left.table != nullptr) node.children.push_back(left.id);
+        if (right.table != nullptr) node.children.push_back(right.id);
+      }
+      desc.nodes.push_back(std::move(node));
+    }
+  }
+  if (pending_install_.has_value()) {
+    TreeNodeDescription node;
+    node.id = pending_install_->second.id;
+    node.level = 0;
+    node.index = pending_install_->first;
+    node.rows = pending_install_->second.table->size();
+    node.bytes = pending_install_->second.table->byte_size();
+    node.materialized = true;
+    node.role = "pending";
+    desc.nodes.push_back(std::move(node));
+  }
+  if (intermediate_.has_value() && intermediate_->table != nullptr) {
+    TreeNodeDescription node;
+    node.id = intermediate_->id;
+    node.level = height();
+    node.index = intermediate_->victim;
+    node.rows = intermediate_->table->size();
+    node.bytes = intermediate_->table->byte_size();
+    node.materialized = true;
+    node.role = "intermediate";
+    desc.nodes.push_back(std::move(node));
+  }
+  return desc;
 }
 
 void RotatingTree::collect_live_ids(std::unordered_set<NodeId>& live) const {

@@ -48,6 +48,7 @@ class RotatingTree final : public ContractionTree {
   int height() const override { return static_cast<int>(levels_.size()) - 1; }
   std::size_t leaf_count() const override { return window_splits_; }
   std::string_view kind() const override { return "rotating"; }
+  TreeDescription describe() const override;
   void collect_live_ids(std::unordered_set<NodeId>& live) const override;
   void serialize(durability::CheckpointWriter& writer) const override;
   bool restore(durability::CheckpointReader& reader) override;

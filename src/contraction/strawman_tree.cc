@@ -1,7 +1,9 @@
 #include "contraction/strawman_tree.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <map>
 
 #include "common/logging.h"
 #include "contraction/tree_common.h"
@@ -33,7 +35,12 @@ void StrawmanTree::apply_delta(std::size_t remove_front,
 // parallel (see docs/threading.md).
 StrawmanTree::Built StrawmanTree::build_range(std::size_t lo, std::size_t hi,
                                               TreeUpdateStats* stats) {
-  if (stats != nullptr) ++stats->nodes_visited;
+  // Charge context level: subtree height (leaves are level 0). The
+  // recursion is serial, so mutating the shared stats' level is safe.
+  if (stats != nullptr) {
+    stats->level = static_cast<std::uint16_t>(std::bit_width(hi - lo - 1));
+    stats->charge_visits();
+  }
   if (hi - lo == 1) {
     const Leaf& leaf = leaves_[lo];
     Built built;
@@ -41,7 +48,7 @@ StrawmanTree::Built StrawmanTree::build_range(std::size_t lo, std::size_t hi,
     const auto it = memo_.find(built.id);
     if (it != memo_.end()) {
       built.table = it->second;
-      if (stats != nullptr) ++stats->combiner_reused;
+      if (stats != nullptr) stats->charge_reuse();
     } else {
       built.table = leaf.table;
       built.recomputed = true;  // fresh leaf: map output newly memoized
@@ -57,11 +64,15 @@ StrawmanTree::Built StrawmanTree::build_range(std::size_t lo, std::size_t hi,
   Built right = build_range(mid, hi, stats);
   Built built;
   built.id = internal_node_id(ctx_, left.id, right.id);
+  if (stats != nullptr) {
+    // The child recursions moved the level context; restore this node's.
+    stats->level = static_cast<std::uint16_t>(std::bit_width(hi - lo - 1));
+  }
 
   const auto it = memo_.find(built.id);
   if (it != memo_.end() && !left.recomputed && !right.recomputed) {
     built.table = it->second;
-    if (stats != nullptr) ++stats->combiner_reused;
+    if (stats != nullptr) stats->charge_reuse();
     live_.insert(built.id);
     return built;
   }
@@ -101,6 +112,57 @@ void StrawmanTree::rebuild(TreeUpdateStats* stats) {
   for (auto it = memo_.begin(); it != memo_.end();) {
     it = live_.count(it->first) == 0 ? memo_.erase(it) : std::next(it);
   }
+}
+
+TreeDescription StrawmanTree::describe() const {
+  TreeDescription d;
+  d.kind = std::string(kind());
+  d.height = height_;
+  d.leaf_count = leaves_.size();
+  d.root_id = root_id_;
+  if (leaves_.empty()) return d;
+
+  // Re-derive the structure of the current tree read-only (the same split
+  // rule build_range uses), taking payload stats from the live memo.
+  std::map<int, std::uint64_t> next_index;
+  struct Shape {
+    NodeId id;
+    int level;
+  };
+  const auto fill = [&](NodeId id, int level, std::vector<NodeId> children,
+                        const char* role) {
+    TreeNodeDescription node;
+    node.id = id;
+    node.level = level;
+    node.index = next_index[level]++;
+    node.children = std::move(children);
+    node.role = role;
+    const auto it = memo_.find(id);
+    if (it != memo_.end() && it->second != nullptr) {
+      node.materialized = true;
+      node.rows = it->second->size();
+      node.bytes = it->second->byte_size();
+    }
+    d.nodes.push_back(std::move(node));
+  };
+  const auto walk = [&](auto&& self, std::size_t lo, std::size_t hi) -> Shape {
+    const int level = static_cast<int>(std::bit_width(hi - lo - 1));
+    if (hi - lo == 1) {
+      const Leaf& leaf = leaves_[lo];
+      const NodeId id = leaf_node_id(ctx_, leaf.split_id, *leaf.table);
+      fill(id, 0, {}, "leaf");
+      return {id, 0};
+    }
+    const std::size_t mid = lo + (hi - lo + 1) / 2;
+    const Shape left = self(self, lo, mid);
+    const Shape right = self(self, mid, hi);
+    const NodeId id = internal_node_id(ctx_, left.id, right.id);
+    fill(id, level, {left.id, right.id},
+         id == root_id_ ? "root" : "internal");
+    return {id, level};
+  };
+  walk(walk, 0, leaves_.size());
+  return d;
 }
 
 void StrawmanTree::collect_live_ids(std::unordered_set<NodeId>& live) const {

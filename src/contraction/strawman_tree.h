@@ -30,6 +30,7 @@ class StrawmanTree final : public ContractionTree {
   int height() const override { return height_; }
   std::size_t leaf_count() const override { return leaves_.size(); }
   std::string_view kind() const override { return "strawman"; }
+  TreeDescription describe() const override;
   void collect_live_ids(std::unordered_set<NodeId>& live) const override;
   void serialize(durability::CheckpointWriter& writer) const override;
   bool restore(durability::CheckpointReader& reader) override;

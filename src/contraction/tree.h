@@ -27,6 +27,7 @@
 #include "data/record.h"
 #include "data/split.h"
 #include "durability/checkpoint.h"
+#include "observability/work_ledger.h"
 #include "storage/memo_store.h"
 
 namespace slider {
@@ -39,6 +40,20 @@ struct Leaf {
 };
 
 // Accounting for one tree operation (initial build, delta, background).
+//
+// Besides the aggregate counters, every charge is attributed to its
+// WorkCause and tree level (the causal work ledger). The charge_* helpers
+// update aggregate and attributed cells in lockstep, so the conservation
+// property "Σ per-cause combiner invocations == combiner_invocations"
+// holds by construction; tree code must charge through them, never by
+// incrementing the counters directly.
+//
+// `cause` / `passthrough_cause` / `level` form the *charge context*: the
+// session sets the causes before calling into a tree (window_add vs
+// recovery_replay vs background_preprocess, with passthrough work — the
+// voided-path re-executions of Fig 2 — attributed to window_remove); the
+// tree maintains `level` as it walks. at_level() derives the per-node
+// partial-stats objects the parallel level loops fold in index order.
 struct TreeUpdateStats {
   std::uint64_t combiner_invocations = 0;  // merges actually executed
   std::uint64_t combiner_reused = 0;       // memoized nodes reused as-is
@@ -53,6 +68,56 @@ struct TreeUpdateStats {
   std::uint64_t memo_bytes_written = 0;
   SimDuration memo_write_cost = 0;
 
+  // Charge context (not merged by operator+=).
+  obs::WorkCause cause = obs::WorkCause::kInitialBuild;
+  obs::WorkCause passthrough_cause = obs::WorkCause::kInitialBuild;
+  std::uint16_t level = 0;
+
+  // Per-(cause, level) attribution, kept in lockstep with the aggregates.
+  obs::AttributedWork attributed;
+
+  // Fresh stats object carrying this object's charge context at `level`
+  // and zeroed counters — the seed for per-node partials in level loops.
+  TreeUpdateStats at_level(std::uint16_t lvl) const {
+    TreeUpdateStats s;
+    s.cause = cause;
+    s.passthrough_cause = passthrough_cause;
+    s.level = lvl;
+    return s;
+  }
+
+  void charge_invocation_as(obs::WorkCause as, std::uint64_t rows) {
+    ++combiner_invocations;
+    rows_scanned += rows;
+    obs::CauseWork& cell = attributed.cell(as, level);
+    ++cell.combiner_invocations;
+    cell.rows_scanned += rows;
+  }
+  void charge_invocation(std::uint64_t rows) {
+    charge_invocation_as(cause, rows);
+  }
+  // Passthrough re-executions (one-void-child nodes) are removal-driven:
+  // they bill to passthrough_cause (window_remove during slides).
+  void charge_passthrough_invocation(std::uint64_t rows) {
+    charge_invocation_as(passthrough_cause, rows);
+  }
+  void charge_reuse() {
+    ++combiner_reused;
+    ++attributed.cell(cause, level).combiner_reused;
+  }
+  void charge_visits(std::uint64_t count = 1) {
+    nodes_visited += count;
+    attributed.cell(cause, level).nodes_visited += count;
+  }
+  void charge_memo_bytes_read(std::uint64_t bytes) {
+    memo_bytes_read += bytes;
+    attributed.cell(cause, level).memo_bytes_read += bytes;
+  }
+  void charge_memo_bytes_written(std::uint64_t bytes) {
+    memo_bytes_written += bytes;
+    attributed.cell(cause, level).memo_bytes_written += bytes;
+  }
+
   TreeUpdateStats& operator+=(const TreeUpdateStats& o) {
     combiner_invocations += o.combiner_invocations;
     combiner_reused += o.combiner_reused;
@@ -63,8 +128,31 @@ struct TreeUpdateStats {
     memo_bytes_read += o.memo_bytes_read;
     memo_bytes_written += o.memo_bytes_written;
     memo_write_cost += o.memo_write_cost;
+    attributed.merge(o.attributed);
     return *this;
   }
+};
+
+// --- structure dump (the /tree introspection route) ----------------------
+
+struct TreeNodeDescription {
+  NodeId id = 0;
+  int level = 0;           // 0 = leaves
+  std::uint64_t index = 0; // position within its level / container
+  std::vector<NodeId> children;
+  std::uint64_t rows = 0;   // payload rows (0 when not materialized)
+  std::uint64_t bytes = 0;  // payload byte size (0 when not materialized)
+  bool materialized = false;  // payload currently resident in the tree
+  // "leaf", "internal", "root", "void", "pending", "intermediate", ...
+  std::string role;
+};
+
+struct TreeDescription {
+  std::string kind;
+  int height = 0;
+  std::size_t leaf_count = 0;
+  NodeId root_id = 0;
+  std::vector<TreeNodeDescription> nodes;
 };
 
 // Binds a tree to its job/partition identity and (optionally) the
@@ -110,6 +198,12 @@ class ContractionTree {
   virtual int height() const = 0;
   virtual std::size_t leaf_count() const = 0;
   virtual std::string_view kind() const = 0;
+
+  // Structure dump for introspection (/tree route; JSON + DOT renderers in
+  // contraction/describe.h). Read-only and uncharged; callers must not run
+  // it concurrently with a mutation (the session serializes via its state
+  // lock).
+  virtual TreeDescription describe() const = 0;
 
   // Node ids this tree still needs; everything else is garbage (§6 GC).
   virtual void collect_live_ids(std::unordered_set<NodeId>& live) const = 0;

@@ -32,8 +32,7 @@ std::shared_ptr<const KVTable> combine_and_memoize(
   auto combined = std::make_shared<const KVTable>(
       KVTable::merge(left, right, combiner, &merge_stats));
   if (stats != nullptr) {
-    ++stats->combiner_invocations;
-    stats->rows_scanned += merge_stats.rows_scanned;
+    stats->charge_invocation(merge_stats.rows_scanned);
   }
   // Dirty-path recompute: one event per executed combiner merge.
   SLIDER_TRACE_EVENT(
@@ -47,8 +46,9 @@ std::shared_ptr<const KVTable> combine_and_memoize(
 void charge_passthrough(const MemoContext& ctx, const KVTable& table,
                         TreeUpdateStats* stats) {
   if (stats == nullptr) return;
-  ++stats->combiner_invocations;
-  stats->rows_scanned += table.size();
+  // Voided-path re-execution: billed to the removal that voided the
+  // sibling (passthrough_cause; see tree.h).
+  stats->charge_passthrough_invocation(table.size());
   SLIDER_TRACE_EVENT("tree", "tree.passthrough",
                      {{"partition", static_cast<double>(ctx.partition)},
                       {"rows", static_cast<double>(table.size())}});
@@ -63,7 +63,7 @@ void memoize_payload(const MemoContext& ctx, NodeId id,
   if (ctx.store == nullptr) return;
   const MemoWriteResult write = ctx.store->put(id, table);
   if (stats != nullptr) {
-    stats->memo_bytes_written += write.bytes_written;
+    stats->charge_memo_bytes_written(write.bytes_written);
     stats->memo_write_cost += write.cost;
   }
 }
@@ -72,7 +72,7 @@ std::shared_ptr<const KVTable> fetch_reused(
     const MemoContext& ctx, NodeId id,
     const std::shared_ptr<const KVTable>& fallback, TreeUpdateStats* stats) {
   SLIDER_CHECK(fallback != nullptr) << "reused node without in-tree payload";
-  if (stats != nullptr) ++stats->combiner_reused;
+  if (stats != nullptr) stats->charge_reuse();
   // Memoized sub-computation reused as-is (the paper's memo hit).
   SLIDER_TRACE_EVENT("tree", "tree.reuse",
                      {{"partition", static_cast<double>(ctx.partition)}});
@@ -82,16 +82,18 @@ std::shared_ptr<const KVTable> fetch_reused(
   if (stats != nullptr) {
     ++stats->memo_reads;
     stats->memo_read_cost += read.cost;
-    if (read.found) stats->memo_bytes_read += read.table->byte_size();
+    if (read.found) stats->charge_memo_bytes_read(read.table->byte_size());
   }
   if (read.found) return read.table;
 
-  // Total loss (all replicas down or GC raced the window): recompute.
-  // The fallback is bit-identical to what a recompute would produce; we
-  // charge the recompute as a fresh merge over the payload's rows.
+  // Total loss (all replicas down, a budget eviction, or GC raced the
+  // window): recompute. The fallback is bit-identical to what a recompute
+  // would produce; we charge the recompute as a fresh merge over the
+  // payload's rows, attributed to the memo layer — this work exists only
+  // because the store lost the entry, regardless of what dirtied the path.
   if (stats != nullptr) {
-    ++stats->combiner_invocations;
-    stats->rows_scanned += fallback->size() * 2;
+    stats->charge_invocation_as(obs::WorkCause::kMemoEvictionRecompute,
+                                fallback->size() * 2);
   }
   memoize_payload(ctx, id, fallback, stats);
   return fallback;

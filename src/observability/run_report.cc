@@ -5,6 +5,8 @@
 
 #include "common/logging.h"
 #include "observability/json_writer.h"
+#include "observability/stats.h"
+#include "observability/trace.h"
 
 namespace slider::obs {
 namespace {
@@ -53,6 +55,27 @@ RunReport& RunReport::set_counters(std::map<std::string, double> counters) {
   return *this;
 }
 
+RunReport& RunReport::merge_stats(const StatsSnapshot& stats) {
+  for (const auto& [name, value] : stats.counters) {
+    counters_[name] = static_cast<double>(value);
+  }
+  for (const auto& [name, value] : stats.gauges) {
+    counters_[name] = value;
+  }
+  for (const auto& [name, histogram] : stats.histograms) {
+    counters_[name + ".count"] = static_cast<double>(histogram.count);
+    counters_[name + ".sum"] = histogram.sum;
+    counters_[name + ".min"] = histogram.min;
+    counters_[name + ".max"] = histogram.max;
+    counters_[name + ".p50"] = histogram.p50;
+    counters_[name + ".p95"] = histogram.p95;
+    counters_[name + ".p99"] = histogram.p99;
+    counters_[name + ".underflow"] = static_cast<double>(histogram.underflow);
+    counters_[name + ".overflow"] = static_cast<double>(histogram.overflow);
+  }
+  return *this;
+}
+
 RunReport::Row& RunReport::add_row() {
   rows_.emplace_back();
   return rows_.back();
@@ -85,6 +108,16 @@ std::string RunReport::to_json() const {
   json.key("counters").begin_object();
   for (const auto& [key, value] : counters_) {
     json.key(key).value(value);
+  }
+  // Trace-health counters are stamped into every report so a BENCH_*.json
+  // whose trace-derived numbers under-count (ring wrap-around dropped
+  // events) is self-describing; 0 when tracing was off or nothing dropped.
+  if (counters_.find("trace.dropped_events") == counters_.end()) {
+    const TraceCollector& trace = TraceCollector::global();
+    json.key("trace.dropped_events")
+        .value(static_cast<double>(trace.dropped()));
+    json.key("trace.recorded_events")
+        .value(static_cast<double>(trace.total_recorded()));
   }
   json.end_object();
 

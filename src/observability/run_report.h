@@ -28,6 +28,8 @@
 
 namespace slider::obs {
 
+struct StatsSnapshot;
+
 // Small ordered JSON value used by report cells.
 using ReportValue = std::variant<double, std::int64_t, std::uint64_t, bool,
                                  std::string>;
@@ -64,6 +66,12 @@ class RunReport {
   RunReport& add_note(std::string note);
   // Attaches a flat counter map (e.g. MetricsRegistry::snapshot()).
   RunReport& set_counters(std::map<std::string, double> counters);
+  // Flattens a typed-stats snapshot into the counter map: counters and
+  // gauges keep their names; each histogram `h` contributes
+  // h.count/.sum/.min/.max/.p50/.p95/.p99 plus h.underflow/.overflow so
+  // observations outside the configured [min, max) range are visible in
+  // the report instead of vanishing into untagged buckets.
+  RunReport& merge_stats(const StatsSnapshot& stats);
 
   Row& add_row();
 

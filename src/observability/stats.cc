@@ -126,6 +126,13 @@ HistogramSnapshot Histogram::snapshot() const {
     snap.p95 = percentile_locked(95);
     snap.p99 = percentile_locked(99);
   }
+  snap.underflow = counts_.front();
+  snap.overflow = counts_.back();
+  snap.buckets.reserve(options_.buckets);
+  for (std::size_t i = 0; i < options_.buckets; ++i) {
+    snap.buckets.push_back(
+        HistogramBucketCount{bucket_upper_bound(i), counts_[i + 1]});
+  }
   return snap;
 }
 

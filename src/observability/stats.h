@@ -65,6 +65,12 @@ struct HistogramOptions {
   bool exponential = false;
 };
 
+// One finite histogram bucket: observations in [lower, upper_bound).
+struct HistogramBucketCount {
+  double upper_bound = 0;
+  std::uint64_t count = 0;  // per-bucket count (not cumulative)
+};
+
 struct HistogramSnapshot {
   std::uint64_t count = 0;
   double sum = 0;
@@ -73,6 +79,12 @@ struct HistogramSnapshot {
   double p50 = 0;
   double p95 = 0;
   double p99 = 0;
+  // Out-of-range observations. count == underflow + Σ buckets + overflow —
+  // without these two the bucket counts silently under-report whenever the
+  // configured [min, max) range misses the data.
+  std::uint64_t underflow = 0;
+  std::uint64_t overflow = 0;
+  std::vector<HistogramBucketCount> buckets;  // finite buckets, in order
 };
 
 // Fixed-bucket histogram. Observations outside [min, max) land in

@@ -53,7 +53,8 @@ void write_metadata(JsonWriter& json, int pid, const char* process_name) {
 
 }  // namespace
 
-std::string to_chrome_trace_json(std::span<const TraceEvent> events) {
+std::string to_chrome_trace_json(std::span<const TraceEvent> events,
+                                 std::uint64_t dropped_events) {
   // Sort by (pid, ts, seq) so each exported process has monotone
   // timestamps; seq keeps identical timestamps in commit order.
   std::vector<const TraceEvent*> ordered;
@@ -68,6 +69,13 @@ std::string to_chrome_trace_json(std::span<const TraceEvent> events) {
   JsonWriter json;
   json.begin_object();
   json.key("displayTimeUnit").value("ms");
+  // Top-level metadata (the "JSON Object" flavour allows arbitrary extra
+  // keys; Perfetto keeps them in trace info). droppedEvents != 0 means the
+  // ring lapped and the oldest spans are missing from this document.
+  json.key("metadata").begin_object();
+  json.key("droppedEvents").value(dropped_events);
+  json.key("retainedEvents").value(static_cast<std::uint64_t>(events.size()));
+  json.end_object();
   json.key("traceEvents").begin_array();
   write_metadata(json, kWallPid, "slider wall-clock");
   write_metadata(json, kSimulatedPid, "slider simulated cluster");
@@ -78,8 +86,9 @@ std::string to_chrome_trace_json(std::span<const TraceEvent> events) {
 }
 
 bool write_chrome_trace(const std::string& path,
-                        std::span<const TraceEvent> events) {
-  const std::string document = to_chrome_trace_json(events);
+                        std::span<const TraceEvent> events,
+                        std::uint64_t dropped_events) {
+  const std::string document = to_chrome_trace_json(events, dropped_events);
   std::FILE* file = std::fopen(path.c_str(), "w");
   if (file == nullptr) {
     SLIDER_LOG(Error) << "cannot open trace output file " << path;
@@ -95,7 +104,8 @@ bool write_chrome_trace(const std::string& path,
   return true;
 }
 
-std::string trace_summary(std::span<const TraceEvent> events) {
+std::string trace_summary(std::span<const TraceEvent> events,
+                          std::uint64_t dropped_events) {
   struct SpanAgg {
     std::uint64_t count = 0;
     double total_us = 0;
@@ -166,6 +176,13 @@ std::string trace_summary(std::span<const TraceEvent> events) {
                     static_cast<unsigned long long>(count));
       out += line;
     }
+  }
+  if (dropped_events != 0) {
+    std::snprintf(line, sizeof(line),
+                  "WARNING: %llu events dropped (ring wrap-around); "
+                  "totals above under-count\n",
+                  static_cast<unsigned long long>(dropped_events));
+    out += line;
   }
   return out;
 }

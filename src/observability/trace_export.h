@@ -23,15 +23,23 @@ inline constexpr int kSimulatedPid = 2;
 // Serializes `events` (as returned by TraceCollector::snapshot()) to a
 // complete Chrome trace-event JSON document. Events are emitted sorted by
 // (pid, ts) so timestamps are monotone within each process.
-std::string to_chrome_trace_json(std::span<const TraceEvent> events);
+//
+// `dropped_events` (TraceCollector::dropped()) is recorded in the
+// document's top-level metadata — a timeline that silently lost events to
+// ring wrap-around reads as complete otherwise.
+std::string to_chrome_trace_json(std::span<const TraceEvent> events,
+                                 std::uint64_t dropped_events = 0);
 
-// Writes to_chrome_trace_json(events) to `path`. Returns false (and logs)
-// on I/O failure.
+// Writes to_chrome_trace_json(events, dropped_events) to `path`. Returns
+// false (and logs) on I/O failure.
 bool write_chrome_trace(const std::string& path,
-                        std::span<const TraceEvent> events);
+                        std::span<const TraceEvent> events,
+                        std::uint64_t dropped_events = 0);
 
 // Aggregated per-span statistics and final counter values, formatted as a
-// fixed-width text table for terminal consumption.
-std::string trace_summary(std::span<const TraceEvent> events);
+// fixed-width text table for terminal consumption. A non-zero
+// `dropped_events` is called out in a trailing warning line.
+std::string trace_summary(std::span<const TraceEvent> events,
+                          std::uint64_t dropped_events = 0);
 
 }  // namespace slider::obs

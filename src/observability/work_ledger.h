@@ -1,0 +1,237 @@
+// Causal work ledger.
+//
+// Slider's headline claim is that a slide performs work proportional to
+// the delta (times log window) — but an aggregate combiner-invocation
+// counter cannot say *why* a merge executed. A combiner run triggered by a
+// window append is indistinguishable from one forced by a memo eviction or
+// a post-crash recovery replay, so the paper's §7-style breakdowns would
+// otherwise be read off totals on faith. This module attributes every unit
+// of contraction-tree work to its cause:
+//
+//   initial_build            — the from-scratch first run
+//   window_add               — dirty paths from freshly appended splits
+//   window_remove            — voided-path passthroughs / recomputes after
+//                              front-of-window removals (Fig 2)
+//   memo_eviction_recompute  — re-execution forced by a memo-layer loss
+//                              (budget eviction, replica failure, GC race)
+//   recovery_replay          — slides re-executed after restore() to catch
+//                              up to the pre-crash frontier
+//   background_preprocess    — §4 split-processing background phase
+//   speculative_reexec       — straggler-mitigation backup copies
+//
+// Accounting discipline (same as docs/threading.md): the hot paths never
+// touch a shared ledger. Tree work accumulates into caller-owned
+// TreeUpdateStats cells (per partition / per node, folded deterministically
+// in index order) and is committed to the process-wide WorkLedger once per
+// run at the slide boundary, under one cold mutex. Storage / durability /
+// scheduler event notes go through per-thread sharded cells that are summed
+// at snapshot time — a writer only ever touches its own cache line.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace slider::obs {
+
+enum class WorkCause : std::uint8_t {
+  kInitialBuild = 0,
+  kWindowAdd,
+  kWindowRemove,
+  kMemoEvictionRecompute,
+  kRecoveryReplay,
+  kBackgroundPreprocess,
+  kSpeculativeReexec,
+};
+
+inline constexpr std::size_t kWorkCauseCount = 7;
+
+// Stable snake_case names, used as Prometheus label values and JSON keys.
+std::string_view work_cause_name(WorkCause cause);
+
+// Work observed under one (cause, tree level) bucket.
+struct CauseWork {
+  std::uint64_t combiner_invocations = 0;
+  std::uint64_t combiner_reused = 0;
+  std::uint64_t nodes_visited = 0;
+  std::uint64_t rows_scanned = 0;
+  std::uint64_t memo_bytes_read = 0;
+  std::uint64_t memo_bytes_written = 0;
+
+  CauseWork& operator+=(const CauseWork& o) {
+    combiner_invocations += o.combiner_invocations;
+    combiner_reused += o.combiner_reused;
+    nodes_visited += o.nodes_visited;
+    rows_scanned += o.rows_scanned;
+    memo_bytes_read += o.memo_bytes_read;
+    memo_bytes_written += o.memo_bytes_written;
+    return *this;
+  }
+  bool empty() const {
+    return combiner_invocations == 0 && combiner_reused == 0 &&
+           nodes_visited == 0 && rows_scanned == 0 && memo_bytes_read == 0 &&
+           memo_bytes_written == 0;
+  }
+};
+
+struct AttributedCell {
+  WorkCause cause = WorkCause::kInitialBuild;
+  std::uint16_t level = 0;
+  CauseWork work;
+};
+
+// Sparse per-(cause, level) accumulator. A tree operation touches a
+// handful of (cause, level) pairs — at most a few causes times the tree
+// height — so a small vector with linear lookup beats any map here, and
+// the whole structure copies/merges trivially for the deterministic
+// index-order folds the trees already perform.
+class AttributedWork {
+ public:
+  CauseWork& cell(WorkCause cause, std::uint16_t level) {
+    for (AttributedCell& c : cells_) {
+      if (c.cause == cause && c.level == level) return c.work;
+    }
+    cells_.push_back(AttributedCell{cause, level, {}});
+    return cells_.back().work;
+  }
+
+  void merge(const AttributedWork& o) {
+    for (const AttributedCell& c : o.cells_) {
+      if (c.work.empty()) continue;
+      cell(c.cause, c.level) += c.work;
+    }
+  }
+
+  const std::vector<AttributedCell>& cells() const { return cells_; }
+  bool empty() const {
+    for (const AttributedCell& c : cells_) {
+      if (!c.work.empty()) return false;
+    }
+    return true;
+  }
+
+  // Sum over levels for one cause / over everything.
+  CauseWork total_for(WorkCause cause) const {
+    CauseWork total;
+    for (const AttributedCell& c : cells_) {
+      if (c.cause == cause) total += c.work;
+    }
+    return total;
+  }
+  CauseWork total() const {
+    CauseWork total;
+    for (const AttributedCell& c : cells_) total += c.work;
+    return total;
+  }
+
+ private:
+  std::vector<AttributedCell> cells_;
+};
+
+enum class RunKind : std::uint8_t { kInitial, kSlide, kBackground };
+std::string_view run_kind_name(RunKind kind);
+
+// One committed run (initial build, slide, or background phase).
+struct SlideRecord {
+  std::uint64_t sequence = 0;  // monotone per-process commit index
+  RunKind kind = RunKind::kSlide;
+  std::size_t window_splits = 0;
+  std::size_t removed = 0;
+  std::size_t added = 0;
+  std::vector<AttributedWork> partitions;  // indexed by reduce partition
+};
+
+// Event counters maintained through the per-thread sharded cells.
+struct LedgerCounters {
+  std::uint64_t eviction_forced_misses = 0;  // reads that missed because a
+                                             // budget eviction dropped the id
+  std::uint64_t budget_evictions = 0;
+  std::uint64_t recovered_entries = 0;
+  std::uint64_t recovered_bytes = 0;
+  std::uint64_t speculative_reexecutions = 0;
+};
+
+struct LedgerSnapshot {
+  // Process-lifetime totals per cause (sums over all committed runs).
+  std::array<CauseWork, kWorkCauseCount> totals{};
+  LedgerCounters counters;
+  std::uint64_t runs_committed = 0;
+  // Most recent runs, oldest first (bounded by the ledger history limit).
+  std::vector<SlideRecord> recent;
+
+  const CauseWork& total_for(WorkCause cause) const {
+    return totals[static_cast<std::size_t>(cause)];
+  }
+  // Σ combiner invocations over every cause — must equal the aggregate
+  // "tree.combiner_invocations" stats counter (the ledger conservation
+  // property; asserted in tests/test_work_ledger.cc).
+  std::uint64_t total_invocations() const {
+    std::uint64_t sum = 0;
+    for (const CauseWork& w : totals) sum += w.combiner_invocations;
+    return sum;
+  }
+};
+
+// Serializes a snapshot as a standalone JSON document (the /ledger.json
+// introspection route).
+std::string ledger_to_json(const LedgerSnapshot& snapshot);
+
+// Process-wide causal work ledger.
+//
+// commit_run() is the cold once-per-run path (one mutex). The note_*()
+// methods are callable from any thread at any time (storage eviction
+// handlers, recovery, the stage scheduler); they write per-thread cells
+// and never contend with each other or with commit_run().
+class WorkLedger {
+ public:
+  static WorkLedger& global();
+
+  WorkLedger();
+  ~WorkLedger();
+  WorkLedger(const WorkLedger&) = delete;
+  WorkLedger& operator=(const WorkLedger&) = delete;
+
+  // Commits one run's per-partition attributed work at a slide boundary.
+  void commit_run(RunKind kind, std::size_t window_splits, std::size_t removed,
+                  std::size_t added,
+                  const std::vector<AttributedWork>& partitions);
+
+  // Hot-path-safe event notes (per-thread cells, no shared mutation).
+  void note_eviction_forced_miss(std::uint64_t count = 1);
+  void note_budget_eviction(std::uint64_t count = 1);
+  void note_recovery(std::uint64_t entries, std::uint64_t bytes);
+  void note_speculative_reexec(std::uint64_t count = 1);
+
+  // How many SlideRecords snapshot() retains (default 64; 0 disables the
+  // per-run history and keeps only the totals).
+  void set_history_limit(std::size_t limit);
+
+  LedgerSnapshot snapshot() const;
+  std::string to_json() const { return ledger_to_json(snapshot()); }
+
+  // Zeroes totals, history, and every thread's event cells. Only safe when
+  // no writer is mid-flight (tests, tool startup).
+  void reset();
+
+ private:
+  struct ThreadCell;
+  ThreadCell& local_cell();
+
+  mutable std::mutex mutex_;  // guards totals_, history_, cells_ list
+  std::array<CauseWork, kWorkCauseCount> totals_{};
+  std::uint64_t runs_committed_ = 0;
+  std::uint64_t next_sequence_ = 0;
+  std::size_t history_limit_ = 64;
+  std::deque<SlideRecord> history_;
+  // Sharded event cells: one per thread that ever noted an event. Cells
+  // are owned here and never freed (bounded by peak thread count), so a
+  // note from a dying thread can never dangle.
+  std::vector<std::unique_ptr<ThreadCell>> cells_;
+};
+
+}  // namespace slider::obs

@@ -2,14 +2,17 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstdlib>
 #include <filesystem>
 
 #include "common/thread_pool.h"
+#include "contraction/describe.h"
 #include "contraction/rotating_tree.h"
 #include "data/serde.h"
 #include "durability/checkpoint.h"
 #include "observability/stats.h"
 #include "observability/trace.h"
+#include "observability/work_ledger.h"
 
 namespace slider {
 namespace {
@@ -22,6 +25,11 @@ struct TreeInstruments {
   obs::Counter& nodes_visited;
   obs::Counter& combiner_invocations;
   obs::Counter& combiner_reused;
+  // Distribution of per-run invocation counts: delta-proportional slides
+  // cluster in the low exponential buckets, from-scratch builds land high.
+  // Runs with zero invocations (pure-reuse slides) fall in the underflow
+  // bucket — visible now that snapshots carry under/overflow counts.
+  obs::Histogram& run_invocations;
 };
 
 TreeInstruments& tree_instruments() {
@@ -31,6 +39,11 @@ TreeInstruments& tree_instruments() {
         stats.counter("tree.nodes_visited"),
         stats.counter("tree.combiner_invocations"),
         stats.counter("tree.combiner_reused"),
+        stats.histogram("tree.run_invocations",
+                        obs::HistogramOptions{.min = 1,
+                                              .max = 1 << 20,
+                                              .buckets = 20,
+                                              .exponential = true}),
     };
   }();
   return *instruments;
@@ -52,9 +65,40 @@ void record_tree_counters(const std::vector<TreeUpdateStats>& tree_stats) {
       static_cast<double>(instruments.combiner_invocations.add(invoked));
   [[maybe_unused]] const double reused_total =
       static_cast<double>(instruments.combiner_reused.add(reused));
+  instruments.run_invocations.observe(static_cast<double>(invoked));
   SLIDER_TRACE_COUNTER("tree", "tree.nodes_visited", visited_total);
   SLIDER_TRACE_COUNTER("tree", "tree.combiner_invocations", invoked_total);
   SLIDER_TRACE_COUNTER("tree", "tree.combiner_reused", reused_total);
+}
+
+// Commits one run's per-partition causal attribution to the process-wide
+// ledger (the cold once-per-run path; see observability/work_ledger.h).
+void commit_ledger_run(obs::RunKind kind, std::size_t window_splits,
+                       std::size_t removed, std::size_t added,
+                       const std::vector<TreeUpdateStats>& tree_stats) {
+  std::vector<obs::AttributedWork> partitions;
+  partitions.reserve(tree_stats.size());
+  for (const TreeUpdateStats& ts : tree_stats) {
+    partitions.push_back(ts.attributed);
+  }
+  obs::WorkLedger::global().commit_run(kind, window_splits, removed, added,
+                                       partitions);
+}
+
+// SLIDER_INTROSPECT_PORT: valid port number (0..65535) enables the
+// endpoint regardless of SliderConfig::introspect_port; anything else
+// leaves the config value in charge.
+int effective_introspect_port(int configured) {
+  const char* env = std::getenv("SLIDER_INTROSPECT_PORT");
+  if (env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const long port = std::strtol(env, &end, 10);
+    if (end != nullptr && *end == '\0' && port >= 0 && port <= 65535) {
+      return static_cast<int>(port);
+    }
+    SLIDER_LOG(Warning) << "ignoring invalid SLIDER_INTROSPECT_PORT=" << env;
+  }
+  return configured;
 }
 
 }  // namespace
@@ -87,6 +131,54 @@ SliderSession::SliderSession(const VanillaEngine& engine, MemoStore& memo,
     partitions_.push_back(std::move(state));
   }
   output_.resize(static_cast<std::size_t>(job_.num_partitions));
+  maybe_start_introspection();
+}
+
+SliderSession::~SliderSession() {
+  // Stop serving before the trees the /tree handler reads are destroyed.
+  if (introspect_ != nullptr) introspect_->stop();
+}
+
+void SliderSession::maybe_start_introspection() {
+  const int port = effective_introspect_port(config_.introspect_port);
+  if (port < 0) return;  // disabled: no server, no locking, no overhead
+  obs::IntrospectionServer::Options options;
+  options.port = static_cast<std::uint16_t>(port);
+  options.fallback_to_ephemeral = true;
+  introspect_ = std::make_unique<obs::IntrospectionServer>(options);
+  introspect_->add_route("/tree", [this](const obs::HttpRequest& request) {
+    const std::string raw = request.query_param("partition", "0");
+    char* end = nullptr;
+    const long partition = std::strtol(raw.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || partition < 0 ||
+        partition >= static_cast<long>(partitions_.size())) {
+      return obs::HttpResponse::error(
+          400, "bad partition '" + raw + "' (have " +
+                   std::to_string(partitions_.size()) + ")");
+    }
+    const TreeDescription description =
+        describe_tree(static_cast<int>(partition));
+    if (request.query_param("format") == "dot") {
+      return obs::HttpResponse::text(tree_description_to_dot(description),
+                                     "text/vnd.graphviz");
+    }
+    return obs::HttpResponse::json(tree_description_to_json(description));
+  });
+  if (!introspect_->start()) introspect_.reset();
+}
+
+std::unique_lock<std::shared_mutex> SliderSession::exclusive_state_lock() {
+  if (introspect_ == nullptr) return {};
+  return std::unique_lock<std::shared_mutex>(state_mutex_);
+}
+
+TreeDescription SliderSession::describe_tree(int partition) const {
+  SLIDER_CHECK(partition >= 0 &&
+               static_cast<std::size_t>(partition) < partitions_.size())
+      << "describe_tree: bad partition " << partition;
+  std::shared_lock<std::shared_mutex> lock(state_mutex_, std::defer_lock);
+  if (introspect_ != nullptr) lock.lock();
+  return partitions_[static_cast<std::size_t>(partition)].tree->describe();
 }
 
 RunMetrics SliderSession::initial_run(std::vector<SplitPtr> splits) {
@@ -102,7 +194,12 @@ RunMetrics SliderSession::initial_run(std::vector<SplitPtr> splits) {
   metrics.time = maps.sim.makespan;
   metrics.map_time = maps.sim.makespan;
 
+  const auto state_lock = exclusive_state_lock();
   std::vector<TreeUpdateStats> tree_stats(partitions_.size());
+  for (TreeUpdateStats& ts : tree_stats) {
+    ts.cause = obs::WorkCause::kInitialBuild;
+    ts.passthrough_cause = obs::WorkCause::kInitialBuild;
+  }
   std::vector<std::size_t> new_leaf_bytes(partitions_.size(), 0);
   {
     SLIDER_TRACE_SPAN("session", "session.tree_build");
@@ -119,9 +216,11 @@ RunMetrics SliderSession::initial_run(std::vector<SplitPtr> splits) {
       partitions_[p].tree->initial_build(std::move(leaves), &tree_stats[p]);
     });
   }
+  const std::size_t added_count = splits.size();
   for (SplitPtr& split : splits) window_.push_back(std::move(split));
 
-  contraction_and_reduce(tree_stats, new_leaf_bytes, metrics);
+  contraction_and_reduce(tree_stats, new_leaf_bytes, obs::RunKind::kInitial,
+                         /*removed=*/0, added_count, metrics);
   return metrics;
 }
 
@@ -145,7 +244,22 @@ RunMetrics SliderSession::slide(std::size_t remove_front,
   metrics.time = maps.sim.makespan;
   metrics.map_time = maps.sim.makespan;
 
+  const auto state_lock = exclusive_state_lock();
   std::vector<TreeUpdateStats> tree_stats(partitions_.size());
+  for (TreeUpdateStats& ts : tree_stats) {
+    // Post-restore slides are re-executions of pre-crash work: everything
+    // bills to recovery_replay until the caller ends the replay. A normal
+    // slide attributes append-driven work to window_add and the voided-
+    // path passthroughs (Fig 2) to window_remove.
+    if (replaying_) {
+      ts.cause = obs::WorkCause::kRecoveryReplay;
+      ts.passthrough_cause = obs::WorkCause::kRecoveryReplay;
+    } else {
+      ts.cause = obs::WorkCause::kWindowAdd;
+      ts.passthrough_cause = remove_front > 0 ? obs::WorkCause::kWindowRemove
+                                              : obs::WorkCause::kWindowAdd;
+    }
+  }
   std::vector<std::size_t> new_leaf_bytes(partitions_.size(), 0);
   {
     SLIDER_TRACE_SPAN("session", "session.tree_delta");
@@ -163,18 +277,22 @@ RunMetrics SliderSession::slide(std::size_t remove_front,
                                        &tree_stats[p]);
     });
   }
+  const std::size_t added_count = added.size();
   for (std::size_t i = 0; i < remove_front; ++i) window_.pop_front();
   for (SplitPtr& split : added) window_.push_back(std::move(split));
 
-  contraction_and_reduce(tree_stats, new_leaf_bytes, metrics);
+  contraction_and_reduce(tree_stats, new_leaf_bytes, obs::RunKind::kSlide,
+                         remove_front, added_count, metrics);
   return metrics;
 }
 
 void SliderSession::contraction_and_reduce(
     const std::vector<TreeUpdateStats>& tree_stats,
-    const std::vector<std::size_t>& new_leaf_bytes, RunMetrics& metrics) {
+    const std::vector<std::size_t>& new_leaf_bytes, obs::RunKind run_kind,
+    std::size_t removed, std::size_t added, RunMetrics& metrics) {
   SLIDER_TRACE_SPAN("session", "session.contraction_reduce");
   record_tree_counters(tree_stats);
+  commit_ledger_run(run_kind, window_.size(), removed, added, tree_stats);
 
   obs::TraceCollector& trace = obs::TraceCollector::global();
   const bool tracing = trace.enabled();
@@ -274,10 +392,14 @@ void SliderSession::contraction_and_reduce(
   metrics.reduce_tasks = partitions_.size();
 
   StageTimeline timeline;
+  HybridOptions hybrid;
+  hybrid.speculate_slowdown = config_.speculate_slowdown;
   const StageResult stage = engine_->simulator().run_stage(
-      tasks, config_.reduce_policy, {}, tracing ? &timeline : nullptr);
+      tasks, config_.reduce_policy, hybrid, tracing ? &timeline : nullptr);
   metrics.time += stage.makespan;
   metrics.migrations += stage.migrations;
+  metrics.speculative_launched += stage.speculative_launched;
+  metrics.speculative_wins += stage.speculative_wins;
 
   if (tracing) {
     // Reconstruct the run on the simulated clock: the map wave, then the
@@ -330,8 +452,14 @@ RunMetrics SliderSession::run_background() {
   RunMetrics metrics;
   if (!config_.split_processing) return metrics;
   SLIDER_TRACE_SPAN("session", "session.run_background");
+  const auto state_lock = exclusive_state_lock();
   const CostModel& cost = engine_->cost_model();
   std::vector<SimTask> tasks(partitions_.size());
+  std::vector<TreeUpdateStats> tree_stats(partitions_.size());
+  for (TreeUpdateStats& ts : tree_stats) {
+    ts.cause = obs::WorkCause::kBackgroundPreprocess;
+    ts.passthrough_cause = obs::WorkCause::kBackgroundPreprocess;
+  }
   // Per-partition shares filled by the parallel loop, folded in partition
   // order below so the floating-point sums match the serial run exactly.
   struct BackgroundShare {
@@ -340,7 +468,7 @@ RunMetrics SliderSession::run_background() {
   };
   std::vector<BackgroundShare> partials(partitions_.size());
   parallel_for(partitions_.size(), [&](std::size_t p) {
-    TreeUpdateStats ts;
+    TreeUpdateStats& ts = tree_stats[p];
     partitions_[p].tree->background_preprocess(&ts);
     const SimDuration cpu =
         job_.costs.combine_cpu_per_row * static_cast<double>(ts.rows_scanned) +
@@ -358,13 +486,20 @@ RunMetrics SliderSession::run_background() {
     metrics.background_work += share.work;
     metrics.memo_bytes_written += share.memo_bytes_written;
   }
+  record_tree_counters(tree_stats);
+  commit_ledger_run(obs::RunKind::kBackground, window_.size(), /*removed=*/0,
+                    /*added=*/0, tree_stats);
   obs::TraceCollector& trace = obs::TraceCollector::global();
   const bool tracing = trace.enabled();
   StageTimeline timeline;
+  HybridOptions hybrid;
+  hybrid.speculate_slowdown = config_.speculate_slowdown;
   const StageResult stage = engine_->simulator().run_stage(
-      tasks, config_.reduce_policy, {}, tracing ? &timeline : nullptr);
+      tasks, config_.reduce_policy, hybrid, tracing ? &timeline : nullptr);
   metrics.background_time = stage.makespan;
   metrics.migrations += stage.migrations;
+  metrics.speculative_launched += stage.speculative_launched;
+  metrics.speculative_wins += stage.speculative_wins;
   if (tracing) {
     trace.sim_span("phase", "background", sim_clock_, stage.makespan, 0,
                    {{"tasks", static_cast<double>(tasks.size())},
@@ -459,6 +594,7 @@ bool SliderSession::checkpoint(const std::string& dir) const {
 bool SliderSession::restore(const std::string& dir) {
   SLIDER_CHECK(!initialized_) << "restore on an initialized session";
   SLIDER_TRACE_SPAN("durability", "session.restore");
+  const auto state_lock = exclusive_state_lock();
   const std::string path = dir + "/session.slckpt";
   auto reader = durability::CheckpointReader::open(
       path, [this](std::uint64_t id) { return memo_->peek(id); });
@@ -524,6 +660,9 @@ bool SliderSession::restore(const std::string& dir) {
   output_ = std::move(output);
   sim_clock_ = std::bit_cast<SimDuration>(clock_bits);
   initialized_ = true;
+  // Slides from here until end_recovery_replay() are catch-up work; their
+  // tree charges bill to recovery_replay (see work_ledger.h).
+  replaying_ = true;
   return true;
 }
 

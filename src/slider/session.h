@@ -15,11 +15,13 @@
 
 #include <deque>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "contraction/tree.h"
 #include "mapreduce/engine.h"
+#include "observability/introspection_server.h"
 #include "slider/window.h"
 
 namespace slider {
@@ -39,18 +41,31 @@ struct SliderConfig {
   std::size_t rebalance_factor = 0;
   bool run_gc = true;
   SchedulePolicy reduce_policy = SchedulePolicy::kHybrid;
+  // Straggler speculation threshold, forwarded to HybridOptions (§6 /
+  // Table 1): with kHybrid, tasks placed on a machine whose duration
+  // factor is >= this value get a backup copy on another machine; the
+  // first copy to finish wins. 0 disables speculation. Launched backups
+  // are recorded as speculative re-executions in the causal work ledger.
+  double speculate_slowdown = 0;
   // Cost of visiting one contraction node during change propagation: the
   // memo-index RPC + per-subtask dispatch that every visited node pays in
   // the distributed implementation. This is the strawman's "linear with a
   // small constant" — it visits every node every run, while the
   // self-adjusting trees only visit dirty paths.
   double memo_lookup_sec = 2.0e-6;
+  // Live introspection endpoint (observability/introspection_server.h).
+  // -1 disables it entirely (no server object, no per-run locking);
+  // 0 binds an OS-assigned ephemeral port; >0 binds that port, falling
+  // back to an ephemeral one when busy. The SLIDER_INTROSPECT_PORT env
+  // var, when set to a valid port number, overrides this field.
+  int introspect_port = -1;
 };
 
 class SliderSession {
  public:
   SliderSession(const VanillaEngine& engine, MemoStore& memo,
                 const JobSpec& job, SliderConfig config);
+  ~SliderSession();
 
   // Runs the job from scratch over the initial window.
   RunMetrics initial_run(std::vector<SplitPtr> splits);
@@ -103,6 +118,25 @@ class SliderSession {
   // can run a global GC instead of the session's own (set run_gc=false).
   void collect_live_ids(std::unordered_set<NodeId>& live) const;
 
+  // Structure dump of one partition's contraction tree (the /tree route).
+  // Thread-safe against concurrent runs when the introspection server is
+  // enabled (shared-locks the session state).
+  TreeDescription describe_tree(int partition) const;
+
+  // Introspection server, when enabled via SliderConfig::introspect_port
+  // or SLIDER_INTROSPECT_PORT; nullptr otherwise. Exposes the actually
+  // bound port for pollers.
+  const obs::IntrospectionServer* introspection() const {
+    return introspect_.get();
+  }
+
+  // Causal attribution (observability/work_ledger.h): after restore(),
+  // slides are re-executions of work the pre-crash process already did, so
+  // their tree work bills to recovery_replay until the caller declares the
+  // catch-up finished. A session that never restored attributes normally.
+  bool recovery_replay_active() const { return replaying_; }
+  void end_recovery_replay() { replaying_ = false; }
+
   // Critical-path estimate of a partition's contraction phase: nodes
   // within a level run as parallel combiner tasks, levels are sequential.
   // Uses the given partition's own tree height (heights differ across
@@ -120,11 +154,18 @@ class SliderSession {
   };
 
   // Shared tail of initial_run/slide: run the contraction + reduce stage
-  // from the per-partition deltas gathered in `stats`, then GC.
+  // from the per-partition deltas gathered in `stats`, then GC. Commits
+  // the run's causal attribution to the process-wide WorkLedger.
   void contraction_and_reduce(const std::vector<TreeUpdateStats>& tree_stats,
                               const std::vector<std::size_t>& new_leaf_bytes,
-                              RunMetrics& metrics);
+                              obs::RunKind run_kind, std::size_t removed,
+                              std::size_t added, RunMetrics& metrics);
   void garbage_collect();
+  void maybe_start_introspection();
+  // Exclusive lock over session state while the server is live; a no-op
+  // (default-constructed lock) when introspection is disabled, so the
+  // disabled configuration pays nothing per run.
+  std::unique_lock<std::shared_mutex> exclusive_state_lock();
 
   const VanillaEngine* engine_;
   MemoStore* memo_;
@@ -134,7 +175,14 @@ class SliderSession {
   std::deque<SplitPtr> window_;
   std::vector<KVTable> output_;
   bool initialized_ = false;
+  bool replaying_ = false;  // see recovery_replay_active()
   SimDuration sim_clock_ = 0;  // see sim_clock()
+
+  // Guards partitions_/window_/output_ between run mutations and the
+  // introspection server's /tree handler. Only touched when introspect_
+  // is live.
+  mutable std::shared_mutex state_mutex_;
+  std::unique_ptr<obs::IntrospectionServer> introspect_;
 };
 
 }  // namespace slider

@@ -9,6 +9,7 @@
 #include "durability/durable_tier.h"
 #include "observability/stats.h"
 #include "observability/trace.h"
+#include "observability/work_ledger.h"
 
 namespace slider {
 namespace {
@@ -21,6 +22,7 @@ struct MemoInstruments {
   obs::Counter& misses;
   obs::Counter& evictions_memory;
   obs::Counter& evictions_budget;
+  obs::Counter& eviction_forced_misses;
   obs::Counter& replica_writes;
   obs::Gauge& entries;
   obs::Gauge& bytes;
@@ -36,6 +38,7 @@ MemoInstruments& memo_instruments() {
         stats.counter("memo.misses"),
         stats.counter("memo.evictions_memory"),
         stats.counter("memo.evictions_budget"),
+        stats.counter("memo.eviction_forced_misses"),
         stats.counter("memo.replica_writes"),
         stats.gauge("memo.entries"),
         stats.gauge("memo.bytes"),
@@ -170,7 +173,12 @@ void MemoStore::enforce_entry_budget() {
     total_bytes_.fetch_sub(it->second.bytes, std::memory_order_relaxed);
     shard.index.erase(it);
     entry_count_.fetch_sub(1, std::memory_order_relaxed);
+    // Remember the id so a later miss on it is classified as
+    // eviction-forced (bounded set; see Shard::evicted).
+    if (shard.evicted.size() >= kEvictedSetCap) shard.evicted.clear();
+    shard.evicted.insert(victim);
     stats_.budget_evictions.fetch_add(1, std::memory_order_relaxed);
+    obs::WorkLedger::global().note_budget_eviction();
     [[maybe_unused]] const double evicted =
         static_cast<double>(memo_instruments().evictions_budget.add());
     SLIDER_TRACE_COUNTER("memo", "memo.evictions_budget", evicted);
@@ -234,6 +242,7 @@ MemoWriteResult MemoStore::put(NodeId id,
         installed_memory = true;
       }
     } else {
+      shard.evicted.erase(id);  // re-memoized: no longer an eviction hole
       entry.persistent = serialize_table(*table);
       entry.bytes = entry.persistent.size();
       entry.home = home_of(id);
@@ -296,6 +305,13 @@ MemoReadResult MemoStore::get(NodeId id, MachineId reader) {
     const auto it = shard.index.find(id);
     if (it == shard.index.end()) {
       stats_.misses.fetch_add(1, std::memory_order_relaxed);
+      if (shard.evicted.count(id) != 0) {
+        // The budget policy dropped this entry whole; the recompute this
+        // miss forces is eviction-induced, not window-induced.
+        stats_.eviction_forced_misses.fetch_add(1, std::memory_order_relaxed);
+        obs::WorkLedger::global().note_eviction_forced_miss();
+        memo_instruments().eviction_forced_misses.add();
+      }
       [[maybe_unused]] const double misses =
           static_cast<double>(memo_instruments().misses.add());
       SLIDER_TRACE_COUNTER("memo", "memo.misses", misses);
@@ -446,6 +462,7 @@ std::size_t MemoStore::restore_from_durable(
   std::sort(order.begin(), order.end());
 
   std::size_t installed = 0;
+  std::uint64_t installed_bytes = 0;
   std::uint64_t max_seq = 0;
   for (const auto& [seq, id] : order) {
     auto& payload = recovered.at(id).payload;
@@ -474,6 +491,7 @@ std::size_t MemoStore::restore_from_durable(
     // Memory tier starts cold; reads repopulate it lazily.
     total_bytes_.fetch_add(entry.bytes, std::memory_order_relaxed);
     entry_count_.fetch_add(1, std::memory_order_relaxed);
+    installed_bytes += entry.bytes;
     ++installed;
   }
 
@@ -486,6 +504,7 @@ std::size_t MemoStore::restore_from_durable(
   }
 
   stats_.recovered_entries.fetch_add(installed, std::memory_order_relaxed);
+  obs::WorkLedger::global().note_recovery(installed, installed_bytes);
   refresh_gauges();
   return installed;
 }
@@ -522,6 +541,8 @@ MemoStoreStats MemoStore::stats() const {
       stats_.memory_evictions.load(std::memory_order_relaxed);
   snapshot.budget_evictions =
       stats_.budget_evictions.load(std::memory_order_relaxed);
+  snapshot.eviction_forced_misses =
+      stats_.eviction_forced_misses.load(std::memory_order_relaxed);
   snapshot.persistent_writes =
       stats_.persistent_writes.load(std::memory_order_relaxed);
   snapshot.bytes_persisted =
@@ -539,6 +560,7 @@ void MemoStore::reset_stats() {
   stats_.misses.store(0, std::memory_order_relaxed);
   stats_.memory_evictions.store(0, std::memory_order_relaxed);
   stats_.budget_evictions.store(0, std::memory_order_relaxed);
+  stats_.eviction_forced_misses.store(0, std::memory_order_relaxed);
   stats_.persistent_writes.store(0, std::memory_order_relaxed);
   stats_.bytes_persisted.store(0, std::memory_order_relaxed);
   stats_.recovered_entries.store(0, std::memory_order_relaxed);

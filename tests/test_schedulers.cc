@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "apps/microbench.h"
+#include "observability/work_ledger.h"
 #include "slider/session.h"
 
 namespace slider {
@@ -182,6 +183,74 @@ TEST(Schedulers, MapStagePrefersSplitLocality) {
   }
   // Work should be close to the nominal local cost: no big fetch premium.
   EXPECT_LT(stage.sim.work, nominal * 1.6);
+}
+
+// --- straggler speculation (Table 1 / §6 backup copies) ----------------------
+
+TEST(Schedulers, SpeculativeBackupWinsAgainstModerateStraggler) {
+  Cluster cluster(ClusterConfig{.num_machines = 4, .slots_per_machine = 1});
+  // Slow enough that a remote backup (paying the fetch penalty) beats the
+  // local copy, but not so slow that the hybrid placement rule migrates
+  // the primary outright (other_finish + tolerance >= pref_finish).
+  cluster.set_straggler(1, 2.5);
+  StageSimulator sim(cluster);
+  const auto tasks = homed_tasks(1, 1.0, /*home=*/1, /*penalty=*/1.2);
+
+  HybridOptions hybrid;
+  hybrid.speculate_slowdown = 2.0;
+  StageTimeline timeline;
+  const obs::LedgerSnapshot before = obs::WorkLedger::global().snapshot();
+  const StageResult result =
+      sim.run_stage(tasks, SchedulePolicy::kHybrid, hybrid, &timeline);
+  const obs::LedgerSnapshot after = obs::WorkLedger::global().snapshot();
+
+  EXPECT_EQ(result.speculative_launched, 1u);
+  EXPECT_EQ(result.speculative_wins, 1u);
+  // Backup finishes at 1.0 + 1.2 = 2.2 < 2.5; the primary is killed there.
+  EXPECT_NEAR(result.makespan, 2.2, 1e-9);
+  // Work: primary ran until the kill (2.2) plus the full backup (2.2).
+  EXPECT_NEAR(result.work, 4.4, 1e-9);
+  // Every launched backup is a speculative re-execution in the ledger.
+  EXPECT_EQ(after.counters.speculative_reexecutions,
+            before.counters.speculative_reexecutions + 1);
+
+  // Timeline: primary (trimmed to the kill) + the speculative copy.
+  ASSERT_EQ(timeline.size(), 2u);
+  EXPECT_FALSE(timeline[0].speculative);
+  EXPECT_EQ(timeline[0].machine, 1);
+  EXPECT_NEAR(timeline[0].end, 2.2, 1e-9);
+  EXPECT_TRUE(timeline[1].speculative);
+  EXPECT_NE(timeline[1].machine, 1);
+}
+
+TEST(Schedulers, SpeculativeBackupKilledWhenPrimaryWins) {
+  Cluster cluster(ClusterConfig{.num_machines = 4, .slots_per_machine = 1});
+  cluster.set_straggler(1, 2.5);
+  StageSimulator sim(cluster);
+  // A fetch penalty larger than the straggler slowdown: the backup can
+  // never catch up, so the primary wins and the backup is killed at the
+  // primary's finish (charging only the time it actually occupied).
+  const auto tasks = homed_tasks(1, 1.0, /*home=*/1, /*penalty=*/10.0);
+
+  HybridOptions hybrid;
+  hybrid.speculate_slowdown = 2.0;
+  const StageResult result =
+      sim.run_stage(tasks, SchedulePolicy::kHybrid, hybrid);
+  EXPECT_EQ(result.speculative_launched, 1u);
+  EXPECT_EQ(result.speculative_wins, 0u);
+  EXPECT_NEAR(result.makespan, 2.5, 1e-9);
+  // Primary 2.5 + backup killed at 2.5 (it started at 0 on a free slot).
+  EXPECT_NEAR(result.work, 5.0, 1e-9);
+}
+
+TEST(Schedulers, SpeculationDisabledByDefault) {
+  Cluster cluster(ClusterConfig{.num_machines = 4, .slots_per_machine = 1});
+  cluster.set_straggler(1, 8.0);
+  StageSimulator sim(cluster);
+  const auto tasks = homed_tasks(4, 1.0, /*home=*/1, /*penalty=*/10.0);
+  const StageResult result = sim.run_stage(tasks, SchedulePolicy::kHybrid);
+  EXPECT_EQ(result.speculative_launched, 0u);
+  EXPECT_EQ(result.speculative_wins, 0u);
 }
 
 }  // namespace

@@ -1,0 +1,340 @@
+// Asymptotic regression gate (companion report arXiv:1604.00794).
+//
+// Self-adjusting contraction trees promise O(Δ log w) work per slide: the
+// combiner invocations attributable to the window delta should scale with
+// Δ·log2(w), not with the window size w. This tool makes that claim
+// machine-checked on every PR:
+//
+//   1. For each tree variant (folding / rotating / coalescing) it runs a
+//      (Δ, w) sweep of real SliderSessions and reads the *delta-attributed*
+//      combiner invocations off the causal work ledger — only work booked
+//      to window_add / window_remove counts, so memo-eviction recomputes or
+//      recovery replays can never masquerade as delta work.
+//   2. It fits the measurements against the model  y = c · Δ · log2(w)
+//      (least squares through the origin) and reports the per-variant fit
+//      constant c plus the worst-case per-point ratio.
+//   3. It compares c against the committed baseline
+//      (bench/baselines/asymptotics.json) and exits nonzero if any variant
+//      regressed by more than the baseline's tolerance (default 1.25×).
+//
+// Modes:
+//   (default)          run the sweep, write the fit report, gate vs baseline
+//   --write-baseline   run the sweep and (re)write the baseline file
+//   --self-test        negative test: run the *strawman* tree — whose
+//                      per-slide work is window-proportional by design —
+//                      through the same fit + gate, and exit 0 only if the
+//                      gate correctly FAILS it. Proves the gate has teeth.
+//
+// Flags: --baseline=PATH  --report=PATH  --quiet
+//
+// The gate deliberately measures invocation *counts*, not wall-clock or
+// simulated time: counts are deterministic and sanitizer-stable, so the
+// gate behaves identically under asan/tsan and across machines.
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "observability/json_writer.h"
+#include "observability/work_ledger.h"
+
+namespace slider {
+namespace {
+
+struct SweepPoint {
+  std::size_t window = 0;
+  std::size_t delta = 0;
+  std::uint64_t delta_invocations = 0;  // window_add + window_remove
+  double model_x = 0;                   // Δ · log2(w)
+};
+
+struct VariantFit {
+  std::string name;
+  std::vector<SweepPoint> points;
+  double fit_constant = 0;   // least squares through the origin
+  double max_point_ratio = 0;  // max y/x over the sweep
+};
+
+struct VariantSpec {
+  std::string name;
+  WindowMode mode;
+  TreeKind kind;
+};
+
+// Delta-attributed invocations currently booked in the process ledger.
+std::uint64_t delta_attributed_invocations() {
+  const obs::LedgerSnapshot snap = obs::WorkLedger::global().snapshot();
+  return snap.total_for(obs::WorkCause::kWindowAdd).combiner_invocations +
+         snap.total_for(obs::WorkCause::kWindowRemove).combiner_invocations;
+}
+
+VariantFit run_sweep(const VariantSpec& spec, bool quiet) {
+  constexpr std::size_t kWindows[] = {48, 96, 192};
+  constexpr std::size_t kDeltas[] = {2, 4, 8};
+  constexpr int kWarmSlides = 2;
+
+  VariantFit fit;
+  fit.name = spec.name;
+  const apps::MicroBenchmark app =
+      apps::make_microbenchmark(apps::MicroApp::kSubStr);
+
+  for (const std::size_t w : kWindows) {
+    for (const std::size_t delta : kDeltas) {
+      bench::BenchEnv env;  // fresh cluster + memo per point
+      bench::ExperimentParams params;
+      params.window_splits = w;
+      params.records_per_split = 20;
+      params.change_fraction = static_cast<double>(delta) / static_cast<double>(w);
+      params.mode = spec.mode;
+      params.tree_kind = spec.kind;
+      params.seed = 7 + w * 31 + delta;
+      bench::Driver driver(env, app, params);
+      driver.initial_run();
+      for (int i = 0; i < kWarmSlides; ++i) driver.slide();
+
+      const std::uint64_t before = delta_attributed_invocations();
+      driver.slide();
+      const std::uint64_t after = delta_attributed_invocations();
+
+      SweepPoint point;
+      point.window = w;
+      point.delta = delta;
+      point.delta_invocations = after - before;
+      point.model_x =
+          static_cast<double>(delta) * std::log2(static_cast<double>(w));
+      fit.points.push_back(point);
+      if (!quiet) {
+        std::printf("  %-10s w=%4zu delta=%2zu  delta_inv=%8llu  x=%7.2f  y/x=%7.2f\n",
+                    spec.name.c_str(), w, delta,
+                    static_cast<unsigned long long>(point.delta_invocations),
+                    point.model_x,
+                    static_cast<double>(point.delta_invocations) / point.model_x);
+      }
+    }
+  }
+
+  // Least squares through the origin: c = Σ(x·y) / Σ(x²).
+  double xy = 0;
+  double xx = 0;
+  for (const SweepPoint& p : fit.points) {
+    const double y = static_cast<double>(p.delta_invocations);
+    xy += p.model_x * y;
+    xx += p.model_x * p.model_x;
+    fit.max_point_ratio = std::max(fit.max_point_ratio, y / p.model_x);
+  }
+  fit.fit_constant = xx > 0 ? xy / xx : 0;
+  return fit;
+}
+
+// --- minimal JSON number extraction for the (self-authored) baseline ------
+//
+// The baseline file is written by this tool; the reader only needs to find
+// `"key": <number>` pairs, so a scanner beats carrying a JSON parser.
+bool find_number(const std::string& doc, const std::string& key, double* out) {
+  const std::string needle = "\"" + key + "\"";
+  std::size_t at = doc.find(needle);
+  if (at == std::string::npos) return false;
+  at = doc.find(':', at + needle.size());
+  if (at == std::string::npos) return false;
+  ++at;
+  while (at < doc.size() && std::isspace(static_cast<unsigned char>(doc[at]))) {
+    ++at;
+  }
+  char* end = nullptr;
+  const double value = std::strtod(doc.c_str() + at, &end);
+  if (end == doc.c_str() + at) return false;
+  *out = value;
+  return true;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return "";
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::string fits_to_json(const std::vector<VariantFit>& fits,
+                         double tolerance) {
+  obs::JsonWriter json;
+  json.begin_object();
+  json.key("schema_version").value(static_cast<std::int64_t>(1));
+  json.key("model").value(std::string("delta_invocations = c * delta * log2(window)"));
+  json.key("fit").value(std::string("least_squares_through_origin"));
+  json.key("tolerance").value(tolerance);
+  json.key("variants").begin_object();
+  for (const VariantFit& fit : fits) {
+    json.key(fit.name).begin_object();
+    json.key("fit_constant").value(fit.fit_constant);
+    json.key("max_point_ratio").value(fit.max_point_ratio);
+    json.key("points").begin_array();
+    for (const SweepPoint& p : fit.points) {
+      json.begin_object();
+      json.key("window").value(static_cast<std::uint64_t>(p.window));
+      json.key("delta").value(static_cast<std::uint64_t>(p.delta));
+      json.key("delta_invocations").value(p.delta_invocations);
+      json.key("model_x").value(p.model_x);
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+  }
+  json.end_object();
+  json.end_object();
+  return json.take();
+}
+
+bool write_file(const std::string& path, const std::string& contents) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << contents;
+  return static_cast<bool>(out);
+}
+
+// Gate one variant's fit against the baseline document. Returns true when
+// the variant passes.
+bool gate_variant(const VariantFit& fit, const std::string& baseline_doc,
+                  const std::string& baseline_key, double tolerance) {
+  double baseline_c = 0;
+  // The baseline nests fit_constant under the variant name; scan for the
+  // variant key first so the right fit_constant is picked up.
+  const std::size_t at = baseline_doc.find("\"" + baseline_key + "\"");
+  if (at == std::string::npos) {
+    std::fprintf(stderr, "GATE ERROR: baseline has no variant '%s'\n",
+                 baseline_key.c_str());
+    return false;
+  }
+  if (!find_number(baseline_doc.substr(at), "fit_constant", &baseline_c) ||
+      baseline_c <= 0) {
+    std::fprintf(stderr, "GATE ERROR: baseline fit_constant for '%s' missing\n",
+                 baseline_key.c_str());
+    return false;
+  }
+  const double limit = baseline_c * tolerance;
+  const bool pass = fit.fit_constant > 0 && fit.fit_constant <= limit;
+  std::printf("gate %-10s fit=%8.2f baseline=%8.2f limit=%8.2f  %s\n",
+              fit.name.c_str(), fit.fit_constant, baseline_c, limit,
+              pass ? "PASS" : "FAIL");
+  return pass;
+}
+
+int run(int argc, char** argv) {
+  std::string baseline_path = "bench/baselines/asymptotics.json";
+  std::string report_path = "asymptotics_report.json";
+  bool write_baseline = false;
+  bool self_test = false;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--baseline=", 0) == 0) {
+      baseline_path = arg.substr(std::strlen("--baseline="));
+    } else if (arg.rfind("--report=", 0) == 0) {
+      report_path = arg.substr(std::strlen("--report="));
+    } else if (arg == "--write-baseline") {
+      write_baseline = true;
+    } else if (arg == "--self-test") {
+      self_test = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: check_asymptotics [--baseline=PATH] [--report=PATH]"
+                   " [--write-baseline] [--self-test] [--quiet]\n");
+      return 2;
+    }
+  }
+
+  if (self_test) {
+    // Negative test: the strawman tree touches every node on every slide,
+    // so its delta-attributed work is window-proportional. Fitting it
+    // against c·Δ·log2(w) and gating against the *folding* baseline must
+    // FAIL — if it passes, the gate has no teeth.
+    std::printf("self-test: strawman (window-proportional) must fail the gate\n");
+    const VariantFit fit = run_sweep(
+        {"strawman", WindowMode::kVariableWidth, TreeKind::kStrawman}, quiet);
+    const std::string baseline_doc = read_file(baseline_path);
+    if (baseline_doc.empty()) {
+      std::fprintf(stderr, "cannot read baseline %s\n", baseline_path.c_str());
+      return 2;
+    }
+    double tolerance = 1.25;
+    find_number(baseline_doc, "tolerance", &tolerance);
+    const bool passed_gate =
+        gate_variant(fit, baseline_doc, "folding", tolerance);
+    if (passed_gate) {
+      std::fprintf(stderr,
+                   "SELF-TEST FAILED: window-proportional work passed the "
+                   "asymptotic gate\n");
+      return 1;
+    }
+    std::printf("self-test OK: gate correctly rejected window-proportional work\n");
+    return 0;
+  }
+
+  const VariantSpec specs[] = {
+      {"folding", WindowMode::kVariableWidth, TreeKind::kFolding},
+      {"rotating", WindowMode::kFixedWidth, TreeKind::kRotating},
+      {"coalescing", WindowMode::kAppendOnly, TreeKind::kCoalescing},
+  };
+  std::vector<VariantFit> fits;
+  for (const VariantSpec& spec : specs) {
+    if (!quiet) std::printf("sweep: %s\n", spec.name.c_str());
+    fits.push_back(run_sweep(spec, quiet));
+  }
+
+  double tolerance = 1.25;
+  if (!write_baseline) {
+    const std::string baseline_doc = read_file(baseline_path);
+    if (baseline_doc.empty()) {
+      std::fprintf(stderr,
+                   "cannot read baseline %s (run with --write-baseline to "
+                   "create it)\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    find_number(baseline_doc, "tolerance", &tolerance);
+    const std::string report = fits_to_json(fits, tolerance);
+    if (!write_file(report_path, report)) {
+      std::fprintf(stderr, "cannot write report %s\n", report_path.c_str());
+      return 2;
+    }
+    std::printf("fit report: %s\n", report_path.c_str());
+    bool all_pass = true;
+    for (const VariantFit& fit : fits) {
+      all_pass &= gate_variant(fit, baseline_doc, fit.name, tolerance);
+    }
+    if (!all_pass) {
+      std::fprintf(stderr,
+                   "\nASYMPTOTIC GATE FAILED: delta-attributed work regressed "
+                   ">%.0f%% vs %s.\nIf the regression is intended (e.g. an "
+                   "accounting change), re-baseline with --write-baseline and "
+                   "commit the new file.\n",
+                   (tolerance - 1.0) * 100.0, baseline_path.c_str());
+      return 1;
+    }
+    std::printf("asymptotic gate: all variants within %.2fx of baseline\n",
+                tolerance);
+    return 0;
+  }
+
+  const std::string baseline = fits_to_json(fits, tolerance);
+  if (!write_file(baseline_path, baseline)) {
+    std::fprintf(stderr, "cannot write baseline %s\n", baseline_path.c_str());
+    return 2;
+  }
+  std::printf("baseline written: %s\n", baseline_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace slider
+
+int main(int argc, char** argv) { return slider::run(argc, argv); }
