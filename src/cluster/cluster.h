@@ -57,11 +57,36 @@ class Cluster {
   void recover_machine(MachineId id);
 
   // Deterministic machine choice for data placement (split locality,
-  // memo-shard homes). Stable for a given key.
+  // memo-shard homes). Stable for a given key: the primary ring position is
+  // `key % num_machines()`, and once the primary machine is healthy the
+  // placement returns to it. While the primary is failed, the choice probes
+  // forward around the ring to the first live machine so that new entries
+  // are never homed on a machine that is currently down. If every machine
+  // is failed the primary is returned unchanged (callers degrade to
+  // recompute anyway).
   MachineId place(std::uint64_t key) const {
-    return static_cast<MachineId>(key % static_cast<std::uint64_t>(
-                                            num_machines()));
+    const int n = num_machines();
+    const MachineId primary =
+        static_cast<MachineId>(key % static_cast<std::uint64_t>(n));
+    if (!machines_[static_cast<std::size_t>(primary)].failed) return primary;
+    for (int probe = 1; probe < n; ++probe) {
+      const MachineId candidate = static_cast<MachineId>((primary + probe) % n);
+      if (!machines_[static_cast<std::size_t>(candidate)].failed) {
+        return candidate;
+      }
+    }
+    return primary;
   }
+
+  // Number of machines currently marked failed.
+  int failed_machines() const {
+    int count = 0;
+    for (const MachineState& m : machines_) count += m.failed ? 1 : 0;
+    return count;
+  }
+
+  // True if at least one machine is alive.
+  bool any_live() const { return failed_machines() < num_machines(); }
 
  private:
   ClusterConfig config_;

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -44,6 +45,17 @@ struct StageResult {
   // (the primary was killed at the backup's completion).
   std::uint64_t speculative_launched = 0;
   std::uint64_t speculative_wins = 0;
+  // Fault tolerance (§6 failures): attempt accounting. `attempts` counts
+  // every placement (first tries and re-executions), `failed_attempts`
+  // counts attempts that were killed by a mid-stage machine crash or drew
+  // an injected task failure, and `task_retries` counts the resulting
+  // re-queues (one per failed attempt). `max_attempts_seen` is the largest
+  // per-task attempt count observed (1 when nothing failed).
+  std::uint64_t attempts = 0;
+  std::uint64_t failed_attempts = 0;
+  std::uint64_t task_retries = 0;
+  int machines_blacklisted = 0;
+  int max_attempts_seen = 0;
 };
 
 // One scheduled task occurrence in a stage: which machine ran it, when
@@ -59,9 +71,15 @@ struct TaskPlacement {
   SimDuration end = 0;
   bool migrated = false;
   bool speculative = false;  // backup copy of an already-placed task
+  // Fault tolerance: which attempt of the task this placement is (0 for
+  // the first try) and whether the attempt failed — killed by a machine
+  // crash mid-run or by an injected task failure — and was re-queued.
+  int attempt = 0;
+  bool failed = false;
 };
 
-// Placements in scheduling order (longest-task-first), one per task.
+// Placements in scheduling order (longest-task-first, retries appended in
+// ready-time order); one per task when no attempt fails, more otherwise.
 using StageTimeline = std::vector<TaskPlacement>;
 
 struct HybridOptions {
@@ -80,16 +98,68 @@ struct HybridOptions {
   double speculate_slowdown = 0;
 };
 
+// Deterministic fault script for one stage, expressed in stage-relative
+// simulated time. The scheduler does not know the future: tasks are placed
+// on a machine as long as their start precedes its crash instant, and any
+// attempt still running at that instant is killed there and re-queued as a
+// new attempt (exponential sim-time backoff) on a live slot. Machines that
+// accumulate `blacklist_threshold` injected failures are blacklisted for
+// the remainder of the stage. The whole plan is data + a pure predicate, so
+// replaying the same plan yields byte-identical schedules.
+struct StageFaultPlan {
+  struct Crash {
+    MachineId machine = -1;
+    SimDuration at = 0;  // stage-relative kill instant
+  };
+  std::vector<Crash> crashes;
+  // Machines already failed when the stage began: never eligible.
+  std::vector<MachineId> dead_machines;
+  // Injected per-attempt task failure. Consulted only while the attempt
+  // cap allows a retry (the final attempt never draws a failure), so a
+  // `true` here costs the full attempt duration and forces a re-queue.
+  // Must be a pure function of its arguments for determinism.
+  std::function<bool(std::size_t task, int attempt, MachineId machine)>
+      attempt_fails;
+  int max_attempts = 4;           // attempts per task (>=1)
+  SimDuration backoff_base = 0.05;  // retry delay: base * 2^attempt
+  int blacklist_threshold = 3;    // injected failures before blacklisting
+  bool empty() const {
+    return crashes.empty() && dead_machines.empty() && !attempt_fails;
+  }
+};
+
+// Source of per-stage fault plans; implemented by the chaos controller.
+// `stage_start` is the absolute simulated time at which the stage begins,
+// so the provider can translate its global event timeline into the
+// stage-relative script the simulator consumes.
+class StageFaultProvider {
+ public:
+  virtual ~StageFaultProvider() = default;
+  virtual StageFaultPlan stage_faults(SimDuration stage_start) const = 0;
+};
+
 class StageSimulator {
  public:
   explicit StageSimulator(const Cluster& cluster) : cluster_(&cluster) {}
 
-  // `timeline`, when non-null, receives one TaskPlacement per task.
+  // `timeline`, when non-null, receives the placements (one per attempt).
+  // `faults`, when non-null and non-empty, switches the stage into the
+  // fault-aware scheduling path: mid-stage crashes kill running attempts,
+  // failed attempts are retried with backoff under a bounded cap, and
+  // repeat offenders are blacklisted. Straggler speculation is disabled
+  // for fault-injected stages (retries subsume the backup-copy role).
   StageResult run_stage(std::span<const SimTask> tasks, SchedulePolicy policy,
                         const HybridOptions& hybrid = {},
-                        StageTimeline* timeline = nullptr) const;
+                        StageTimeline* timeline = nullptr,
+                        const StageFaultPlan* faults = nullptr) const;
 
  private:
+  StageResult run_stage_faulty(std::span<const SimTask> tasks,
+                               SchedulePolicy policy,
+                               const HybridOptions& hybrid,
+                               StageTimeline* timeline,
+                               const StageFaultPlan& faults) const;
+
   const Cluster* cluster_;
 };
 

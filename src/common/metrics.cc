@@ -1,5 +1,7 @@
 #include "common/metrics.h"
 
+#include <algorithm>
+
 namespace slider {
 
 RunMetrics& RunMetrics::operator+=(const RunMetrics& other) {
@@ -19,6 +21,11 @@ RunMetrics& RunMetrics::operator+=(const RunMetrics& other) {
   migrations += other.migrations;
   speculative_launched += other.speculative_launched;
   speculative_wins += other.speculative_wins;
+  task_attempts += other.task_attempts;
+  failed_attempts += other.failed_attempts;
+  task_retries += other.task_retries;
+  machines_blacklisted += other.machines_blacklisted;
+  max_task_attempts = std::max(max_task_attempts, other.max_task_attempts);
   memo_bytes_written += other.memo_bytes_written;
   return *this;
 }

@@ -51,6 +51,17 @@ struct RunMetrics {
   // how many of them beat their primary.
   std::uint64_t speculative_launched = 0;
   std::uint64_t speculative_wins = 0;
+  // Fault tolerance (paper §6): task attempts scheduled (>= tasks when
+  // failures force re-execution), attempts that died (crash or injected
+  // failure), retries (attempts beyond each task's first), and machines
+  // blacklisted for repeated injected failures.
+  std::uint64_t task_attempts = 0;
+  std::uint64_t failed_attempts = 0;
+  std::uint64_t task_retries = 0;
+  std::uint64_t machines_blacklisted = 0;
+  // Max attempts any single task needed across the run's stages. Folds as
+  // max (not sum) under operator+= — the acceptance bound is per task.
+  std::uint64_t max_task_attempts = 0;
 
   // Bytes of memoized state written by this run (Fig 13c space overhead).
   std::uint64_t memo_bytes_written = 0;

@@ -89,10 +89,14 @@ std::shared_ptr<const KVTable> fetch_reused(
   // Total loss (all replicas down, a budget eviction, or GC raced the
   // window): recompute. The fallback is bit-identical to what a recompute
   // would produce; we charge the recompute as a fresh merge over the
-  // payload's rows, attributed to the memo layer — this work exists only
-  // because the store lost the entry, regardless of what dirtied the path.
+  // payload's rows, attributed to the layer that lost it — failure_reexec
+  // when a machine failure destroyed every intact copy (§6 fault
+  // tolerance), memo_eviction_recompute otherwise. Either way the output
+  // is unchanged: the store losing state can never change an answer.
   if (stats != nullptr) {
-    stats->charge_invocation_as(obs::WorkCause::kMemoEvictionRecompute,
+    stats->charge_invocation_as(read.failure_miss
+                                    ? obs::WorkCause::kFailureReexec
+                                    : obs::WorkCause::kMemoEvictionRecompute,
                                 fallback->size() * 2);
   }
   memoize_payload(ctx, id, fallback, stats);

@@ -62,6 +62,22 @@ bool DurableTier::all_failed() const {
   return true;
 }
 
+std::size_t DurableTier::failed_replicas() const {
+  std::size_t count = 0;
+  for (const auto& log : logs_) count += log->failed() ? 1 : 0;
+  return count;
+}
+
+std::size_t DurableTier::reopen_failed() {
+  std::size_t reopened = 0;
+  for (auto& log : logs_) {
+    if (!log->failed()) continue;
+    log->reopen();
+    if (!log->failed()) ++reopened;
+  }
+  return reopened;
+}
+
 std::optional<SegmentLog::CompactionResult> DurableTier::maybe_compact(
     const std::unordered_set<LogKey>& live) {
   if (options_.compact_after_bytes == 0 ||

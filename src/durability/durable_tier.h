@@ -63,6 +63,13 @@ class DurableTier {
 
   // True when every replica log has failed (nothing is durable anymore).
   bool all_failed() const;
+  // Number of replica logs currently marked failed.
+  std::size_t failed_replicas() const;
+
+  // Reopens every failed replica log in a fresh segment (degraded-mode
+  // recovery: transient write errors mark logs failed; once the condition
+  // clears, reopen and resume). Returns how many logs were reopened.
+  std::size_t reopen_failed();
 
   // Compacts every replica down to `live` if compact_after_bytes of new
   // records accumulated since the last compaction (nullopt otherwise).

@@ -275,6 +275,19 @@ void SegmentLog::sync() {
   ::fsync(fileno(active_));
 }
 
+void SegmentLog::reopen() {
+  if (!failed_) return;
+  // Abandon the torn active segment (a crash would have left the same
+  // prefix; recovery truncates it) and continue in a fresh one.
+  if (active_ != nullptr) {
+    std::fflush(active_);
+    std::fclose(active_);
+    active_ = nullptr;
+  }
+  failed_ = false;
+  open_fresh_segment();
+}
+
 void SegmentLog::close() {
   if (active_ == nullptr) return;
   flush();

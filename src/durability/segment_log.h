@@ -97,6 +97,15 @@ class SegmentLog {
   void close();
 
   bool failed() const { return failed_; }
+
+  // Clears the failed flag and resumes appending in a fresh segment (the
+  // torn segment stays behind; tail-scan recovery already tolerates it).
+  // This is the degraded-mode recovery hook: a transient write error (disk
+  // full, injected fault) marks the log failed, and once the condition
+  // clears the owner reopens instead of discarding the log forever. No-op
+  // on a healthy log.
+  void reopen();
+
   // Injects write faults on the *next* low-level writes. Not owned.
   void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
 

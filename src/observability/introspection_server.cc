@@ -162,6 +162,20 @@ std::string prometheus_text(const StatsSnapshot& stats,
                  ledger.counters.recovered_bytes);
   ledger_counter("slider_ledger_speculative_reexecutions_total",
                  ledger.counters.speculative_reexecutions);
+  ledger_counter("slider_ledger_failure_forced_misses_total",
+                 ledger.counters.failure_forced_misses);
+  ledger_counter("slider_ledger_degraded_mode_intervals_total",
+                 ledger.counters.degraded_mode_intervals);
+  // Fault-tolerance scoreboard (robustness/chaos.h): chaos events injected,
+  // task attempts re-queued, and machines blacklisted for repeated injected
+  // failures. machines_blacklisted is exposed as a gauge: blacklists are
+  // per-stage state, not a monotone stream.
+  ledger_counter("slider_failures_injected_total",
+                 ledger.counters.failures_injected);
+  ledger_counter("slider_task_retries_total", ledger.counters.task_retries);
+  out += "# TYPE slider_machines_blacklisted gauge\n";
+  out += "slider_machines_blacklisted " +
+         std::to_string(ledger.counters.machines_blacklisted) + "\n";
   return out;
 }
 

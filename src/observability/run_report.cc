@@ -35,6 +35,15 @@ RunReport::Row& RunReport::Row::metrics(const std::string& prefix,
   col(prefix + "combiner_reused", m.combiner_reused);
   col(prefix + "migrations", m.migrations);
   col(prefix + "memo_bytes_written", m.memo_bytes_written);
+  // Fault-tolerance columns, only when any attempt bookkeeping happened
+  // (failure-free runs on the fast path record no attempts at all and keep
+  // their historical column set).
+  if (m.task_attempts > 0 || m.failed_attempts > 0 || m.task_retries > 0) {
+    col(prefix + "task_attempts", m.task_attempts);
+    col(prefix + "failed_attempts", m.failed_attempts);
+    col(prefix + "task_retries", m.task_retries);
+    col(prefix + "machines_blacklisted", m.machines_blacklisted);
+  }
   return *this;
 }
 
@@ -73,6 +82,11 @@ RunReport& RunReport::merge_stats(const StatsSnapshot& stats) {
     counters_[name + ".underflow"] = static_cast<double>(histogram.underflow);
     counters_[name + ".overflow"] = static_cast<double>(histogram.overflow);
   }
+  return *this;
+}
+
+RunReport& RunReport::set_robustness(RobustnessReport robustness) {
+  robustness_ = robustness;
   return *this;
 }
 
@@ -120,6 +134,27 @@ std::string RunReport::to_json() const {
         .value(static_cast<double>(trace.total_recorded()));
   }
   json.end_object();
+
+  if (robustness_.has_value()) {
+    const RobustnessReport& r = *robustness_;
+    json.key("robustness").begin_object();
+    json.key("seeds").value(r.seeds);
+    json.key("failures_injected").value(r.failures_injected);
+    json.key("crashes").value(r.crashes);
+    json.key("recoveries").value(r.recoveries);
+    json.key("stragglers").value(r.stragglers);
+    json.key("memo_losses").value(r.memo_losses);
+    json.key("durable_error_windows").value(r.durable_error_windows);
+    json.key("task_attempts").value(r.task_attempts);
+    json.key("failed_attempts").value(r.failed_attempts);
+    json.key("task_retries").value(r.task_retries);
+    json.key("machines_blacklisted").value(r.machines_blacklisted);
+    json.key("failure_forced_misses").value(r.failure_forced_misses);
+    json.key("attempt_cap").value(r.attempt_cap);
+    json.key("max_attempts_seen").value(r.max_attempts_seen);
+    json.key("outputs_identical").value(r.outputs_identical);
+    json.end_object();
+  }
 
   json.key("notes").begin_array();
   for (const std::string& note : notes_) {

@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <utility>
 #include <variant>
@@ -33,6 +34,29 @@ struct StatsSnapshot;
 // Small ordered JSON value used by report cells.
 using ReportValue = std::variant<double, std::int64_t, std::uint64_t, bool,
                                  std::string>;
+
+// Fault-tolerance scoreboard (paper §6; robustness/chaos.h). Attached to a
+// report as a top-level "robustness" object when set — omitted otherwise so
+// failure-free bench reports keep their existing schema. `outputs_identical`
+// is the headline invariant: every chaos run's outputs were byte-identical
+// to the failure-free control.
+struct RobustnessReport {
+  std::uint64_t seeds = 0;  // chaos seeds exercised
+  std::uint64_t failures_injected = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t stragglers = 0;
+  std::uint64_t memo_losses = 0;
+  std::uint64_t durable_error_windows = 0;
+  std::uint64_t task_attempts = 0;
+  std::uint64_t failed_attempts = 0;
+  std::uint64_t task_retries = 0;
+  std::uint64_t machines_blacklisted = 0;
+  std::uint64_t failure_forced_misses = 0;
+  std::int64_t attempt_cap = 0;
+  std::int64_t max_attempts_seen = 0;
+  bool outputs_identical = true;
+};
 
 class RunReport {
  public:
@@ -72,6 +96,8 @@ class RunReport {
   // observations outside the configured [min, max) range are visible in
   // the report instead of vanishing into untagged buckets.
   RunReport& merge_stats(const StatsSnapshot& stats);
+  // Attaches the fault-tolerance section (emitted as "robustness").
+  RunReport& set_robustness(RobustnessReport robustness);
 
   Row& add_row();
 
@@ -91,6 +117,7 @@ class RunReport {
   std::vector<Row> rows_;
   std::vector<std::string> notes_;
   std::map<std::string, double> counters_;
+  std::optional<RobustnessReport> robustness_;
 };
 
 }  // namespace slider::obs

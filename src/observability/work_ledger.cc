@@ -15,6 +15,7 @@ std::string_view work_cause_name(WorkCause cause) {
     case WorkCause::kRecoveryReplay: return "recovery_replay";
     case WorkCause::kBackgroundPreprocess: return "background_preprocess";
     case WorkCause::kSpeculativeReexec: return "speculative_reexec";
+    case WorkCause::kFailureReexec: return "failure_reexec";
   }
   return "unknown";
 }
@@ -36,6 +37,11 @@ struct WorkLedger::ThreadCell {
   std::atomic<std::uint64_t> recovered_entries{0};
   std::atomic<std::uint64_t> recovered_bytes{0};
   std::atomic<std::uint64_t> speculative_reexecutions{0};
+  std::atomic<std::uint64_t> failure_forced_misses{0};
+  std::atomic<std::uint64_t> failures_injected{0};
+  std::atomic<std::uint64_t> task_retries{0};
+  std::atomic<std::uint64_t> machines_blacklisted{0};
+  std::atomic<std::uint64_t> degraded_mode_intervals{0};
 };
 
 WorkLedger::WorkLedger() = default;
@@ -88,6 +94,29 @@ void WorkLedger::note_speculative_reexec(std::uint64_t count) {
                                                   std::memory_order_relaxed);
 }
 
+void WorkLedger::note_failure_forced_miss(std::uint64_t count) {
+  local_cell().failure_forced_misses.fetch_add(count,
+                                               std::memory_order_relaxed);
+}
+
+void WorkLedger::note_failure_injected(std::uint64_t count) {
+  local_cell().failures_injected.fetch_add(count, std::memory_order_relaxed);
+}
+
+void WorkLedger::note_task_retry(std::uint64_t count) {
+  local_cell().task_retries.fetch_add(count, std::memory_order_relaxed);
+}
+
+void WorkLedger::note_machine_blacklisted(std::uint64_t count) {
+  local_cell().machines_blacklisted.fetch_add(count,
+                                              std::memory_order_relaxed);
+}
+
+void WorkLedger::note_degraded_interval(std::uint64_t count) {
+  local_cell().degraded_mode_intervals.fetch_add(count,
+                                                 std::memory_order_relaxed);
+}
+
 void WorkLedger::commit_run(RunKind kind, std::size_t window_splits,
                             std::size_t removed, std::size_t added,
                             const std::vector<AttributedWork>& partitions) {
@@ -133,6 +162,16 @@ LedgerSnapshot WorkLedger::snapshot() const {
         cell->recovered_bytes.load(std::memory_order_relaxed);
     snap.counters.speculative_reexecutions +=
         cell->speculative_reexecutions.load(std::memory_order_relaxed);
+    snap.counters.failure_forced_misses +=
+        cell->failure_forced_misses.load(std::memory_order_relaxed);
+    snap.counters.failures_injected +=
+        cell->failures_injected.load(std::memory_order_relaxed);
+    snap.counters.task_retries +=
+        cell->task_retries.load(std::memory_order_relaxed);
+    snap.counters.machines_blacklisted +=
+        cell->machines_blacklisted.load(std::memory_order_relaxed);
+    snap.counters.degraded_mode_intervals +=
+        cell->degraded_mode_intervals.load(std::memory_order_relaxed);
   }
   return snap;
 }
@@ -149,6 +188,11 @@ void WorkLedger::reset() {
     cell->recovered_entries.store(0, std::memory_order_relaxed);
     cell->recovered_bytes.store(0, std::memory_order_relaxed);
     cell->speculative_reexecutions.store(0, std::memory_order_relaxed);
+    cell->failure_forced_misses.store(0, std::memory_order_relaxed);
+    cell->failures_injected.store(0, std::memory_order_relaxed);
+    cell->task_retries.store(0, std::memory_order_relaxed);
+    cell->machines_blacklisted.store(0, std::memory_order_relaxed);
+    cell->degraded_mode_intervals.store(0, std::memory_order_relaxed);
   }
 }
 
@@ -189,6 +233,14 @@ std::string ledger_to_json(const LedgerSnapshot& snapshot) {
   json.key("recovered_bytes").value(snapshot.counters.recovered_bytes);
   json.key("speculative_reexecutions")
       .value(snapshot.counters.speculative_reexecutions);
+  json.key("failure_forced_misses")
+      .value(snapshot.counters.failure_forced_misses);
+  json.key("failures_injected").value(snapshot.counters.failures_injected);
+  json.key("task_retries").value(snapshot.counters.task_retries);
+  json.key("machines_blacklisted")
+      .value(snapshot.counters.machines_blacklisted);
+  json.key("degraded_mode_intervals")
+      .value(snapshot.counters.degraded_mode_intervals);
   json.end_object();
 
   json.key("recent_runs").begin_array();

@@ -18,6 +18,9 @@
 //                              up to the pre-crash frontier
 //   background_preprocess    — §4 split-processing background phase
 //   speculative_reexec       — straggler-mitigation backup copies
+//   failure_reexec           — recomputation forced by a machine failure
+//                              that destroyed every intact replica of a
+//                              needed memo entry (§6 fault tolerance)
 //
 // Accounting discipline (same as docs/threading.md): the hot paths never
 // touch a shared ledger. Tree work accumulates into caller-owned
@@ -47,9 +50,10 @@ enum class WorkCause : std::uint8_t {
   kRecoveryReplay,
   kBackgroundPreprocess,
   kSpeculativeReexec,
+  kFailureReexec,
 };
 
-inline constexpr std::size_t kWorkCauseCount = 7;
+inline constexpr std::size_t kWorkCauseCount = 8;
 
 // Stable snake_case names, used as Prometheus label values and JSON keys.
 std::string_view work_cause_name(WorkCause cause);
@@ -154,6 +158,16 @@ struct LedgerCounters {
   std::uint64_t recovered_entries = 0;
   std::uint64_t recovered_bytes = 0;
   std::uint64_t speculative_reexecutions = 0;
+  // Fault-tolerance counters (chaos engine / task-attempt layer).
+  std::uint64_t failure_forced_misses = 0;  // reads that missed because every
+                                            // replica of the entry was on a
+                                            // failed machine
+  std::uint64_t failures_injected = 0;      // chaos events applied + injected
+                                            // task-attempt failures
+  std::uint64_t task_retries = 0;           // attempt re-queues in the stage
+                                            // simulator
+  std::uint64_t machines_blacklisted = 0;   // per-stage blacklist decisions
+  std::uint64_t degraded_mode_intervals = 0;  // durable-tier degraded entries
 };
 
 struct LedgerSnapshot {
@@ -206,6 +220,11 @@ class WorkLedger {
   void note_budget_eviction(std::uint64_t count = 1);
   void note_recovery(std::uint64_t entries, std::uint64_t bytes);
   void note_speculative_reexec(std::uint64_t count = 1);
+  void note_failure_forced_miss(std::uint64_t count = 1);
+  void note_failure_injected(std::uint64_t count = 1);
+  void note_task_retry(std::uint64_t count = 1);
+  void note_machine_blacklisted(std::uint64_t count = 1);
+  void note_degraded_interval(std::uint64_t count = 1);
 
   // How many SlideRecords snapshot() retains (default 64; 0 disables the
   // per-run history and keeps only the totals).

@@ -164,6 +164,36 @@ void SliderSession::maybe_start_introspection() {
     }
     return obs::HttpResponse::json(tree_description_to_json(description));
   });
+  // Override the stock liveness probe with the session's degradation view:
+  // still HTTP 200 either way (the process is alive and, by construction,
+  // still producing correct outputs — degradation only costs recomputes),
+  // but the body says what chaos has currently broken.
+  introspect_->add_route("/healthz", [this](const obs::HttpRequest&) {
+    const Cluster& cluster = engine_->cluster();
+    const bool durable_degraded = memo_->durable_degraded();
+    const int failed = cluster.failed_machines();
+    const obs::LedgerSnapshot ledger = obs::WorkLedger::global().snapshot();
+    std::string body = "{\"status\":\"";
+    body += (failed == 0 && !durable_degraded) ? "ok" : "degraded";
+    body += "\",\"machines\":{\"total\":";
+    body += std::to_string(cluster.num_machines());
+    body += ",\"failed\":";
+    body += std::to_string(failed);
+    body += "},\"durable\":{\"degraded\":";
+    body += durable_degraded ? "true" : "false";
+    body += ",\"backlog\":";
+    body += std::to_string(memo_->degraded_backlog());
+    body += "},\"faults\":{\"failures_injected\":";
+    body += std::to_string(ledger.counters.failures_injected);
+    body += ",\"task_retries\":";
+    body += std::to_string(ledger.counters.task_retries);
+    body += ",\"machines_blacklisted\":";
+    body += std::to_string(ledger.counters.machines_blacklisted);
+    body += ",\"failure_forced_misses\":";
+    body += std::to_string(ledger.counters.failure_forced_misses);
+    body += "}}";
+    return obs::HttpResponse::json(std::move(body));
+  });
   if (!introspect_->start()) introspect_.reset();
 }
 
@@ -394,12 +424,32 @@ void SliderSession::contraction_and_reduce(
   StageTimeline timeline;
   HybridOptions hybrid;
   hybrid.speculate_slowdown = config_.speculate_slowdown;
+  // Under fault injection the reduce stage runs with the chaos-provided
+  // plan: crashes kill in-flight attempts mid-stage and retries take over.
+  // Speculation is disabled for those stages — retries subsume backups,
+  // and the outputs never depend on scheduling anyway. The stage starts
+  // after this run's map wave on the session's simulated clock.
+  StageFaultPlan fault_plan;
+  if (config_.fault_provider != nullptr) {
+    fault_plan =
+        config_.fault_provider->stage_faults(sim_clock_ + metrics.map_time);
+    if (!fault_plan.empty()) hybrid.speculate_slowdown = 0;
+  }
   const StageResult stage = engine_->simulator().run_stage(
-      tasks, config_.reduce_policy, hybrid, tracing ? &timeline : nullptr);
+      tasks, config_.reduce_policy, hybrid, tracing ? &timeline : nullptr,
+      fault_plan.empty() ? nullptr : &fault_plan);
   metrics.time += stage.makespan;
   metrics.migrations += stage.migrations;
   metrics.speculative_launched += stage.speculative_launched;
   metrics.speculative_wins += stage.speculative_wins;
+  metrics.task_attempts += stage.attempts;
+  metrics.failed_attempts += stage.failed_attempts;
+  metrics.task_retries += stage.task_retries;
+  metrics.machines_blacklisted +=
+      static_cast<std::uint64_t>(stage.machines_blacklisted);
+  metrics.max_task_attempts =
+      std::max(metrics.max_task_attempts,
+               static_cast<std::uint64_t>(stage.max_attempts_seen));
 
   if (tracing) {
     // Reconstruct the run on the simulated clock: the map wave, then the
@@ -494,12 +544,28 @@ RunMetrics SliderSession::run_background() {
   StageTimeline timeline;
   HybridOptions hybrid;
   hybrid.speculate_slowdown = config_.speculate_slowdown;
+  // Background stages face the same chaos as foreground ones (see
+  // contraction_and_reduce); they start at the current simulated clock.
+  StageFaultPlan fault_plan;
+  if (config_.fault_provider != nullptr) {
+    fault_plan = config_.fault_provider->stage_faults(sim_clock_);
+    if (!fault_plan.empty()) hybrid.speculate_slowdown = 0;
+  }
   const StageResult stage = engine_->simulator().run_stage(
-      tasks, config_.reduce_policy, hybrid, tracing ? &timeline : nullptr);
+      tasks, config_.reduce_policy, hybrid, tracing ? &timeline : nullptr,
+      fault_plan.empty() ? nullptr : &fault_plan);
   metrics.background_time = stage.makespan;
   metrics.migrations += stage.migrations;
   metrics.speculative_launched += stage.speculative_launched;
   metrics.speculative_wins += stage.speculative_wins;
+  metrics.task_attempts += stage.attempts;
+  metrics.failed_attempts += stage.failed_attempts;
+  metrics.task_retries += stage.task_retries;
+  metrics.machines_blacklisted +=
+      static_cast<std::uint64_t>(stage.machines_blacklisted);
+  metrics.max_task_attempts =
+      std::max(metrics.max_task_attempts,
+               static_cast<std::uint64_t>(stage.max_attempts_seen));
   if (tracing) {
     trace.sim_span("phase", "background", sim_clock_, stage.makespan, 0,
                    {{"tasks", static_cast<double>(tasks.size())},

@@ -59,6 +59,13 @@ struct SliderConfig {
   // back to an ephemeral one when busy. The SLIDER_INTROSPECT_PORT env
   // var, when set to a valid port number, overrides this field.
   int introspect_port = -1;
+  // Fault injection (robustness/chaos.h): when set, every contraction /
+  // reduce / background stage asks this provider for a StageFaultPlan at
+  // its simulated start time — mid-stage crashes kill running attempts,
+  // injected failures force retries with backoff, and the attempt/retry
+  // counters land in RunMetrics. Null (the default) keeps the failure-free
+  // fast path. Not owned; must outlive the session.
+  const StageFaultProvider* fault_provider = nullptr;
 };
 
 class SliderSession {

@@ -23,10 +23,14 @@ struct MemoInstruments {
   obs::Counter& evictions_memory;
   obs::Counter& evictions_budget;
   obs::Counter& eviction_forced_misses;
+  obs::Counter& failure_forced_misses;
   obs::Counter& replica_writes;
   obs::Gauge& entries;
   obs::Gauge& bytes;
   obs::Gauge& memory_bytes;
+  // 1 while the durable tier is erroring and writes are being buffered.
+  obs::Gauge& durable_degraded;
+  obs::Gauge& degraded_backlog;
 };
 
 MemoInstruments& memo_instruments() {
@@ -39,10 +43,13 @@ MemoInstruments& memo_instruments() {
         stats.counter("memo.evictions_memory"),
         stats.counter("memo.evictions_budget"),
         stats.counter("memo.eviction_forced_misses"),
+        stats.counter("memo.failure_forced_misses"),
         stats.counter("memo.replica_writes"),
         stats.gauge("memo.entries"),
         stats.gauge("memo.bytes"),
         stats.gauge("memo.memory_bytes"),
+        stats.gauge("durability.degraded"),
+        stats.gauge("durability.degraded_backlog"),
     };
   }();
   return *instruments;
@@ -187,8 +194,8 @@ void MemoStore::enforce_entry_budget() {
     // Budget eviction is a deliberate forget: tombstone the victims so a
     // restart does not resurrect entries the policy discarded.
     for (const NodeId id : durable_victims) {
-      durable_->tombstone(
-          id, next_write_seq_.fetch_add(1, std::memory_order_relaxed));
+      durable_append(id, next_write_seq_.fetch_add(1, std::memory_order_relaxed),
+                     std::string(), /*tombstone=*/true);
     }
   }
   refresh_gauges();
@@ -276,12 +283,8 @@ MemoWriteResult MemoStore::put(NodeId id,
     }
   }
   if (do_durable) {
-    const std::size_t accepted = durable_->put(id, durable_seq,
-                                               durable_payload);
-    if (accepted > 0) {
-      stats_.persistent_writes.fetch_add(1, std::memory_order_relaxed);
-      stats_.bytes_persisted.fetch_add(durable_payload.size(),
-                                       std::memory_order_relaxed);
+    if (durable_append(id, durable_seq, std::move(durable_payload),
+                       /*tombstone=*/false)) {
       Shard& shard = shard_of(id);
       std::lock_guard<std::mutex> lock(shard.mutex);
       const auto it = shard.index.find(id);
@@ -352,7 +355,14 @@ MemoReadResult MemoStore::get(NodeId id, MachineId reader) {
     }
     if (source < 0) {
       stats_.misses.fetch_add(1, std::memory_order_relaxed);
-      // All replicas down: behaves like a miss (recompute).
+      // All replicas down: behaves like a miss (the caller degrades to
+      // recompute — never a wrong answer or an abort), but the miss is
+      // failure-forced: the recompute it triggers bills to the ledger's
+      // failure_reexec cause.
+      result.failure_miss = true;
+      stats_.failure_forced_misses.fetch_add(1, std::memory_order_relaxed);
+      obs::WorkLedger::global().note_failure_forced_miss();
+      memo_instruments().failure_forced_misses.add();
       [[maybe_unused]] const double misses =
           static_cast<double>(memo_instruments().misses.add());
       SLIDER_TRACE_COUNTER("memo", "memo.misses", misses);
@@ -403,8 +413,8 @@ void MemoStore::erase(NodeId id) {
     entry_count_.fetch_sub(1, std::memory_order_relaxed);
   }
   if (was_durable && durable_ != nullptr) {
-    durable_->tombstone(
-        id, next_write_seq_.fetch_add(1, std::memory_order_relaxed));
+    durable_append(id, next_write_seq_.fetch_add(1, std::memory_order_relaxed),
+                   std::string(), /*tombstone=*/true);
   }
   refresh_gauges();
 }
@@ -430,6 +440,7 @@ std::size_t MemoStore::retain_only(const std::unordered_set<NodeId>& live) {
     // the log every slide); instead the live set drives log compaction.
     // Consequence: recovery may resurrect entries the GC dropped — the
     // first post-restore GC prunes them again (documented invariant).
+    std::lock_guard<std::mutex> dlock(durable_mutex_);
     durable_->maybe_compact(live);
   }
   refresh_gauges();
@@ -450,7 +461,11 @@ std::size_t MemoStore::restore_from_durable(
     durability::RecoveryStats* recovery) {
   if (durable_ == nullptr) return 0;
   durability::RecoveryStats recovery_stats;
-  auto recovered = durable_->recover(&recovery_stats);
+  std::unordered_map<durability::LogKey, durability::RecoveredEntry> recovered;
+  {
+    std::lock_guard<std::mutex> dlock(durable_mutex_);
+    recovered = durable_->recover(&recovery_stats);
+  }
   if (recovery != nullptr) *recovery = recovery_stats;
 
   // Install in ascending write-seq order so iteration-order noise from the
@@ -529,7 +544,112 @@ bool MemoStore::persisted_durably(NodeId id) const {
 }
 
 void MemoStore::flush_durable() {
-  if (durable_ != nullptr) durable_->flush();
+  if (durable_ == nullptr) return;
+  std::lock_guard<std::mutex> dlock(durable_mutex_);
+  if (durable_degraded_.load(std::memory_order_relaxed)) {
+    // Forced drain attempt: reopen failed replica logs and replay the
+    // buffer now, regardless of where the backoff countdown stands.
+    degraded_retry_countdown_ = 0;
+    drain_degraded_locked();
+  }
+  durable_->flush();
+}
+
+std::size_t MemoStore::degraded_backlog() const {
+  std::lock_guard<std::mutex> dlock(durable_mutex_);
+  return degraded_pending_.size();
+}
+
+bool MemoStore::durable_append(NodeId id, std::uint64_t seq,
+                               std::string payload, bool tombstone) {
+  if (durable_ == nullptr) return false;
+  std::lock_guard<std::mutex> dlock(durable_mutex_);
+  if (durable_degraded_.load(std::memory_order_relaxed)) {
+    // Already degraded: preserve append order by buffering behind the
+    // backlog, then maybe attempt a drain per the backoff countdown.
+    degraded_pending_.push_back(
+        PendingDurableWrite{id, seq, std::move(payload), tombstone});
+    stats_.degraded_writes_buffered.fetch_add(1, std::memory_order_relaxed);
+    memo_instruments().degraded_backlog.set(
+        static_cast<double>(degraded_pending_.size()));
+    if (degraded_retry_countdown_ > 0) --degraded_retry_countdown_;
+    if (degraded_retry_countdown_ == 0) drain_degraded_locked();
+    // Whether the drain flushed this record or not, its durable flag is
+    // managed by the drain path; report "not durable yet" here.
+    return false;
+  }
+  const std::size_t accepted =
+      tombstone ? durable_->tombstone(id, seq) : durable_->put(id, seq, payload);
+  if (accepted > 0) {
+    if (!tombstone) {
+      stats_.persistent_writes.fetch_add(1, std::memory_order_relaxed);
+      stats_.bytes_persisted.fetch_add(payload.size(),
+                                       std::memory_order_relaxed);
+    }
+    return true;
+  }
+  // Every replica rejected the record: enter degraded mode. The write is
+  // buffered (not lost) and will be replayed once the tier heals; until
+  // then the entry stays durable=false so checkpoints inline it.
+  durable_degraded_.store(true, std::memory_order_relaxed);
+  degraded_backoff_ = 1;
+  degraded_retry_countdown_ = 1;
+  degraded_pending_.push_back(
+      PendingDurableWrite{id, seq, std::move(payload), tombstone});
+  stats_.degraded_writes_buffered.fetch_add(1, std::memory_order_relaxed);
+  stats_.degraded_intervals.fetch_add(1, std::memory_order_relaxed);
+  obs::WorkLedger::global().note_degraded_interval();
+  memo_instruments().durable_degraded.set(1);
+  memo_instruments().degraded_backlog.set(
+      static_cast<double>(degraded_pending_.size()));
+  SLIDER_LOG(Warning) << "durable tier degraded: buffering writes ("
+                      << degraded_pending_.size() << " pending)";
+  return false;
+}
+
+void MemoStore::drain_degraded_locked() {
+  if (!durable_degraded_.load(std::memory_order_relaxed)) return;
+  // Give failed replica logs a fresh segment to append into; recovery
+  // already tolerates the torn tails they leave behind.
+  durable_->reopen_failed();
+  std::vector<NodeId> drained_puts;
+  while (!degraded_pending_.empty()) {
+    PendingDurableWrite& write = degraded_pending_.front();
+    const std::size_t accepted =
+        write.tombstone ? durable_->tombstone(write.id, write.seq)
+                        : durable_->put(write.id, write.seq, write.payload);
+    if (accepted == 0) break;  // still erroring; keep the rest buffered
+    if (!write.tombstone) {
+      stats_.persistent_writes.fetch_add(1, std::memory_order_relaxed);
+      stats_.bytes_persisted.fetch_add(write.payload.size(),
+                                       std::memory_order_relaxed);
+      drained_puts.push_back(write.id);
+    }
+    degraded_pending_.pop_front();
+  }
+  memo_instruments().degraded_backlog.set(
+      static_cast<double>(degraded_pending_.size()));
+  if (degraded_pending_.empty() && !durable_->all_failed()) {
+    durable_degraded_.store(false, std::memory_order_relaxed);
+    degraded_backoff_ = 1;
+    degraded_retry_countdown_ = 0;
+    memo_instruments().durable_degraded.set(0);
+    SLIDER_LOG(Info) << "durable tier recovered: degraded buffer drained";
+  } else {
+    // Exponential backoff, measured in subsequent durable appends (the
+    // store has no wall clock of its own), capped so a long outage still
+    // probes regularly.
+    degraded_backoff_ = std::min<std::uint64_t>(degraded_backoff_ * 2, 64);
+    degraded_retry_countdown_ = degraded_backoff_;
+  }
+  // Mark drained puts durable (shard mutexes taken one at a time; see the
+  // lock-order note on durable_mutex_).
+  for (const NodeId id : drained_puts) {
+    Shard& shard = shard_of(id);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.index.find(id);
+    if (it != shard.index.end()) it->second.durable = true;
+  }
 }
 
 MemoStoreStats MemoStore::stats() const {
@@ -549,6 +669,12 @@ MemoStoreStats MemoStore::stats() const {
       stats_.bytes_persisted.load(std::memory_order_relaxed);
   snapshot.recovered_entries =
       stats_.recovered_entries.load(std::memory_order_relaxed);
+  snapshot.failure_forced_misses =
+      stats_.failure_forced_misses.load(std::memory_order_relaxed);
+  snapshot.degraded_writes_buffered =
+      stats_.degraded_writes_buffered.load(std::memory_order_relaxed);
+  snapshot.degraded_intervals =
+      stats_.degraded_intervals.load(std::memory_order_relaxed);
   snapshot.read_time = stats_.read_time.load(std::memory_order_relaxed);
   snapshot.write_time = stats_.write_time.load(std::memory_order_relaxed);
   return snapshot;
@@ -564,6 +690,9 @@ void MemoStore::reset_stats() {
   stats_.persistent_writes.store(0, std::memory_order_relaxed);
   stats_.bytes_persisted.store(0, std::memory_order_relaxed);
   stats_.recovered_entries.store(0, std::memory_order_relaxed);
+  stats_.failure_forced_misses.store(0, std::memory_order_relaxed);
+  stats_.degraded_writes_buffered.store(0, std::memory_order_relaxed);
+  stats_.degraded_intervals.store(0, std::memory_order_relaxed);
   stats_.read_time.store(0, std::memory_order_relaxed);
   stats_.write_time.store(0, std::memory_order_relaxed);
 }

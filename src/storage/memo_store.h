@@ -26,6 +26,7 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -54,6 +55,11 @@ struct MemoReadResult {
   std::shared_ptr<const KVTable> table;
   SimDuration cost = 0;
   ReadTier tier = ReadTier::kLocalMemory;
+  // The entry exists in the index but every copy is on a failed machine
+  // (memory home down AND zero intact replicas): the miss is
+  // failure-forced, and the recompute it triggers bills to the ledger's
+  // failure_reexec cause rather than memo_eviction_recompute.
+  bool failure_miss = false;
 };
 
 struct MemoWriteResult {
@@ -74,6 +80,13 @@ struct MemoStoreStats {
   std::uint64_t persistent_writes = 0;   // records appended to the durable log
   std::uint64_t bytes_persisted = 0;     // payload bytes of those records
   std::uint64_t recovered_entries = 0;   // entries restored from the log
+  // Misses forced by machine failures: the entry existed but every copy
+  // (memory home + both replicas) was on a failed machine.
+  std::uint64_t failure_forced_misses = 0;
+  // Degraded durable mode: writes buffered while the durable tier was
+  // erroring, and how many distinct degraded intervals were entered.
+  std::uint64_t degraded_writes_buffered = 0;
+  std::uint64_t degraded_intervals = 0;
   SimDuration read_time = 0;
   SimDuration write_time = 0;
 };
@@ -178,8 +191,25 @@ class MemoStore {
   // checkpoint may reference it instead of inlining the payload).
   bool persisted_durably(NodeId id) const;
 
-  // Flushes the attached tier's logs (no-op without one).
+  // Flushes the attached tier's logs (no-op without one). If the store is
+  // in degraded durable mode this first forces a drain attempt: failed
+  // replica logs are reopened and the buffered writes are replayed in
+  // order.
   void flush_durable();
+
+  // Degraded durable mode (§6 fault tolerance, made continuous): when a
+  // durable-tier append is rejected by every replica (write error / fault
+  // injection), the store does NOT abort or silently lose durability
+  // intent. It buffers the write, flips the "durability.degraded" gauge,
+  // and retries with exponential backoff (counted in subsequent durable
+  // appends) — draining the buffer in order once the tier accepts writes
+  // again. Entries whose writes are still buffered report
+  // persisted_durably() == false, so checkpoints inline their payloads and
+  // correctness never depends on the degraded buffer surviving.
+  bool durable_degraded() const {
+    return durable_degraded_.load(std::memory_order_relaxed);
+  }
+  std::size_t degraded_backlog() const;
 
   // Snapshot of the internal counters (value, not reference: counters are
   // atomics updated by concurrent writers).
@@ -256,6 +286,33 @@ class MemoStore {
   std::mutex evict_mutex_;  // serializes the two eviction policies
   durability::DurableTier* durable_ = nullptr;  // optional; not owned
 
+  // --- degraded durable mode --------------------------------------------
+  // All durable-tier I/O (put/tombstone/recover/compact/flush) serializes
+  // on durable_mutex_: SegmentLog is not thread-safe and puts arrive from
+  // parallel partition workers. Lock order: durable_mutex_ may take shard
+  // mutexes (to set the durable flag after a drain); no path takes a shard
+  // mutex and then durable_mutex_.
+  struct PendingDurableWrite {
+    NodeId id = 0;
+    std::uint64_t seq = 0;
+    std::string payload;
+    bool tombstone = false;
+  };
+  // Appends via the durable tier, entering/continuing degraded mode on
+  // rejection. Returns true iff the record reached at least one replica
+  // log now (callers then mark the entry durable).
+  bool durable_append(NodeId id, std::uint64_t seq, std::string payload,
+                      bool tombstone);
+  // Attempts to reopen failed replica logs and replay the buffer in order.
+  // Requires durable_mutex_ held.
+  void drain_degraded_locked();
+
+  mutable std::mutex durable_mutex_;
+  std::deque<PendingDurableWrite> degraded_pending_;
+  std::uint64_t degraded_retry_countdown_ = 0;  // appends until next drain try
+  std::uint64_t degraded_backoff_ = 1;          // next countdown, doubles to cap
+  std::atomic<bool> durable_degraded_{false};
+
   struct AtomicStats {
     std::atomic<std::uint64_t> reads_memory{0};
     std::atomic<std::uint64_t> reads_disk{0};
@@ -266,6 +323,9 @@ class MemoStore {
     std::atomic<std::uint64_t> persistent_writes{0};
     std::atomic<std::uint64_t> bytes_persisted{0};
     std::atomic<std::uint64_t> recovered_entries{0};
+    std::atomic<std::uint64_t> failure_forced_misses{0};
+    std::atomic<std::uint64_t> degraded_writes_buffered{0};
+    std::atomic<std::uint64_t> degraded_intervals{0};
     std::atomic<double> read_time{0};
     std::atomic<double> write_time{0};
   };

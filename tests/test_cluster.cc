@@ -40,6 +40,37 @@ TEST(Cluster, PlacementIsStable) {
   }
 }
 
+TEST(Cluster, PlacementFallsBackToLiveMachineRing) {
+  Cluster cluster(ClusterConfig{.num_machines = 5, .slots_per_machine = 2});
+  const std::uint64_t key = 12;  // primary = key % 5 = 2
+  ASSERT_EQ(cluster.place(key), 2);
+
+  // Primary failed: the ring probes forward to the next live machine.
+  cluster.fail_machine(2);
+  EXPECT_EQ(cluster.place(key), 3);
+  cluster.fail_machine(3);
+  EXPECT_EQ(cluster.place(key), 4);
+  cluster.fail_machine(4);
+  EXPECT_EQ(cluster.place(key), 0);  // wraps around
+  EXPECT_EQ(cluster.failed_machines(), 3);
+  EXPECT_TRUE(cluster.any_live());
+
+  // Recovery restores the original deterministic placement.
+  cluster.recover_machine(2);
+  EXPECT_EQ(cluster.place(key), 2);
+  cluster.recover_machine(3);
+  cluster.recover_machine(4);
+  EXPECT_EQ(cluster.failed_machines(), 0);
+
+  // Every machine down: place() degrades to the primary (callers must
+  // treat the result as best-effort; any_live() reports the state).
+  for (MachineId m = 0; m < cluster.num_machines(); ++m) {
+    cluster.fail_machine(m);
+  }
+  EXPECT_FALSE(cluster.any_live());
+  EXPECT_EQ(cluster.place(key), 2);
+}
+
 TEST(StageSimulator, ParallelTasksOverlap) {
   Cluster cluster(ClusterConfig{.num_machines = 4, .slots_per_machine = 2});
   StageSimulator sim(cluster);

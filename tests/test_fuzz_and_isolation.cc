@@ -3,8 +3,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
+#include <string>
+#include <vector>
+
 #include "apps/microbench.h"
 #include "data/serde.h"
+#include "robustness/chaos.h"
 #include "slider/session.h"
 #include "tests/test_util.h"
 
@@ -162,6 +168,99 @@ TEST(MemoIsolation, TwoJobsShareOneStoreSafely) {
   // The store holds a bounded, two-job working set (no unbounded growth).
   EXPECT_LT(memo.size(), live_after_both * 2);
 }
+
+// Chaos fuzz: random fault timelines (crashes, stragglers, memo losses,
+// injected attempt failures) over random window geometries must never
+// change a session's outputs relative to a failure-free control. This is
+// the soak gate's property at fuzz scale, cheap enough for sanitizers.
+class ChaosFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChaosFuzz, RandomFaultTimelinesNeverChangeOutputs) {
+  const std::uint64_t seed = GetParam();
+  Rng geometry(seed * 101 + 7);
+  const std::size_t window = 8 + geometry.next_below(6);  // splits
+  const std::size_t slide = 1 + geometry.next_below(3);
+  const int slides = 3;
+  const TreeKind kind = std::array{TreeKind::kFolding,
+                                   TreeKind::kRandomizedFolding,
+                                   TreeKind::kStrawman}[seed % 3];
+
+  const auto bench = apps::make_microbenchmark(apps::MicroApp::kKMeans);
+  auto batch = [&](std::size_t count, SplitId first_id) {
+    Rng rng(900 + first_id);  // input depends only on position, not seed
+    auto records =
+        apps::generate_input(bench.app, count * 12, rng, first_id * 1'000'000);
+    return make_splits(std::move(records), 12, first_id);
+  };
+  auto outputs = [](const SliderSession& session) {
+    std::vector<std::string> out;
+    for (const KVTable& table : session.output()) {
+      out.push_back(serialize_table(table));
+    }
+    return out;
+  };
+
+  SliderConfig config;
+  config.mode = WindowMode::kVariableWidth;
+  config.tree_kind = kind;
+  config.bucket_width = slide;
+
+  CostModel cost;
+  std::vector<std::vector<std::string>> control;
+  SimDuration control_clock = 0;
+  {
+    Cluster cluster(ClusterConfig{.num_machines = 4, .slots_per_machine = 2});
+    VanillaEngine engine(cluster, cost);
+    MemoStore memo(cluster, cost);
+    SliderSession session(engine, memo, bench.job, config);
+    session.initial_run(batch(window, 0));
+    control.push_back(outputs(session));
+    SplitId next = window;
+    for (int s = 0; s < slides; ++s) {
+      session.slide(slide, batch(slide, next));
+      next += slide;
+      control.push_back(outputs(session));
+    }
+    control_clock = session.sim_clock();
+  }
+
+  Cluster cluster(ClusterConfig{.num_machines = 4, .slots_per_machine = 2});
+  VanillaEngine engine(cluster, cost);
+  MemoStore memo(cluster, cost);
+  robustness::ChaosOptions options;
+  options.horizon = std::max<SimDuration>(control_clock, 1.0);
+  options.crash_events = 1 + static_cast<int>(geometry.next_below(2));
+  options.straggler_events = static_cast<int>(geometry.next_below(3));
+  options.memo_loss_events = static_cast<int>(geometry.next_below(3));
+  options.durable_error_events = 0;
+  options.attempt_failure_prob = 0.05 + 0.1 * geometry.next_double();
+  options.min_live_machines = 2;
+  const robustness::ChaosSchedule schedule =
+      robustness::ChaosSchedule::generate(seed, options, 4);
+  robustness::ChaosController controller(
+      schedule, robustness::ChaosTargets{.cluster = &cluster, .memo = &memo});
+
+  SliderConfig chaos_config = config;
+  chaos_config.fault_provider = &controller;
+  SliderSession session(engine, memo, bench.job, chaos_config);
+  RunMetrics total;
+  total += session.initial_run(batch(window, 0));
+  ASSERT_EQ(outputs(session), control[0]) << "seed " << seed;
+  controller.apply_until(session.sim_clock());
+  SplitId next = window;
+  for (int s = 0; s < slides; ++s) {
+    total += session.slide(slide, batch(slide, next));
+    next += slide;
+    ASSERT_EQ(outputs(session), control[static_cast<std::size_t>(s) + 1])
+        << "seed " << seed << " slide " << s;
+    controller.apply_until(session.sim_clock());
+  }
+  EXPECT_LE(total.max_task_attempts,
+            static_cast<std::uint64_t>(options.max_attempts));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosFuzz,
+                         ::testing::Range<std::uint64_t>(1, 7));
 
 }  // namespace
 }  // namespace slider

@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "apps/microbench.h"
 #include "observability/work_ledger.h"
 #include "slider/session.h"
@@ -251,6 +254,151 @@ TEST(Schedulers, SpeculationDisabledByDefault) {
   const StageResult result = sim.run_stage(tasks, SchedulePolicy::kHybrid);
   EXPECT_EQ(result.speculative_launched, 0u);
   EXPECT_EQ(result.speculative_wins, 0u);
+}
+
+// --- mid-stage failures (fault-aware scheduling path) ------------------------
+
+TEST(SchedulerFaults, CrashKillsRunningAttemptAndRetriesWithBackoff) {
+  // Worked example: 2 machines x 1 slot, one task of duration 1.0, machine
+  // 0 crashes at t=0.5 mid-attempt. The attempt is killed there (billing
+  // the partial 0.5 of work), and the retry becomes ready after the
+  // exponential backoff (base * 2^0 = 0.05), landing on machine 1.
+  Cluster cluster(ClusterConfig{.num_machines = 2, .slots_per_machine = 1});
+  StageSimulator sim(cluster);
+  const std::vector<SimTask> tasks{SimTask{.duration = 1.0}};
+  StageFaultPlan plan;
+  plan.crashes.push_back({.machine = 0, .at = 0.5});
+  StageTimeline timeline;
+  const StageResult result = sim.run_stage(
+      tasks, SchedulePolicy::kFirstFree, HybridOptions{}, &timeline, &plan);
+
+  EXPECT_EQ(result.attempts, 2u);
+  EXPECT_EQ(result.failed_attempts, 1u);
+  EXPECT_EQ(result.task_retries, 1u);
+  EXPECT_EQ(result.max_attempts_seen, 2);
+  EXPECT_NEAR(result.work, 1.5, 1e-9);      // 0.5 partial + 1.0 retry
+  EXPECT_NEAR(result.makespan, 1.55, 1e-9); // 0.5 kill + 0.05 backoff + 1.0
+
+  ASSERT_EQ(timeline.size(), 2u);
+  EXPECT_EQ(timeline[0].machine, 0);
+  EXPECT_EQ(timeline[0].attempt, 0);
+  EXPECT_TRUE(timeline[0].failed);
+  EXPECT_NEAR(timeline[0].end, 0.5, 1e-9);  // frozen at the crash instant
+  EXPECT_EQ(timeline[1].machine, 1);
+  EXPECT_EQ(timeline[1].attempt, 1);
+  EXPECT_FALSE(timeline[1].failed);
+  EXPECT_NEAR(timeline[1].start, 0.55, 1e-9);
+  EXPECT_NEAR(timeline[1].end, 1.55, 1e-9);
+}
+
+TEST(SchedulerFaults, InjectedFailuresBlacklistRepeatOffender) {
+  Cluster cluster(ClusterConfig{.num_machines = 2, .slots_per_machine = 2});
+  StageSimulator sim(cluster);
+  const auto tasks = homed_tasks(4, 1.0, /*home=*/0, /*penalty=*/0.0);
+  StageFaultPlan plan;
+  plan.blacklist_threshold = 3;
+  plan.max_attempts = 6;
+  plan.attempt_fails = [](std::size_t, int, MachineId machine) {
+    return machine == 0;  // machine 0 fails every attempt it hosts
+  };
+  StageTimeline timeline;
+  const StageResult result = sim.run_stage(
+      tasks, SchedulePolicy::kPreferredOnly, HybridOptions{}, &timeline, &plan);
+
+  // Machine 0 accumulates blacklist_threshold strikes, gets banned for the
+  // rest of the stage, and every task still terminates on machine 1.
+  EXPECT_EQ(result.machines_blacklisted, 1);
+  EXPECT_GE(result.failed_attempts, 3u);
+  EXPECT_EQ(result.task_retries, result.failed_attempts);
+  EXPECT_LE(result.max_attempts_seen, plan.max_attempts);
+  std::vector<bool> done(tasks.size(), false);
+  for (const TaskPlacement& p : timeline) {
+    if (p.failed) {
+      EXPECT_EQ(p.machine, 0) << "only machine 0 draws injected failures";
+    } else {
+      EXPECT_EQ(p.machine, 1);
+      done[p.task] = true;
+    }
+  }
+  EXPECT_TRUE(std::all_of(done.begin(), done.end(), [](bool b) { return b; }));
+}
+
+TEST(SchedulerFaults, DeadMachinesAreNeverUsed) {
+  Cluster cluster(ClusterConfig{.num_machines = 3, .slots_per_machine = 1});
+  StageSimulator sim(cluster);
+  const auto tasks = homed_tasks(6, 1.0, /*home=*/0, /*penalty=*/0.1);
+  StageFaultPlan plan;
+  plan.dead_machines = {0, 2};
+  StageTimeline timeline;
+  const StageResult result = sim.run_stage(
+      tasks, SchedulePolicy::kHybrid, HybridOptions{}, &timeline, &plan);
+  ASSERT_EQ(timeline.size(), tasks.size());  // nothing failed, one per task
+  for (const TaskPlacement& p : timeline) {
+    EXPECT_EQ(p.machine, 1) << "dead machines must never host an attempt";
+  }
+  EXPECT_EQ(result.failed_attempts, 0u);
+  // 6 serialized tasks on the single surviving slot, each paying the
+  // off-preferred fetch penalty.
+  EXPECT_NEAR(result.makespan, 6.0 * 1.1, 1e-9);
+}
+
+TEST(SchedulerFaults, FinalAttemptNeverDrawsAnInjectedFailure) {
+  Cluster cluster(ClusterConfig{.num_machines = 2, .slots_per_machine = 1});
+  StageSimulator sim(cluster);
+  const std::vector<SimTask> tasks{SimTask{.duration = 1.0}};
+  StageFaultPlan plan;
+  plan.max_attempts = 3;
+  plan.blacklist_threshold = 100;  // keep both machines eligible throughout
+  plan.attempt_fails = [](std::size_t, int, MachineId) { return true; };
+  StageTimeline timeline;
+  const StageResult result = sim.run_stage(
+      tasks, SchedulePolicy::kFirstFree, HybridOptions{}, &timeline, &plan);
+  // Attempts 0 and 1 draw the (always-true) failure; the final attempt is
+  // exempt by construction, so the stage terminates within the cap.
+  EXPECT_EQ(result.attempts, 3u);
+  EXPECT_EQ(result.failed_attempts, 2u);
+  EXPECT_EQ(result.max_attempts_seen, 3);
+  ASSERT_EQ(timeline.size(), 3u);
+  EXPECT_TRUE(timeline[0].failed);
+  EXPECT_TRUE(timeline[1].failed);
+  EXPECT_FALSE(timeline[2].failed);
+}
+
+TEST(SchedulerFaults, EmptyPlanMatchesFaultFreePathExactly) {
+  Cluster cluster(ClusterConfig{.num_machines = 4, .slots_per_machine = 2});
+  cluster.set_straggler(2, 3.0);
+  StageSimulator sim(cluster);
+  Rng rng(11);
+  std::vector<SimTask> tasks;
+  for (int i = 0; i < 16; ++i) {
+    tasks.push_back(SimTask{.duration = 0.5 + rng.next_double() * 2.0,
+                            .preferred = static_cast<MachineId>(i % 4),
+                            .migration_penalty = 0.3});
+  }
+  const StageFaultPlan empty_plan;  // empty() == true
+  ASSERT_TRUE(empty_plan.empty());
+  for (const SchedulePolicy policy :
+       {SchedulePolicy::kFirstFree, SchedulePolicy::kPreferredOnly,
+        SchedulePolicy::kHybrid}) {
+    StageTimeline plain_tl, faulty_tl;
+    const StageResult plain = sim.run_stage(tasks, policy, HybridOptions{},
+                                            &plain_tl, nullptr);
+    const StageResult faulty = sim.run_stage(tasks, policy, HybridOptions{},
+                                             &faulty_tl, &empty_plan);
+    EXPECT_EQ(plain.makespan, faulty.makespan);
+    EXPECT_EQ(plain.work, faulty.work);
+    EXPECT_EQ(plain.migrations, faulty.migrations);
+    EXPECT_EQ(plain.attempts, faulty.attempts);
+    EXPECT_EQ(faulty.failed_attempts, 0u);
+    EXPECT_EQ(faulty.max_attempts_seen, tasks.empty() ? 0 : 1);
+    ASSERT_EQ(plain_tl.size(), faulty_tl.size());
+    for (std::size_t i = 0; i < plain_tl.size(); ++i) {
+      EXPECT_EQ(plain_tl[i].task, faulty_tl[i].task);
+      EXPECT_EQ(plain_tl[i].machine, faulty_tl[i].machine);
+      EXPECT_EQ(plain_tl[i].start, faulty_tl[i].start);
+      EXPECT_EQ(plain_tl[i].end, faulty_tl[i].end);
+    }
+  }
 }
 
 }  // namespace

@@ -3,6 +3,14 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+#include <system_error>
+
+#include "durability/durable_tier.h"
+#include "durability/fault_injector.h"
 #include "storage/input_store.h"
 #include "storage/memo_store.h"
 #include "tests/test_util.h"
@@ -136,6 +144,19 @@ TEST(MemoStore, AllReplicasDownBehavesAsMiss) {
   memo.drop_memory_on_failed();
   const MemoReadResult r = memo.get(9, 0);
   EXPECT_FALSE(r.found);
+  // ...and the miss is classified as failure-forced: the entry exists in
+  // the index but zero intact copies survive, so the recompute this
+  // triggers bills to the ledger's failure_reexec cause.
+  EXPECT_TRUE(r.failure_miss);
+  EXPECT_EQ(memo.stats().failure_forced_misses, 1u);
+}
+
+TEST(MemoStore, PlainMissIsNotAFailureMiss) {
+  StorageHarness h;
+  const MemoReadResult r = h.memo.get(4242, 0);  // never stored
+  EXPECT_FALSE(r.found);
+  EXPECT_FALSE(r.failure_miss);
+  EXPECT_EQ(h.memo.stats().failure_forced_misses, 0u);
 }
 
 TEST(MemoStore, RetainOnlyCollectsGarbage) {
@@ -171,6 +192,107 @@ TEST(MemoStore, StatsAccumulateReadTime) {
   (void)h.memo.get(5, 1);
   EXPECT_EQ(h.memo.stats().reads_memory, 2u);
   EXPECT_GT(h.memo.stats().read_time, 0.0);
+}
+
+// --- degraded durable mode ---------------------------------------------------
+
+// Rejects every byte of every write: the durable-tier equivalent of a full
+// disk or an I/O error window.
+struct RejectAllWrites final : durability::FaultInjector {
+  std::size_t admit(std::size_t) override { return 0; }
+};
+
+struct DurableHarness {
+  DurableHarness()
+      : dir(std::filesystem::temp_directory_path() /
+            ("slider_storage_degraded_" + std::to_string(::getpid()))),
+        cluster(ClusterConfig{.num_machines = 3, .slots_per_machine = 1}),
+        tier((std::filesystem::remove_all(dir),
+              std::filesystem::create_directories(dir), dir.string())),
+        memo(cluster, cost) {
+    memo.attach_durable_tier(&tier);
+  }
+  ~DurableHarness() {
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+  }
+
+  void reject_writes(bool on) {
+    for (std::size_t r = 0; r < tier.replicas(); ++r) {
+      tier.set_fault_injector(r, on ? &reject : nullptr);
+    }
+  }
+
+  std::filesystem::path dir;
+  CostModel cost{};
+  Cluster cluster;
+  durability::DurableTier tier;
+  MemoStore memo;
+  RejectAllWrites reject;
+};
+
+TEST(MemoStore, DegradedDurableModeBuffersThenFlushDrains) {
+  DurableHarness h;
+  h.memo.put(1, table_of({{"pre", "1"}}));
+  EXPECT_TRUE(h.memo.persisted_durably(1));
+  EXPECT_FALSE(h.memo.durable_degraded());
+
+  h.reject_writes(true);
+  h.memo.put(2, table_of({{"during", "2"}}));
+  EXPECT_TRUE(h.memo.durable_degraded());
+  EXPECT_GE(h.memo.degraded_backlog(), 1u);
+  // The entry is fully readable from memory — only durability lags.
+  EXPECT_TRUE(h.memo.get(2, 0).found);
+  EXPECT_FALSE(h.memo.persisted_durably(2));
+
+  h.reject_writes(false);
+  h.memo.flush_durable();
+  EXPECT_FALSE(h.memo.durable_degraded());
+  EXPECT_EQ(h.memo.degraded_backlog(), 0u);
+  EXPECT_TRUE(h.memo.persisted_durably(2));
+  const MemoStoreStats stats = h.memo.stats();
+  EXPECT_EQ(stats.degraded_intervals, 1u);
+  EXPECT_GE(stats.degraded_writes_buffered, 1u);
+}
+
+TEST(MemoStore, DegradedDurableModeDrainsViaBackoffWithoutFlush) {
+  DurableHarness h;
+  h.reject_writes(true);
+  h.memo.put(10, table_of({{"a", "1"}}));
+  ASSERT_TRUE(h.memo.durable_degraded());
+
+  // Condition clears, but nobody calls flush_durable(): subsequent puts
+  // tick the exponential backoff down until a drain attempt succeeds.
+  h.reject_writes(false);
+  for (NodeId id = 11; id < 80 && h.memo.durable_degraded(); ++id) {
+    h.memo.put(id, table_of({{"k" + std::to_string(id), "1"}}));
+  }
+  EXPECT_FALSE(h.memo.durable_degraded());
+  EXPECT_EQ(h.memo.degraded_backlog(), 0u);
+  EXPECT_TRUE(h.memo.persisted_durably(10));
+}
+
+TEST(MemoStore, DegradedBufferedEntriesSurviveRestoreAfterDrain) {
+  DurableHarness h;
+  h.reject_writes(true);
+  auto t = table_of({{"payload", "42"}});
+  h.memo.put(33, t);
+  h.reject_writes(false);
+  h.memo.flush_durable();
+  ASSERT_TRUE(h.memo.persisted_durably(33));
+
+  // A fresh store recovering from the same directory sees the entry: the
+  // drain really did reach the log, in order.
+  Cluster cluster2(ClusterConfig{.num_machines = 3, .slots_per_machine = 1});
+  CostModel cost2;
+  durability::DurableTier tier2(h.dir.string());
+  MemoStore memo2(cluster2, cost2);
+  memo2.attach_durable_tier(&tier2);
+  const std::size_t restored = memo2.restore_from_durable();
+  EXPECT_GE(restored, 1u);
+  const MemoReadResult r = memo2.get(33, 0);
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(*r.table, *t);
 }
 
 }  // namespace

@@ -1,0 +1,427 @@
+// chaos_soak — the repo's fault-tolerance gate (paper §6, made executable).
+//
+// For every contraction-tree variant and every seed, this tool runs the
+// same slide schedule twice:
+//
+//   * a failure-free control session, and
+//   * a chaos session: same inputs, same config, but with a seeded
+//     ChaosSchedule applied while it runs — machines crash and recover
+//     mid-stage, stragglers slow down, in-memory memo copies vanish, the
+//     durable tier rejects writes for whole windows, and a deterministic
+//     fraction of task attempts simply fail.
+//
+// After every run (initial build, each slide, each background phase) the
+// chaos session's outputs must be BYTE-IDENTICAL to the control's — the
+// paper's claim that failures cost recomputation, never correctness. The
+// tool additionally checks:
+//
+//   * every task finished within the attempt cap (max_task_attempts <=
+//     ChaosOptions::max_attempts),
+//   * a replayed chaos run (same seed) is bit-identical: same outputs,
+//     same chaos counters, same simulated clock — failure handling is a
+//     pure function of the seed,
+//   * the causal work ledger still conserves: per-cause combiner
+//     invocations (now including failure_reexec) sum to the aggregate
+//     counter.
+//
+// Exit status 0 iff every check passed. Writes BENCH_chaos_soak.json
+// (RunReport with the robustness section) unless --no-report.
+//
+// Run:  ./build/tools/chaos_soak --seeds=32
+// CI:   registered as the `tools_chaos_soak` ctest.
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "apps/microbench.h"
+#include "data/serde.h"
+#include "durability/durable_tier.h"
+#include "observability/run_report.h"
+#include "observability/stats.h"
+#include "observability/work_ledger.h"
+#include "robustness/chaos.h"
+#include "slider/session.h"
+
+namespace {
+
+using namespace slider;
+
+struct Options {
+  int seeds = 8;
+  int slides = 5;
+  int machines = 6;
+  std::size_t window_splits = 16;
+  std::size_t records_per_split = 20;
+  std::size_t slide = 4;
+  bool quiet = false;
+  bool report = true;
+};
+
+struct Variant {
+  const char* name;
+  WindowMode mode;
+  TreeKind kind;
+  bool split_processing;
+};
+
+// All five tree variants, each under its paper-paired window mode. The two
+// data-dependent background modes (split processing) ride on the variants
+// whose modes support them, so the background stage faces chaos too.
+constexpr Variant kVariants[] = {
+    {"strawman", WindowMode::kVariableWidth, TreeKind::kStrawman, false},
+    {"folding", WindowMode::kVariableWidth, TreeKind::kFolding, false},
+    {"randomized_folding", WindowMode::kVariableWidth,
+     TreeKind::kRandomizedFolding, false},
+    {"rotating", WindowMode::kFixedWidth, TreeKind::kRotating, true},
+    {"coalescing", WindowMode::kAppendOnly, TreeKind::kCoalescing, true},
+};
+
+// Deterministic inputs, independent of the chaos seed: batch k is the same
+// bytes in the control, every chaos run, and every replay.
+std::vector<SplitPtr> batch_for(const apps::MicroBenchmark& bench,
+                                const Options& opt, std::size_t count,
+                                SplitId first_id) {
+  Rng rng(777 + first_id);
+  auto records = apps::generate_input(
+      bench.app, count * opt.records_per_split, rng, first_id * 1'000'000);
+  return make_splits(std::move(records), opt.records_per_split, first_id);
+}
+
+SliderConfig variant_config(const Variant& v, const Options& opt) {
+  SliderConfig config;
+  config.mode = v.mode;
+  config.tree_kind = v.kind;
+  config.split_processing = v.split_processing;
+  config.bucket_width = opt.slide;
+  return config;
+}
+
+// Serialized outputs of one run, one blob per partition.
+std::vector<std::string> output_bytes(const SliderSession& session) {
+  std::vector<std::string> out;
+  out.reserve(session.output().size());
+  for (const KVTable& table : session.output()) {
+    out.push_back(serialize_table(table));
+  }
+  return out;
+}
+
+struct ControlTrace {
+  std::vector<std::vector<std::string>> outputs;  // per run, per partition
+  SimDuration final_clock = 0;
+};
+
+// Failure-free control: records the byte-exact outputs after every run.
+ControlTrace run_control(const Variant& v, const Options& opt,
+                         const apps::MicroBenchmark& bench) {
+  CostModel cost;
+  Cluster cluster(ClusterConfig{.num_machines = opt.machines,
+                                .slots_per_machine = 2});
+  VanillaEngine engine(cluster, cost);
+  MemoStore memo(cluster, cost);
+  SliderSession session(engine, memo, bench.job, variant_config(v, opt));
+
+  ControlTrace trace;
+  session.initial_run(batch_for(bench, opt, opt.window_splits, 0));
+  trace.outputs.push_back(output_bytes(session));
+  const std::size_t remove =
+      v.mode == WindowMode::kAppendOnly ? 0 : opt.slide;
+  SplitId next_id = opt.window_splits;
+  for (int s = 0; s < opt.slides; ++s) {
+    session.slide(remove, batch_for(bench, opt, opt.slide, next_id));
+    next_id += opt.slide;
+    if (v.split_processing) session.run_background();
+    trace.outputs.push_back(output_bytes(session));
+  }
+  trace.final_clock = session.sim_clock();
+  return trace;
+}
+
+struct ChaosOutcome {
+  bool ok = true;
+  std::string failure;  // first mismatch, for the log
+  RunMetrics metrics;   // summed over every run
+  robustness::ChaosController::Counters chaos;
+  SimDuration final_clock = 0;
+  std::vector<std::string> final_outputs;
+};
+
+// One chaos run against the recorded control trace.
+ChaosOutcome run_chaos(const Variant& v, const Options& opt,
+                       const apps::MicroBenchmark& bench,
+                       const ControlTrace& control, std::uint64_t seed,
+                       const std::filesystem::path& dir) {
+  ChaosOutcome outcome;
+  CostModel cost;
+  Cluster cluster(ClusterConfig{.num_machines = opt.machines,
+                                .slots_per_machine = 2});
+  VanillaEngine engine(cluster, cost);
+  durability::DurableTier tier(dir.string());
+  MemoStore memo(cluster, cost);
+  memo.attach_durable_tier(&tier);
+
+  robustness::ChaosOptions chaos_options;
+  chaos_options.horizon = std::max<SimDuration>(control.final_clock, 1.0);
+  chaos_options.crash_events = 2;
+  chaos_options.straggler_events = 2;
+  chaos_options.memo_loss_events = 2;
+  chaos_options.durable_error_events = 1;
+  chaos_options.attempt_failure_prob = 0.05;
+  chaos_options.min_live_machines = 2;
+  const robustness::ChaosSchedule schedule = robustness::ChaosSchedule::generate(
+      seed, chaos_options, opt.machines);
+  robustness::ChaosController controller(
+      schedule, robustness::ChaosTargets{.cluster = &cluster,
+                                         .memo = &memo,
+                                         .durable = &tier});
+
+  SliderConfig config = variant_config(v, opt);
+  config.fault_provider = &controller;
+  SliderSession session(engine, memo, bench.job, config);
+
+  std::size_t run_index = 0;
+  const auto check_outputs = [&]() -> bool {
+    const std::vector<std::string> got = output_bytes(session);
+    if (got != control.outputs[run_index]) {
+      outcome.ok = false;
+      outcome.failure = "outputs diverged from control at run " +
+                        std::to_string(run_index);
+      return false;
+    }
+    ++run_index;
+    return true;
+  };
+
+  outcome.metrics += session.initial_run(
+      batch_for(bench, opt, opt.window_splits, 0));
+  if (!check_outputs()) return outcome;
+  controller.apply_until(session.sim_clock());
+
+  const std::size_t remove =
+      v.mode == WindowMode::kAppendOnly ? 0 : opt.slide;
+  SplitId next_id = opt.window_splits;
+  for (int s = 0; s < opt.slides; ++s) {
+    outcome.metrics +=
+        session.slide(remove, batch_for(bench, opt, opt.slide, next_id));
+    next_id += opt.slide;
+    if (v.split_processing) outcome.metrics += session.run_background();
+    if (!check_outputs()) return outcome;
+    controller.apply_until(session.sim_clock());
+  }
+
+  if (outcome.metrics.max_task_attempts >
+      static_cast<std::uint64_t>(chaos_options.max_attempts)) {
+    outcome.ok = false;
+    outcome.failure = "attempt cap exceeded: max_task_attempts=" +
+                      std::to_string(outcome.metrics.max_task_attempts) +
+                      " > cap=" + std::to_string(chaos_options.max_attempts);
+    return outcome;
+  }
+
+  outcome.chaos = controller.counters();
+  outcome.final_clock = session.sim_clock();
+  outcome.final_outputs = output_bytes(session);
+  return outcome;
+}
+
+bool same_counters(const robustness::ChaosController::Counters& a,
+                   const robustness::ChaosController::Counters& b) {
+  return a.events_applied == b.events_applied && a.crashes == b.crashes &&
+         a.recoveries == b.recoveries && a.stragglers == b.stragglers &&
+         a.memo_losses == b.memo_losses &&
+         a.durable_error_windows == b.durable_error_windows;
+}
+
+std::string arg_value(int argc, char** argv, const char* flag) {
+  const std::size_t len = std::strlen(flag);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], flag, len) == 0 && argv[i][len] == '=') {
+      return std::string(argv[i] + len + 1);
+    }
+  }
+  return "";
+}
+
+bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (const std::string v = arg_value(argc, argv, "--seeds"); !v.empty()) {
+    opt.seeds = std::max(1, std::atoi(v.c_str()));
+  }
+  if (const std::string v = arg_value(argc, argv, "--slides"); !v.empty()) {
+    opt.slides = std::max(1, std::atoi(v.c_str()));
+  }
+  if (const std::string v = arg_value(argc, argv, "--machines"); !v.empty()) {
+    opt.machines = std::max(3, std::atoi(v.c_str()));
+  }
+  opt.quiet = has_flag(argc, argv, "--quiet");
+  if (has_flag(argc, argv, "--no-report")) opt.report = false;
+
+  const std::filesystem::path base =
+      std::filesystem::temp_directory_path() / "slider_chaos_soak";
+  std::filesystem::remove_all(base);
+
+  const auto bench = apps::make_microbenchmark(apps::MicroApp::kHct);
+  obs::RobustnessReport totals;
+  totals.attempt_cap = 4;  // ChaosOptions default used above
+  obs::RunReport report("chaos_soak");
+  report.set_param("seeds", static_cast<std::int64_t>(opt.seeds))
+      .set_param("slides", static_cast<std::int64_t>(opt.slides))
+      .set_param("machines", static_cast<std::int64_t>(opt.machines))
+      .set_param("window_splits",
+                 static_cast<std::uint64_t>(opt.window_splits))
+      .set_param("app", "hct");
+
+  int failures = 0;
+  for (const Variant& variant : kVariants) {
+    const ControlTrace control = run_control(variant, opt, bench);
+    RunMetrics variant_metrics;
+    robustness::ChaosController::Counters variant_chaos;
+    bool variant_ok = true;
+    for (int s = 0; s < opt.seeds; ++s) {
+      const auto seed = static_cast<std::uint64_t>(s) * 7919 + 13;
+      const std::filesystem::path dir =
+          base / (std::string(variant.name) + "_" + std::to_string(s));
+      std::filesystem::create_directories(dir);
+      const ChaosOutcome outcome =
+          run_chaos(variant, opt, bench, control, seed, dir);
+      if (!outcome.ok) {
+        std::fprintf(stderr, "FAIL %s seed=%llu: %s\n", variant.name,
+                     static_cast<unsigned long long>(seed),
+                     outcome.failure.c_str());
+        ++failures;
+        variant_ok = false;
+        std::filesystem::remove_all(dir);
+        continue;
+      }
+      // Replay determinism: the first seed of every variant runs twice;
+      // outputs, chaos counters, and the simulated clock must all match.
+      if (s == 0) {
+        const std::filesystem::path replay_dir =
+            base / (std::string(variant.name) + "_replay");
+        std::filesystem::create_directories(replay_dir);
+        const ChaosOutcome replay =
+            run_chaos(variant, opt, bench, control, seed, replay_dir);
+        const bool replay_ok =
+            replay.ok && replay.final_outputs == outcome.final_outputs &&
+            same_counters(replay.chaos, outcome.chaos) &&
+            std::bit_cast<std::uint64_t>(replay.final_clock) ==
+                std::bit_cast<std::uint64_t>(outcome.final_clock);
+        if (!replay_ok) {
+          std::fprintf(stderr, "FAIL %s seed=%llu: replay diverged\n",
+                       variant.name,
+                       static_cast<unsigned long long>(seed));
+          ++failures;
+          variant_ok = false;
+        }
+        std::filesystem::remove_all(replay_dir);
+      }
+      variant_metrics += outcome.metrics;
+      variant_chaos.crashes += outcome.chaos.crashes;
+      variant_chaos.recoveries += outcome.chaos.recoveries;
+      variant_chaos.stragglers += outcome.chaos.stragglers;
+      variant_chaos.memo_losses += outcome.chaos.memo_losses;
+      variant_chaos.durable_error_windows +=
+          outcome.chaos.durable_error_windows;
+      variant_chaos.events_applied += outcome.chaos.events_applied;
+      std::filesystem::remove_all(dir);
+    }
+    if (!opt.quiet) {
+      std::printf(
+          "%-20s seeds=%d crashes=%llu retries=%llu failed_attempts=%llu "
+          "max_attempts=%llu %s\n",
+          variant.name, opt.seeds,
+          static_cast<unsigned long long>(variant_chaos.crashes),
+          static_cast<unsigned long long>(variant_metrics.task_retries),
+          static_cast<unsigned long long>(variant_metrics.failed_attempts),
+          static_cast<unsigned long long>(variant_metrics.max_task_attempts),
+          variant_ok ? "OK" : "FAIL");
+    }
+    report.add_row()
+        .col("variant", variant.name)
+        .col("seeds", static_cast<std::int64_t>(opt.seeds))
+        .col("crashes", variant_chaos.crashes)
+        .col("recoveries", variant_chaos.recoveries)
+        .col("stragglers", variant_chaos.stragglers)
+        .col("memo_losses", variant_chaos.memo_losses)
+        .col("durable_error_windows", variant_chaos.durable_error_windows)
+        .col("task_attempts", variant_metrics.task_attempts)
+        .col("failed_attempts", variant_metrics.failed_attempts)
+        .col("task_retries", variant_metrics.task_retries)
+        .col("machines_blacklisted", variant_metrics.machines_blacklisted)
+        .col("max_task_attempts", variant_metrics.max_task_attempts)
+        .col("outputs_identical", variant_ok);
+    totals.seeds += static_cast<std::uint64_t>(opt.seeds);
+    totals.crashes += variant_chaos.crashes;
+    totals.recoveries += variant_chaos.recoveries;
+    totals.stragglers += variant_chaos.stragglers;
+    totals.memo_losses += variant_chaos.memo_losses;
+    totals.durable_error_windows += variant_chaos.durable_error_windows;
+    totals.task_attempts += variant_metrics.task_attempts;
+    totals.failed_attempts += variant_metrics.failed_attempts;
+    totals.task_retries += variant_metrics.task_retries;
+    totals.machines_blacklisted += variant_metrics.machines_blacklisted;
+    totals.max_attempts_seen =
+        std::max(totals.max_attempts_seen,
+                 static_cast<std::int64_t>(variant_metrics.max_task_attempts));
+  }
+  std::filesystem::remove_all(base);
+
+  // Ledger conservation, now including failure_reexec: per-cause combiner
+  // invocations across every control AND chaos run must sum to the
+  // aggregate counter.
+  const obs::LedgerSnapshot ledger = obs::WorkLedger::global().snapshot();
+  const std::uint64_t aggregate =
+      obs::StatsRegistry::global().counter("tree.combiner_invocations").value();
+  if (ledger.total_invocations() != aggregate) {
+    std::fprintf(stderr,
+                 "FAIL ledger conservation: per-cause sum %llu != aggregate "
+                 "%llu\n",
+                 static_cast<unsigned long long>(ledger.total_invocations()),
+                 static_cast<unsigned long long>(aggregate));
+    ++failures;
+  }
+  totals.failures_injected = ledger.counters.failures_injected;
+  totals.failure_forced_misses = ledger.counters.failure_forced_misses;
+  totals.outputs_identical = failures == 0;
+
+  if (opt.report) {
+    report.set_robustness(totals);
+    report.set_counters(MetricsRegistry::global().snapshot());
+    report.merge_stats(obs::StatsRegistry::global().snapshot());
+    report.add_note(
+        "chaos soak: every variant x seed run under seeded mid-run machine "
+        "crashes, stragglers, memo loss, durable write-error windows, and "
+        "injected task failures; outputs byte-identical to the failure-free "
+        "control, retries within the attempt cap, ledger conserved");
+    const std::string path = report.write();
+    if (!path.empty() && !opt.quiet) {
+      std::printf("bench report: %s\n", path.c_str());
+    }
+  }
+
+  if (failures == 0) {
+    std::printf("chaos soak: OK (%d variants x %d seeds, %llu failures "
+                "injected, %llu retries, outputs byte-identical)\n",
+                static_cast<int>(std::size(kVariants)), opt.seeds,
+                static_cast<unsigned long long>(totals.failures_injected),
+                static_cast<unsigned long long>(totals.task_retries));
+    return 0;
+  }
+  std::fprintf(stderr, "chaos soak: %d FAILURE(S)\n", failures);
+  return 1;
+}
