@@ -6,10 +6,12 @@
 // phase as a percentage of Hadoop's Reduce work — exactly the
 // normalization the paper's stacked bars use.
 
+#include <algorithm>
 #include <chrono>
 
 #include "bench/bench_util.h"
 #include "common/thread_pool.h"
+#include "observability/timeseries.h"
 
 using namespace slider;
 using namespace slider::bench;
@@ -129,6 +131,53 @@ void run_host_parallelism(obs::RunReport& report) {
       .col("sim_metrics_identical", identical ? 1.0 : 0.0);
 }
 
+// Wall-clock of the same steady-state scenario with per-slide TimeSeries
+// sampling on vs off. The samples feed /timeseries.json and the SLO
+// verdicts in /healthz; the acceptance bar is <1% overhead when enabled.
+double timed_sampling_run(bool sample) {
+  const auto bench = apps::make_microbenchmark(apps::MicroApp::kKMeans);
+  ExperimentParams params;
+  params.change_fraction = 0.25;
+  params.records_per_split = records_per_split_for(bench);
+  params.mode = WindowMode::kVariableWidth;
+  params.sample_timeseries = sample;
+  BenchEnv env;
+  Driver driver(env, bench, params);
+  driver.initial_run();
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < 8; ++i) driver.slide();
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(stop - start).count();
+}
+
+void run_observability_overhead(obs::RunReport& report) {
+  print_title("Observability overhead: TimeSeries sampling on vs off");
+  // Best-of-N to damp host scheduling noise; the two configurations do
+  // bit-identical simulated work, so wall-clock is the only variable.
+  constexpr int kReps = 5;
+  double off_ms = 0, on_ms = 0;
+  for (int i = 0; i < kReps; ++i) {
+    const double off = timed_sampling_run(false);
+    const double on = timed_sampling_run(true);
+    off_ms = i == 0 ? off : std::min(off_ms, off);
+    on_ms = i == 0 ? on : std::min(on_ms, on);
+  }
+  obs::TimeSeries::global().reset();
+  const double overhead_pct =
+      off_ms > 0 ? 100.0 * (on_ms - off_ms) / off_ms : 0.0;
+  std::printf("  k-means, variable-width, 120-split window, 8 slides, "
+              "best of %d\n", kReps);
+  std::printf("  sampling off: %8.1f ms\n", off_ms);
+  std::printf("  sampling on:  %8.1f ms   (overhead %+.2f%%)\n", on_ms,
+              overhead_pct);
+  report.add_row()
+      .col("section", "observability_overhead")
+      .col("app", "k-means")
+      .col("wall_ms_sampling_off", off_ms)
+      .col("wall_ms_sampling_on", on_ms)
+      .col("sampling_overhead_pct", overhead_pct);
+}
+
 }  // namespace
 
 int main() {
@@ -152,6 +201,7 @@ int main() {
   run_breakdown(0.25, report);
 
   run_host_parallelism(report);
+  run_observability_overhead(report);
 
   const std::string path = report.write();
   if (!path.empty()) std::printf("\nreport: %s\n", path.c_str());

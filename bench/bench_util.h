@@ -52,6 +52,9 @@ struct ExperimentParams {
   // state (trees warm, memo populated).
   int warm_slides = 1;
   std::uint64_t seed = 99;
+  // Per-slide TimeSeries sampling (SliderConfig::sample_timeseries); the
+  // fig9 observability-overhead section measures on vs off.
+  bool sample_timeseries = true;
 };
 
 // Paper-shaped per-app inputs: compute-intensive apps get more, heavier
@@ -78,6 +81,7 @@ class Driver {
     config.tree_kind = params.tree_kind;
     config.split_processing = params.split_processing;
     config.bucket_width = slide_splits(params);
+    config.sample_timeseries = params.sample_timeseries;
     session_ =
         std::make_unique<SliderSession>(env.engine, env.memo, bench.job,
                                         config);

@@ -2,9 +2,10 @@
 //
 // Runs a standing word-count session with the embedded HTTP endpoint
 // enabled, then plays operator: after every slide it scrapes its own
-// /metrics (Prometheus text), /ledger.json, and /tree routes over a real
-// TCP connection — exactly what `curl localhost:$PORT/metrics` or a
-// Prometheus scraper would see — and prints a refreshing terminal summary:
+// /metrics (Prometheus text), /ledger.json, /timeseries.json, and /tree
+// routes over a real TCP connection — exactly what `curl
+// localhost:$PORT/metrics` or a Prometheus scraper would see — and prints
+// a refreshing terminal summary:
 //
 //   slide  window   inv(total)   reuse   by-cause: initial/add/remove   height
 //
@@ -27,6 +28,7 @@
 #include "common/string_util.h"
 #include "data/split.h"
 #include "data/text_gen.h"
+#include "observability/slo.h"
 #include "slider/session.h"
 
 namespace {
@@ -137,6 +139,7 @@ int main() {
   config.mode = WindowMode::kFixedWidth;
   config.bucket_width = 4;
   config.introspect_port = 0;  // ephemeral: pick any free port
+  config.slos = obs::default_slos();  // annotate /healthz with verdicts
 
   SliderSession session(engine, memo, word_count_job(), config);
   const auto* server = session.introspection();
@@ -145,7 +148,7 @@ int main() {
     return 1;
   }
   const int port = server->port();
-  std::printf("introspection endpoint: http://127.0.0.1:%d  (/metrics /ledger.json /tree /trace /healthz)\n\n", port);
+  std::printf("introspection endpoint: http://127.0.0.1:%d  (/metrics /ledger.json /timeseries.json /tree /trace /healthz)\n\n", port);
 
   TextGenOptions text;
   text.vocabulary_size = 600;
@@ -168,11 +171,21 @@ int main() {
   for (int i = 1; i <= kSlides && ok; ++i) {
     session.slide(4, make_window(4));
 
-    // --- scrape /healthz -------------------------------------------------
+    // --- scrape /healthz (now annotated with SLO verdicts) ---------------
     const std::string health = http_get(port, "/healthz");
+    const std::string health_body = body_of(health);
     if (health.find("200") == std::string::npos ||
-        body_of(health).find("ok") == std::string::npos) {
+        health_body.find("ok") == std::string::npos ||
+        health_body.find("\"slo\"") == std::string::npos) {
       ok = fail("/healthz");
+      break;
+    }
+
+    // --- scrape /timeseries.json (per-slide flight-recorder samples) -----
+    const std::string series = body_of(http_get(port, "/timeseries.json"));
+    if (series.find("\"total_recorded\"") == std::string::npos ||
+        series.find("\"raw\"") == std::string::npos) {
+      ok = fail("/timeseries.json");
       break;
     }
 
@@ -222,6 +235,16 @@ int main() {
   }
 
   if (!ok) return 1;
+
+  // SLO verdicts the session computed on its last slide — the same ones
+  // /healthz embeds under "slo".
+  std::printf("\nSLO verdicts (lenient defaults):\n");
+  for (const auto& v : session.slo_verdicts()) {
+    std::printf("  %-14s %-6s value=%.3f threshold=%.3f samples=%llu%s\n",
+                v.name.c_str(), v.ok ? "ok" : "BREACH", v.value, v.threshold,
+                static_cast<unsigned long long>(v.samples),
+                v.burning ? "  [burning]" : "");
+  }
 
   // One last pull of the trace route (Chrome-trace JSON download).
   const std::string trace = body_of(http_get(port, "/trace"));

@@ -1,0 +1,39 @@
+// Build identity, stamped by CMake at configure time (the values live in
+// the generated build_info.cc) plus process-set runtime labels. Exposed on
+// /metrics as the standard Prometheus build-info convention:
+//
+//   slider_build_info{version="...",git_sha="...",build_type="...",
+//                     tree_variant="..."} 1
+//
+// A constant-1 gauge whose labels carry the identity — dashboards join it
+// against every other series to answer "which build/variant produced
+// this". The tree_variant label is set at runtime by the first session
+// (set_build_label), since the variant is a per-session decision.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace slider::obs {
+
+struct BuildInfo {
+  const char* version;
+  const char* git_sha;
+  const char* build_type;
+};
+
+// Configure-time constants (generated build_info.cc).
+const BuildInfo& build_info();
+
+// Additional runtime labels on slider_build_info (last set wins per key).
+// Values are sanitized into the exposition by prometheus_text.
+void set_build_label(std::string key, std::string value);
+std::vector<std::pair<std::string, std::string>> build_labels();
+
+// The complete exposition line (no trailing newline), pure function of
+// build_info() + build_labels().
+std::string build_info_prometheus_line();
+
+}  // namespace slider::obs

@@ -13,6 +13,8 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "observability/build_info.h"
+#include "observability/timeseries.h"
 #include "observability/trace.h"
 #include "observability/trace_export.h"
 
@@ -85,6 +87,13 @@ std::string prometheus_text(const StatsSnapshot& stats,
                             const LedgerSnapshot& ledger) {
   std::string out;
   out.reserve(4096);
+
+  // Build identity first (standard Prometheus build-info convention): a
+  // constant-1 gauge whose labels carry version / git sha / build type and
+  // any runtime labels (e.g. tree_variant, set by the session).
+  out += "# TYPE slider_build_info gauge\n";
+  out += build_info_prometheus_line();
+  out += "\n";
 
   for (const auto& [name, value] : stats.counters) {
     const std::string metric = "slider_" + sanitize_metric_name(name) +
@@ -204,6 +213,9 @@ IntrospectionServer::IntrospectionServer(Options options)
     const std::vector<TraceEvent> events = collector.snapshot();
     return HttpResponse::json(
         to_chrome_trace_json(events, collector.dropped()));
+  });
+  add_route("/timeseries.json", [](const HttpRequest&) {
+    return HttpResponse::json(TimeSeries::global().to_json());
   });
 }
 

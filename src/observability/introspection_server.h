@@ -2,12 +2,16 @@
 // POSIX sockets, loopback by default, zero dependencies) exposing the
 // process's observability state while a session runs:
 //
-//   GET /healthz      — liveness probe ("ok\n")
-//   GET /metrics      — Prometheus text exposition: every StatsRegistry
-//                       instrument plus the causal work ledger
-//   GET /ledger.json  — full WorkLedger snapshot (per-run, per-partition,
-//                       per-(cause, level) attribution)
-//   GET /trace        — Chrome trace-event JSON of the trace ring buffer
+//   GET /healthz         — liveness probe ("ok\n"; the session overrides
+//                          it with degradation state + SLO verdicts)
+//   GET /metrics         — Prometheus text exposition: slider_build_info,
+//                          every StatsRegistry instrument, and the causal
+//                          work ledger
+//   GET /ledger.json     — full WorkLedger snapshot (per-run, per-partition,
+//                          per-(cause, level) attribution)
+//   GET /trace           — Chrome trace-event JSON of the trace ring buffer
+//   GET /timeseries.json — per-slide time series (observability/timeseries.h):
+//                          recent slides raw, older history aggregated
 //   + any route registered via add_route() (the session registers /tree)
 //
 // Design: one accept thread; connections are handled inline (requests are
@@ -68,11 +72,13 @@ struct HttpResponse {
 };
 
 // Prometheus text exposition (version 0.0.4) of a stats snapshot plus the
-// work ledger. Pure function of its inputs so tests can validate the
-// format without sockets. Conventions: every metric is prefixed
-// "slider_", names are sanitized to [a-zA-Z0-9_:], counters get a
-// "_total" suffix, histograms emit cumulative le-labelled buckets ending
-// in le="+Inf", and ledger work is labelled {cause="..."}.
+// work ledger. Function of its inputs plus the process build identity
+// (build_info.h), so tests can validate the format without sockets.
+// Conventions: every metric is prefixed "slider_", names are sanitized to
+// [a-zA-Z0-9_:], counters get a "_total" suffix, histograms emit
+// cumulative le-labelled buckets ending in le="+Inf", ledger work is
+// labelled {cause="..."}, and the exposition opens with the
+// slider_build_info constant-1 gauge (version/git-sha/build-type labels).
 std::string prometheus_text(const StatsSnapshot& stats,
                             const LedgerSnapshot& ledger);
 

@@ -78,6 +78,15 @@ class JsonWriter {
     out_ += flag ? "true" : "false";
     return *this;
   }
+  // Embeds `json` verbatim as the next value. The caller guarantees it is
+  // a complete, valid JSON document (e.g. the output of another writer) —
+  // used to nest the ledger / trace / time-series documents inside a
+  // post-mortem dump without re-serializing them.
+  JsonWriter& raw(std::string_view json) {
+    separate();
+    out_ += json;
+    return *this;
+  }
 
   const std::string& str() const { return out_; }
   std::string take() { return std::move(out_); }

@@ -1,0 +1,72 @@
+// Declarative SLOs over the per-slide time series.
+//
+// Slider's pitch is predictable incremental latency, so its service
+// objectives are per-slide: a p99 slide-latency budget (the paper's
+// c·Δ·log₂w claim, turned into a budget), a memo hit-rate floor (reuse is
+// the mechanism behind the budget), and a retry-rate ceiling (fault noise
+// must stay bounded). Each spec is evaluated over two windows of recent
+// slides:
+//
+//   * the rolling window (`window` slides) — the objective itself;
+//   * the burn window (`burn_window` slides, a short suffix) — a fast-burn
+//     signal: when the short window also violates, the breach is active
+//     right now rather than a residue of old samples still inside the
+//     rolling window.
+//
+// evaluate_slos() is a pure function of a TimeSeriesSnapshot, so tests
+// exercise it without sessions and the flight recorder can embed verdicts
+// in a post-mortem dump verbatim.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "observability/timeseries.h"
+
+namespace slider::obs {
+
+enum class SloKind : std::uint8_t {
+  kSlideLatencyP99,   // p99 of raw sim_latency must stay <= threshold (sec)
+  kMemoHitRateFloor,  // aggregate memo hit rate must stay >= threshold
+  kRetryRateCeiling,  // mean task retries per slide must stay <= threshold
+};
+
+std::string_view slo_kind_name(SloKind kind);
+
+struct SloSpec {
+  std::string name;
+  SloKind kind = SloKind::kSlideLatencyP99;
+  double threshold = 0;
+  std::size_t window = 64;      // rolling window, in slides
+  std::size_t burn_window = 8;  // fast-burn suffix, in slides
+  // Verdicts stay ok (vacuously) until this many samples exist — a cold
+  // session should not page before it has produced statistics.
+  std::size_t min_samples = 4;
+};
+
+struct SloVerdict {
+  std::string name;
+  SloKind kind = SloKind::kSlideLatencyP99;
+  double threshold = 0;
+  bool ok = true;
+  bool burning = false;    // the burn window also violates
+  double value = 0;        // metric over the rolling window
+  double burn_value = 0;   // metric over the burn window
+  std::uint64_t samples = 0;  // raw samples the rolling window covered
+};
+
+// Lenient defaults for interactive use (the live dashboard): they flag
+// pathological behaviour without encoding any workload-specific budget.
+// Serious callers declare their own specs.
+std::vector<SloSpec> default_slos();
+
+SloVerdict evaluate_slo(const TimeSeriesSnapshot& series, const SloSpec& spec);
+std::vector<SloVerdict> evaluate_slos(const TimeSeriesSnapshot& series,
+                                      const std::vector<SloSpec>& specs);
+
+// JSON array of verdicts (embedded in /healthz and post-mortem dumps).
+std::string slo_verdicts_to_json(const std::vector<SloVerdict>& verdicts);
+
+}  // namespace slider::obs

@@ -1,0 +1,183 @@
+#include "observability/timeseries.h"
+
+#include <algorithm>
+
+#include "observability/json_writer.h"
+
+namespace slider::obs {
+
+void AggregateSample::fold(const SlideSample& s) {
+  if (count == 0) {
+    first_sequence = s.sequence;
+    sim_start = s.sim_start;
+  }
+  ++count;
+  sim_latency_sum += s.sim_latency;
+  sim_latency_max = std::max(sim_latency_max, s.sim_latency);
+  wall_latency_us_sum += s.wall_latency_us;
+  wall_latency_us_max = std::max(wall_latency_us_max, s.wall_latency_us);
+  for (std::size_t c = 0; c < kWorkCauseCount; ++c) {
+    cause_invocations[c] += s.cause_invocations[c];
+  }
+  combiner_invocations += s.combiner_invocations;
+  combiner_reused += s.combiner_reused;
+  nodes_visited += s.nodes_visited;
+  task_retries += s.task_retries;
+  failed_attempts += s.failed_attempts;
+  if (s.durable_degraded) ++degraded_samples;
+}
+
+TimeSeries::TimeSeries() : TimeSeries(Options{}) {}
+
+TimeSeries::TimeSeries(Options options) { configure(options); }
+
+TimeSeries& TimeSeries::global() {
+  static TimeSeries* series = new TimeSeries();
+  return *series;
+}
+
+void TimeSeries::configure(Options options) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  options_ = options;
+  options_.raw_capacity = std::max<std::size_t>(1, options_.raw_capacity);
+  options_.aggregate_width = std::max<std::size_t>(1, options_.aggregate_width);
+  options_.aggregate_capacity =
+      std::max<std::size_t>(1, options_.aggregate_capacity);
+  raw_.assign(options_.raw_capacity, SlideSample{});
+  aggregates_.assign(options_.aggregate_capacity, AggregateSample{});
+  raw_start_ = raw_size_ = 0;
+  agg_start_ = agg_size_ = 0;
+  open_bucket_ = AggregateSample{};
+  open_bucket_active_ = false;
+  next_sequence_ = 0;
+  samples_dropped_ = 0;
+}
+
+void TimeSeries::reset() {
+  Options options;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    options = options_;
+  }
+  configure(options);
+}
+
+void TimeSeries::record(SlideSample sample) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sample.sequence = next_sequence_++;
+  if (raw_size_ == raw_.size()) {
+    // The oldest raw sample ages out: fold it into the open aggregation
+    // bucket, sealing the bucket into the aggregate ring once it spans
+    // aggregate_width slides.
+    const SlideSample& evicted = raw_[raw_start_];
+    open_bucket_.fold(evicted);
+    open_bucket_active_ = true;
+    if (open_bucket_.count >= options_.aggregate_width) {
+      if (agg_size_ == aggregates_.size()) {
+        samples_dropped_ += aggregates_[agg_start_].count;
+        agg_start_ = (agg_start_ + 1) % aggregates_.size();
+        --agg_size_;
+      }
+      aggregates_[(agg_start_ + agg_size_) % aggregates_.size()] = open_bucket_;
+      ++agg_size_;
+      open_bucket_ = AggregateSample{};
+      open_bucket_active_ = false;
+    }
+    raw_start_ = (raw_start_ + 1) % raw_.size();
+    --raw_size_;
+  }
+  raw_[(raw_start_ + raw_size_) % raw_.size()] = sample;
+  ++raw_size_;
+}
+
+std::uint64_t TimeSeries::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return next_sequence_;
+}
+
+TimeSeriesSnapshot TimeSeries::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TimeSeriesSnapshot snap;
+  snap.total_recorded = next_sequence_;
+  snap.samples_dropped = samples_dropped_;
+  snap.aggregates.reserve(agg_size_ + 1);
+  for (std::size_t i = 0; i < agg_size_; ++i) {
+    snap.aggregates.push_back(aggregates_[(agg_start_ + i) % aggregates_.size()]);
+  }
+  // The partially-filled bucket is real history too: without it the slides
+  // between the sealed buckets and the raw window would vanish.
+  if (open_bucket_active_) snap.aggregates.push_back(open_bucket_);
+  snap.raw.reserve(raw_size_);
+  for (std::size_t i = 0; i < raw_size_; ++i) {
+    snap.raw.push_back(raw_[(raw_start_ + i) % raw_.size()]);
+  }
+  return snap;
+}
+
+namespace {
+
+void write_cause_array(JsonWriter& json, const char* key,
+                       const std::array<std::uint64_t, kWorkCauseCount>& a) {
+  json.key(key).begin_object();
+  for (std::size_t c = 0; c < kWorkCauseCount; ++c) {
+    if (a[c] == 0) continue;  // sparse: most causes are idle most slides
+    json.key(work_cause_name(static_cast<WorkCause>(c))).value(a[c]);
+  }
+  json.end_object();
+}
+
+}  // namespace
+
+std::string TimeSeries::timeseries_to_json(const TimeSeriesSnapshot& snapshot) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("schema_version").value(std::uint64_t{1});
+  json.key("total_recorded").value(snapshot.total_recorded);
+  json.key("samples_dropped").value(snapshot.samples_dropped);
+  json.key("aggregates").begin_array();
+  for (const AggregateSample& a : snapshot.aggregates) {
+    json.begin_object();
+    json.key("first_sequence").value(a.first_sequence);
+    json.key("count").value(a.count);
+    json.key("sim_start").value(a.sim_start);
+    json.key("sim_latency_sum").value(a.sim_latency_sum);
+    json.key("sim_latency_max").value(a.sim_latency_max);
+    json.key("wall_latency_us_sum").value(a.wall_latency_us_sum);
+    json.key("wall_latency_us_max").value(a.wall_latency_us_max);
+    write_cause_array(json, "cause_invocations", a.cause_invocations);
+    json.key("combiner_invocations").value(a.combiner_invocations);
+    json.key("combiner_reused").value(a.combiner_reused);
+    json.key("nodes_visited").value(a.nodes_visited);
+    json.key("task_retries").value(a.task_retries);
+    json.key("failed_attempts").value(a.failed_attempts);
+    json.key("degraded_samples").value(a.degraded_samples);
+    json.end_object();
+  }
+  json.end_array();
+  json.key("raw").begin_array();
+  for (const SlideSample& s : snapshot.raw) {
+    json.begin_object();
+    json.key("sequence").value(s.sequence);
+    json.key("kind").value(run_kind_name(s.kind));
+    json.key("sim_start").value(s.sim_start);
+    json.key("sim_latency").value(s.sim_latency);
+    json.key("wall_latency_us").value(s.wall_latency_us);
+    json.key("window_splits").value(s.window_splits);
+    json.key("removed").value(s.removed);
+    json.key("added").value(s.added);
+    write_cause_array(json, "cause_invocations", s.cause_invocations);
+    json.key("combiner_invocations").value(s.combiner_invocations);
+    json.key("combiner_reused").value(s.combiner_reused);
+    json.key("nodes_visited").value(s.nodes_visited);
+    json.key("memo_hit_rate").value(s.memo_hit_rate());
+    json.key("task_retries").value(s.task_retries);
+    json.key("failed_attempts").value(s.failed_attempts);
+    json.key("durable_degraded").value(s.durable_degraded);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return json.take();
+}
+
+}  // namespace slider::obs

@@ -8,6 +8,7 @@
 #include "common/logging.h"
 #include "common/rng.h"
 #include "durability/durable_tier.h"
+#include "observability/flight_recorder.h"
 #include "observability/work_ledger.h"
 #include "storage/memo_store.h"
 
@@ -174,6 +175,20 @@ std::size_t ChaosController::apply_until(SimDuration now) {
 void ChaosController::apply(const ChaosEvent& event) {
   Cluster& cluster = *targets_.cluster;
   ++counters_.events_applied;
+  // Every applied event lands in the flight recorder's fault log; the
+  // destructive ones also request a post-mortem dump at the next slide
+  // boundary. Clears/recoveries are context, not triggers.
+  const bool destructive = event.type == ChaosEventType::kMachineCrash ||
+                           event.type == ChaosEventType::kStragglerOnset ||
+                           event.type == ChaosEventType::kMemoMemoryLoss ||
+                           event.type == ChaosEventType::kDurableErrorOnset;
+  obs::FlightRecorder::global().note_fault(
+      chaos_event_name(event.type),
+      event.type == ChaosEventType::kStragglerOnset
+          ? "slowdown factor " + std::to_string(event.factor)
+          : std::string("chaos schedule seed ") +
+                std::to_string(schedule_.seed()),
+      event.at, event.machine, /*request_dump=*/destructive);
   switch (event.type) {
     case ChaosEventType::kMachineCrash:
       cluster.fail_machine(event.machine);

@@ -1,17 +1,26 @@
 #include "slider/session.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <bit>
 #include <cstdlib>
 #include <filesystem>
+
+#include <atomic>
+#include <chrono>
 
 #include "common/thread_pool.h"
 #include "contraction/describe.h"
 #include "contraction/rotating_tree.h"
 #include "data/serde.h"
 #include "durability/checkpoint.h"
+#include "observability/build_info.h"
+#include "observability/flight_recorder.h"
 #include "observability/stats.h"
+#include "observability/timeseries.h"
 #include "observability/trace.h"
+#include "observability/trace_export.h"
 #include "observability/work_ledger.h"
 
 namespace slider {
@@ -85,6 +94,25 @@ void commit_ledger_run(obs::RunKind kind, std::size_t window_splits,
                                        partitions);
 }
 
+std::string_view tree_kind_name(TreeKind kind) {
+  switch (kind) {
+    case TreeKind::kStrawman: return "strawman";
+    case TreeKind::kFolding: return "folding";
+    case TreeKind::kRandomizedFolding: return "randomized_folding";
+    case TreeKind::kRotating: return "rotating";
+    case TreeKind::kCoalescing: return "coalescing";
+  }
+  return "unknown";
+}
+
+// SLIDER_TRACE_DIR: directory for an automatic Chrome-trace export when a
+// session is destroyed. Setting it also enables the collector, so the env
+// var alone is enough to get a trace out of any binary.
+const char* trace_export_dir() {
+  const char* dir = std::getenv("SLIDER_TRACE_DIR");
+  return (dir != nullptr && *dir != '\0') ? dir : nullptr;
+}
+
 // SLIDER_INTROSPECT_PORT: valid port number (0..65535) enables the
 // endpoint regardless of SliderConfig::introspect_port; anything else
 // leaves the config value in charge.
@@ -131,12 +159,41 @@ SliderSession::SliderSession(const VanillaEngine& engine, MemoStore& memo,
     partitions_.push_back(std::move(state));
   }
   output_.resize(static_cast<std::size_t>(job_.num_partitions));
+
+  // Build-identity label for /metrics' slider_build_info gauge: last
+  // session constructed wins, which is the one a scraper is watching.
+  obs::set_build_label("tree_variant", std::string(tree_kind_name(kind)));
+  if (!config_.postmortem_dir.empty()) {
+    obs::FlightRecorder::Options recorder;
+    recorder.directory = config_.postmortem_dir;
+    obs::FlightRecorder::global().arm(recorder);
+  }
+  // SLIDER_TRACE_DIR implies tracing: enable the collector so the
+  // destructor's auto-export has events to write.
+  if (trace_export_dir() != nullptr) {
+    obs::TraceCollector::global().set_enabled(true);
+  }
   maybe_start_introspection();
 }
 
 SliderSession::~SliderSession() {
   // Stop serving before the trees the /tree handler reads are destroyed.
   if (introspect_ != nullptr) introspect_->stop();
+  // SLIDER_TRACE_DIR: auto-export whatever the collector holds. The
+  // snapshot requires quiescent writers, which session teardown is.
+  if (const char* dir = trace_export_dir(); dir != nullptr) {
+    obs::TraceCollector& trace = obs::TraceCollector::global();
+    const std::vector<obs::TraceEvent> events = trace.snapshot();
+    if (!events.empty()) {
+      static std::atomic<std::uint64_t> export_counter{0};
+      const std::uint64_t n =
+          export_counter.fetch_add(1, std::memory_order_relaxed);
+      std::string path = std::string(dir) + "/slider_trace_" +
+                         std::to_string(static_cast<long>(::getpid())) + "_" +
+                         std::to_string(n) + ".json";
+      obs::write_chrome_trace(path, events, trace.dropped());
+    }
+  }
 }
 
 void SliderSession::maybe_start_introspection() {
@@ -170,6 +227,10 @@ void SliderSession::maybe_start_introspection() {
   // but the body says what chaos has currently broken.
   introspect_->add_route("/healthz", [this](const obs::HttpRequest&) {
     const Cluster& cluster = engine_->cluster();
+    // Active probe: a degraded flag that only a future durable *write*
+    // could clear would pin /healthz at "degraded" long after the tier
+    // healed on an idle session. The poll is a no-op when not degraded.
+    memo_->poll_durable_recovery();
     const bool durable_degraded = memo_->durable_degraded();
     const int failed = cluster.failed_machines();
     const obs::LedgerSnapshot ledger = obs::WorkLedger::global().snapshot();
@@ -191,6 +252,26 @@ void SliderSession::maybe_start_introspection() {
     body += std::to_string(ledger.counters.machines_blacklisted);
     body += ",\"failure_forced_misses\":";
     body += std::to_string(ledger.counters.failure_forced_misses);
+    body += "}";
+    // SLO section: the session's latest verdicts (empty until a run has
+    // been sampled or when no SLOs are configured). Breaches do not flip
+    // `status` — degradation there tracks infrastructure health, while an
+    // SLO breach is a service-quality signal with its own field.
+    const std::vector<obs::SloVerdict> verdicts = slo_verdicts();
+    std::size_t breached = 0;
+    std::size_t burning = 0;
+    for (const obs::SloVerdict& v : verdicts) {
+      if (!v.ok) ++breached;
+      if (v.burning) ++burning;
+    }
+    body += ",\"slo\":{\"configured\":";
+    body += std::to_string(config_.slos.size());
+    body += ",\"breached\":";
+    body += std::to_string(breached);
+    body += ",\"burning\":";
+    body += std::to_string(burning);
+    body += ",\"verdicts\":";
+    body += obs::slo_verdicts_to_json(verdicts);
     body += "}}";
     return obs::HttpResponse::json(std::move(body));
   });
@@ -212,6 +293,7 @@ TreeDescription SliderSession::describe_tree(int partition) const {
 }
 
 RunMetrics SliderSession::initial_run(std::vector<SplitPtr> splits) {
+  const auto wall_start = std::chrono::steady_clock::now();
   SLIDER_CHECK(!initialized_) << "initial_run called twice";
   SLIDER_TRACE_SPAN("session", "session.initial_run",
                     {{"splits", static_cast<double>(splits.size())}});
@@ -250,12 +332,13 @@ RunMetrics SliderSession::initial_run(std::vector<SplitPtr> splits) {
   for (SplitPtr& split : splits) window_.push_back(std::move(split));
 
   contraction_and_reduce(tree_stats, new_leaf_bytes, obs::RunKind::kInitial,
-                         /*removed=*/0, added_count, metrics);
+                         /*removed=*/0, added_count, metrics, wall_start);
   return metrics;
 }
 
 RunMetrics SliderSession::slide(std::size_t remove_front,
                                 std::vector<SplitPtr> added) {
+  const auto wall_start = std::chrono::steady_clock::now();
   SLIDER_CHECK(initialized_) << "slide before initial_run";
   SLIDER_CHECK(remove_front <= window_.size()) << "removing beyond window";
   SLIDER_TRACE_SPAN("session", "session.slide",
@@ -312,15 +395,17 @@ RunMetrics SliderSession::slide(std::size_t remove_front,
   for (SplitPtr& split : added) window_.push_back(std::move(split));
 
   contraction_and_reduce(tree_stats, new_leaf_bytes, obs::RunKind::kSlide,
-                         remove_front, added_count, metrics);
+                         remove_front, added_count, metrics, wall_start);
   return metrics;
 }
 
 void SliderSession::contraction_and_reduce(
     const std::vector<TreeUpdateStats>& tree_stats,
     const std::vector<std::size_t>& new_leaf_bytes, obs::RunKind run_kind,
-    std::size_t removed, std::size_t added, RunMetrics& metrics) {
+    std::size_t removed, std::size_t added, RunMetrics& metrics,
+    std::chrono::steady_clock::time_point wall_start) {
   SLIDER_TRACE_SPAN("session", "session.contraction_reduce");
+  const double sim_start = sim_clock_;
   record_tree_counters(tree_stats);
   commit_ledger_run(run_kind, window_.size(), removed, added, tree_stats);
 
@@ -496,13 +581,89 @@ void SliderSession::contraction_and_reduce(
   sim_clock_ += metrics.map_time + stage.makespan;
 
   if (config_.run_gc) garbage_collect();
+  observe_run(run_kind, removed, added, metrics, tree_stats, sim_start,
+              metrics.time, wall_start);
+}
+
+void SliderSession::observe_run(
+    obs::RunKind run_kind, std::size_t removed, std::size_t added,
+    const RunMetrics& metrics, const std::vector<TreeUpdateStats>& tree_stats,
+    double sim_start, double sim_latency,
+    std::chrono::steady_clock::time_point wall_start) {
+  // Opportunistic durable recovery: the degraded flag otherwise only
+  // clears on a durable *write*, so a session that went quiet on the
+  // durable tier after the fault healed would report degraded forever.
+  memo_->poll_durable_recovery();
+
+  if (config_.sample_timeseries) {
+    obs::SlideSample sample;
+    sample.kind = run_kind;
+    sample.sim_start = sim_start;
+    sample.sim_latency = sim_latency;
+    sample.wall_latency_us =
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - wall_start)
+            .count();
+    sample.window_splits = window_.size();
+    sample.removed = removed;
+    sample.added = added;
+    for (const TreeUpdateStats& ts : tree_stats) {
+      for (const obs::AttributedCell& cell : ts.attributed.cells()) {
+        sample.cause_invocations[static_cast<std::size_t>(cell.cause)] +=
+            cell.work.combiner_invocations;
+      }
+      sample.combiner_invocations += ts.combiner_invocations;
+      sample.combiner_reused += ts.combiner_reused;
+      sample.nodes_visited += ts.nodes_visited;
+    }
+    sample.task_retries = metrics.task_retries;
+    sample.failed_attempts = metrics.failed_attempts;
+    sample.durable_degraded = memo_->durable_degraded();
+    obs::TimeSeries::global().record(sample);
+  }
+
+  bool have_verdicts = false;
+  if (!config_.slos.empty() && config_.sample_timeseries) {
+    std::vector<obs::SloVerdict> verdicts = obs::evaluate_slos(
+        obs::TimeSeries::global().snapshot(), config_.slos);
+    for (const obs::SloVerdict& v : verdicts) {
+      if (!v.ok) {
+        obs::FlightRecorder::global().request_dump("slo_breach:" + v.name);
+      }
+    }
+    std::lock_guard<std::mutex> lock(slo_mutex_);
+    slo_verdicts_ = std::move(verdicts);
+    have_verdicts = true;
+  }
+
+  // Flight-recorder slide-boundary tick: no subsystem lock is held here,
+  // so a pending dump (chaos, degraded entry, SLO breach) is safe to
+  // materialize now.
+  obs::FlightRecorder::DumpContext ctx;
+  ctx.session = std::string(tree_kind_name(
+      config_.tree_kind.value_or(default_tree_for(config_.mode))));
+  ctx.sim_time = sim_clock_;
+  std::vector<obs::SloVerdict> verdict_copy;
+  if (have_verdicts) {
+    std::lock_guard<std::mutex> lock(slo_mutex_);
+    verdict_copy = slo_verdicts_;
+  }
+  ctx.verdicts = have_verdicts ? &verdict_copy : nullptr;
+  obs::FlightRecorder::global().maybe_dump(ctx);
+}
+
+std::vector<obs::SloVerdict> SliderSession::slo_verdicts() const {
+  std::lock_guard<std::mutex> lock(slo_mutex_);
+  return slo_verdicts_;
 }
 
 RunMetrics SliderSession::run_background() {
+  const auto wall_start = std::chrono::steady_clock::now();
   RunMetrics metrics;
   if (!config_.split_processing) return metrics;
   SLIDER_TRACE_SPAN("session", "session.run_background");
   const auto state_lock = exclusive_state_lock();
+  const double sim_start = sim_clock_;
   const CostModel& cost = engine_->cost_model();
   std::vector<SimTask> tasks(partitions_.size());
   std::vector<TreeUpdateStats> tree_stats(partitions_.size());
@@ -580,6 +741,8 @@ RunMetrics SliderSession::run_background() {
   }
   sim_clock_ += stage.makespan;
   if (config_.run_gc) garbage_collect();
+  observe_run(obs::RunKind::kBackground, /*removed=*/0, /*added=*/0, metrics,
+              tree_stats, sim_start, metrics.background_time, wall_start);
   return metrics;
 }
 

@@ -13,6 +13,7 @@
 // interaction with the fault-tolerant memo store.
 #pragma once
 
+#include <chrono>
 #include <deque>
 #include <memory>
 #include <shared_mutex>
@@ -22,6 +23,7 @@
 #include "contraction/tree.h"
 #include "mapreduce/engine.h"
 #include "observability/introspection_server.h"
+#include "observability/slo.h"
 #include "slider/window.h"
 
 namespace slider {
@@ -59,6 +61,21 @@ struct SliderConfig {
   // back to an ephemeral one when busy. The SLIDER_INTROSPECT_PORT env
   // var, when set to a valid port number, overrides this field.
   int introspect_port = -1;
+  // Per-slide time-series sampling (observability/timeseries.h): every run
+  // commits one SlideSample to the process-wide TimeSeries at the slide
+  // boundary. On by default — the cost is one struct copy and a short
+  // mutex hold per run, off the per-node hot paths entirely.
+  bool sample_timeseries = true;
+  // SLO specs evaluated over the time series after every sampled run
+  // (observability/slo.h). Empty (the default) disables evaluation; see
+  // obs::default_slos() for lenient starters. Verdicts are served in
+  // /healthz, and any breach requests a flight-recorder post-mortem dump.
+  std::vector<obs::SloSpec> slos;
+  // When non-empty, arms the process-wide FlightRecorder to write
+  // CRC-framed *.pm.json post-mortems into this directory on chaos
+  // events, degraded-mode entry, or SLO breach. The SLIDER_POSTMORTEM_DIR
+  // env var arms the recorder process-wide without any session's help.
+  std::string postmortem_dir;
   // Fault injection (robustness/chaos.h): when set, every contraction /
   // reduce / background stage asks this provider for a StageFaultPlan at
   // its simulated start time — mid-stage crashes kill running attempts,
@@ -137,6 +154,10 @@ class SliderSession {
     return introspect_.get();
   }
 
+  // Verdicts from the most recent SLO evaluation (empty until a run has
+  // been sampled, or when config().slos is empty). Thread-safe.
+  std::vector<obs::SloVerdict> slo_verdicts() const;
+
   // Causal attribution (observability/work_ledger.h): after restore(),
   // slides are re-executions of work the pre-crash process already did, so
   // their tree work bills to recovery_replay until the caller declares the
@@ -162,11 +183,22 @@ class SliderSession {
 
   // Shared tail of initial_run/slide: run the contraction + reduce stage
   // from the per-partition deltas gathered in `stats`, then GC. Commits
-  // the run's causal attribution to the process-wide WorkLedger.
+  // the run's causal attribution to the process-wide WorkLedger and the
+  // run's SlideSample to the process-wide TimeSeries (`wall_start` is the
+  // host clock at the run's entry point, for the wall-latency sample).
   void contraction_and_reduce(const std::vector<TreeUpdateStats>& tree_stats,
                               const std::vector<std::size_t>& new_leaf_bytes,
                               obs::RunKind run_kind, std::size_t removed,
-                              std::size_t added, RunMetrics& metrics);
+                              std::size_t added, RunMetrics& metrics,
+                              std::chrono::steady_clock::time_point wall_start);
+  // Slide-boundary observability tail, shared with run_background():
+  // opportunistic degraded-drain probe, time-series sample, SLO
+  // evaluation (breaches request a post-mortem), flight-recorder tick.
+  void observe_run(obs::RunKind run_kind, std::size_t removed,
+                   std::size_t added, const RunMetrics& metrics,
+                   const std::vector<TreeUpdateStats>& tree_stats,
+                   double sim_start, double sim_latency,
+                   std::chrono::steady_clock::time_point wall_start);
   void garbage_collect();
   void maybe_start_introspection();
   // Exclusive lock over session state while the server is live; a no-op
@@ -190,6 +222,11 @@ class SliderSession {
   // is live.
   mutable std::shared_mutex state_mutex_;
   std::unique_ptr<obs::IntrospectionServer> introspect_;
+
+  // Latest SLO verdicts, swapped in once per sampled run; read by the
+  // /healthz handler and slo_verdicts().
+  mutable std::mutex slo_mutex_;
+  std::vector<obs::SloVerdict> slo_verdicts_;
 };
 
 }  // namespace slider

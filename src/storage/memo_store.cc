@@ -7,6 +7,7 @@
 #include "common/logging.h"
 #include "data/serde.h"
 #include "durability/durable_tier.h"
+#include "observability/flight_recorder.h"
 #include "observability/stats.h"
 #include "observability/trace.h"
 #include "observability/work_ledger.h"
@@ -560,6 +561,15 @@ std::size_t MemoStore::degraded_backlog() const {
   return degraded_pending_.size();
 }
 
+bool MemoStore::poll_durable_recovery() {
+  if (!durable_degraded_.load(std::memory_order_relaxed)) return true;
+  if (durable_ == nullptr) return false;
+  std::lock_guard<std::mutex> dlock(durable_mutex_);
+  degraded_retry_countdown_ = 0;
+  drain_degraded_locked();
+  return !durable_degraded_.load(std::memory_order_relaxed);
+}
+
 bool MemoStore::durable_append(NodeId id, std::uint64_t seq,
                                std::string payload, bool tombstone) {
   if (durable_ == nullptr) return false;
@@ -599,6 +609,10 @@ bool MemoStore::durable_append(NodeId id, std::uint64_t seq,
   stats_.degraded_writes_buffered.fetch_add(1, std::memory_order_relaxed);
   stats_.degraded_intervals.fetch_add(1, std::memory_order_relaxed);
   obs::WorkLedger::global().note_degraded_interval();
+  // Black-box note only: the recorder defers the actual dump to the next
+  // slide boundary, so nothing heavy runs under durable_mutex_.
+  obs::FlightRecorder::global().note_fault(
+      "durable_degraded", "all durable replicas rejecting writes");
   memo_instruments().durable_degraded.set(1);
   memo_instruments().degraded_backlog.set(
       static_cast<double>(degraded_pending_.size()));

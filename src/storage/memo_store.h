@@ -211,6 +211,15 @@ class MemoStore {
   }
   std::size_t degraded_backlog() const;
 
+  // Opportunistic recovery probe, called at slide boundaries (and safe
+  // from any cold path): when degraded, attempts a drain immediately,
+  // ignoring the write-driven backoff countdown. Without this, a store
+  // whose fault window healed but which receives no further durable
+  // writes would stay degraded forever — /healthz would keep reporting
+  // "degraded" with an empty fault. No-op when healthy; returns true when
+  // the probe left the store healthy.
+  bool poll_durable_recovery();
+
   // Snapshot of the internal counters (value, not reference: counters are
   // atomics updated by concurrent writers).
   MemoStoreStats stats() const;

@@ -42,7 +42,9 @@
 #include "apps/microbench.h"
 #include "data/serde.h"
 #include "durability/durable_tier.h"
+#include "observability/flight_recorder.h"
 #include "observability/run_report.h"
+#include "observability/slo.h"
 #include "observability/stats.h"
 #include "observability/work_ledger.h"
 #include "robustness/chaos.h"
@@ -238,6 +240,96 @@ bool same_counters(const robustness::ChaosController::Counters& a,
          a.durable_error_windows == b.durable_error_windows;
 }
 
+// --postmortem-dir mode: one chaos session armed with the flight recorder
+// and a deliberately unmeetable SLO (retry-rate ceiling 0 while chaos
+// injects task failures). The run must leave at least one valid *.pm.json
+// in `pm_dir` whose fault log attributes the injected chaos — the
+// `tools_slider_doctor` ctest then parses it back and checks exactly that.
+int run_postmortem_scenario(const Options& opt, const std::string& pm_dir) {
+  std::filesystem::remove_all(pm_dir);
+  std::filesystem::create_directories(pm_dir);
+  const auto bench = apps::make_microbenchmark(apps::MicroApp::kHct);
+  const Variant& v = kVariants[1];  // folding tree, variable-width window
+  const ControlTrace control = run_control(v, opt, bench);
+
+  CostModel cost;
+  Cluster cluster(ClusterConfig{.num_machines = opt.machines,
+                                .slots_per_machine = 2});
+  VanillaEngine engine(cluster, cost);
+  const std::filesystem::path tier_dir =
+      std::filesystem::temp_directory_path() / "slider_chaos_soak_pm_tier";
+  std::filesystem::remove_all(tier_dir);
+  std::filesystem::create_directories(tier_dir);
+  durability::DurableTier tier(tier_dir.string());
+  MemoStore memo(cluster, cost);
+  memo.attach_durable_tier(&tier);
+
+  robustness::ChaosOptions chaos_options;
+  // Front-load the chaos: everything lands in the first half of the
+  // control's timeline, so the fault notes precede the dumps.
+  chaos_options.horizon = std::max<SimDuration>(control.final_clock * 0.5, 1.0);
+  chaos_options.crash_events = 2;
+  chaos_options.straggler_events = 2;
+  chaos_options.memo_loss_events = 1;
+  chaos_options.durable_error_events = 1;
+  chaos_options.attempt_failure_prob = 0.25;
+  chaos_options.min_live_machines = 2;
+  const robustness::ChaosSchedule schedule =
+      robustness::ChaosSchedule::generate(13, chaos_options, opt.machines);
+  robustness::ChaosController controller(
+      schedule, robustness::ChaosTargets{.cluster = &cluster,
+                                         .memo = &memo,
+                                         .durable = &tier});
+
+  SliderConfig config = variant_config(v, opt);
+  config.fault_provider = &controller;
+  config.postmortem_dir = pm_dir;
+  obs::SloSpec strict;
+  strict.name = "no_retries";
+  strict.kind = obs::SloKind::kRetryRateCeiling;
+  strict.threshold = 0;  // chaos makes this unmeetable by construction
+  strict.min_samples = 1;
+  config.slos = {strict};
+  SliderSession session(engine, memo, bench.job, config);
+
+  session.initial_run(batch_for(bench, opt, opt.window_splits, 0));
+  controller.apply_until(session.sim_clock());
+  SplitId next_id = opt.window_splits;
+  for (int s = 0; s < opt.slides; ++s) {
+    session.slide(opt.slide, batch_for(bench, opt, opt.slide, next_id));
+    next_id += opt.slide;
+    controller.apply_until(session.sim_clock());
+  }
+  // Final dump after every chaos event has been applied: the complete
+  // fault log travels with it, so the doctor's attribution check does not
+  // depend on where the schedule placed the crashes.
+  obs::FlightRecorder::DumpContext ctx;
+  ctx.session = v.name;
+  ctx.sim_time = session.sim_clock();
+  const std::vector<obs::SloVerdict> verdicts = session.slo_verdicts();
+  ctx.verdicts = &verdicts;
+  obs::FlightRecorder::global().dump_now("soak_final", ctx);
+  std::filesystem::remove_all(tier_dir);
+
+  std::size_t dumps = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(pm_dir)) {
+    const std::string p = entry.path().string();
+    if (p.size() >= 8 && p.compare(p.size() - 8, 8, ".pm.json") == 0) ++dumps;
+  }
+  if (dumps == 0) {
+    std::fprintf(stderr, "postmortem scenario: no *.pm.json produced in %s\n",
+                 pm_dir.c_str());
+    return 1;
+  }
+  const std::uint64_t retries =
+      obs::WorkLedger::global().snapshot().counters.task_retries;
+  std::printf("postmortem scenario: %zu dump(s) in %s (%llu retries "
+              "injected)\n",
+              dumps, pm_dir.c_str(),
+              static_cast<unsigned long long>(retries));
+  return 0;
+}
+
 std::string arg_value(int argc, char** argv, const char* flag) {
   const std::size_t len = std::strlen(flag);
   for (int i = 1; i < argc; ++i) {
@@ -270,6 +362,10 @@ int main(int argc, char** argv) {
   }
   opt.quiet = has_flag(argc, argv, "--quiet");
   if (has_flag(argc, argv, "--no-report")) opt.report = false;
+  if (const std::string v = arg_value(argc, argv, "--postmortem-dir");
+      !v.empty()) {
+    return run_postmortem_scenario(opt, v);
+  }
 
   const std::filesystem::path base =
       std::filesystem::temp_directory_path() / "slider_chaos_soak";
