@@ -131,6 +131,67 @@ void run_host_parallelism(obs::RunReport& report) {
       .col("sim_metrics_identical", identical ? 1.0 : 0.0);
 }
 
+// Flat aggregation tier on vs off for a flat-eligible combiner (substr's
+// sum). Same inputs, same slide schedule; "on" routes every partition to
+// the flat circular buffer, "off" forces the default contraction tree.
+// The simulated contraction charges and the reduced outputs must be
+// byte-identical — only the host wall-clock differs.
+struct FlatTierRun {
+  double wall_ms = 0;
+  double contraction_work = 0;
+  std::vector<KVTable> outputs;
+  std::string kind;
+};
+
+FlatTierRun flat_tier_run(bool enable_flat) {
+  const auto bench = apps::make_microbenchmark(apps::MicroApp::kSubStr);
+  ExperimentParams params;
+  params.change_fraction = 0.25;
+  params.records_per_split = records_per_split_for(bench);
+  params.mode = WindowMode::kVariableWidth;
+  params.enable_flat_tier = enable_flat;
+  BenchEnv env;
+  Driver driver(env, bench, params);
+  FlatTierRun result;
+  driver.initial_run();
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < 8; ++i) {
+    const RunMetrics m = driver.slide();
+    result.contraction_work += m.contraction_work;
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  result.wall_ms =
+      std::chrono::duration<double, std::milli>(stop - start).count();
+  result.outputs = driver.session().output();
+  result.kind = driver.session().describe_tree(0).kind;
+  return result;
+}
+
+void run_flat_tier(obs::RunReport& report) {
+  print_title("Flat aggregation tier: substr with the tier on vs off");
+  const FlatTierRun tree = flat_tier_run(false);
+  const FlatTierRun flat = flat_tier_run(true);
+  const double speedup = flat.wall_ms > 0 ? tree.wall_ms / flat.wall_ms : 0.0;
+  const bool identical = flat.outputs == tree.outputs;
+  std::printf("  substr, variable-width, 120-split window, 8 slides\n");
+  std::printf("  tier off (%s): %8.1f ms   (contraction work %.3fs)\n",
+              tree.kind.c_str(), tree.wall_ms, tree.contraction_work);
+  std::printf("  tier on  (%s): %8.1f ms   (contraction work %.3fs, "
+              "wall speedup %.2fx)\n",
+              flat.kind.c_str(), flat.wall_ms, flat.contraction_work, speedup);
+  std::printf("  reduced outputs identical across tiers: %s\n",
+              identical ? "yes" : "NO — FLAT TIER BUG");
+  report.add_row()
+      .col("section", "flat_tier")
+      .col("app", "substr")
+      .col("wall_ms_tree", tree.wall_ms)
+      .col("wall_ms_flat", flat.wall_ms)
+      .col("wall_speedup", speedup)
+      .col("contraction_work_tree", tree.contraction_work)
+      .col("contraction_work_flat", flat.contraction_work)
+      .col("outputs_identical", identical ? 1.0 : 0.0);
+}
+
 // Wall-clock of the same steady-state scenario with per-slide TimeSeries
 // sampling on vs off. The samples feed /timeseries.json and the SLO
 // verdicts in /healthz; the acceptance bar is <1% overhead when enabled.
@@ -201,6 +262,7 @@ int main() {
   run_breakdown(0.25, report);
 
   run_host_parallelism(report);
+  run_flat_tier(report);
   run_observability_overhead(report);
 
   const std::string path = report.write();

@@ -9,6 +9,7 @@
 
 #include "common/thread_pool.h"
 #include "contraction/coalescing_tree.h"
+#include "contraction/flat_aggregator.h"
 #include "contraction/folding_tree.h"
 #include "contraction/randomized_tree.h"
 #include "contraction/rotating_tree.h"
@@ -183,6 +184,105 @@ BENCHMARK(BM_RandomizedBuildThreaded)
     ->ArgsProduct({{256, 1024}, {1, 2, 4, 8}})
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
+
+// --- flat tier vs folding tree head-to-head -----------------------------
+//
+// The flat-aggregation acceptance pair: same leaves, same sum combiner,
+// same slide schedule (w=192, delta=8), once through the flat circular
+// buffer and once through the folding contraction tree. The flat tier
+// must win by >= 5x ops/sec. Batches are pre-generated so leaf
+// construction stays off the clock; bytes/op reports the leaf payload
+// bytes ingested per slide.
+
+constexpr std::size_t kHeadToHeadWindow = 192;
+constexpr std::size_t kHeadToHeadDelta = 8;
+
+struct SlideBatches {
+  std::vector<Leaf> initial;
+  std::vector<std::vector<Leaf>> batches;
+  std::int64_t bytes_per_batch = 0;
+};
+
+// Aggregation-heavy leaves: 100 rows over a 200-key space, so most keys
+// recur across leaves and the trees' per-key combiner calls dominate —
+// the cost the flat tier's integer lanes eliminate.
+std::vector<Leaf> dense_leaves(std::size_t count, SplitId first) {
+  Rng rng(first * 1000 + 5);
+  std::vector<Leaf> leaves;
+  leaves.reserve(count);
+  const CombineFn combiner = sum_combiner();
+  for (std::size_t i = 0; i < count; ++i) {
+    leaves.push_back(
+        random_leaf(first + i, rng, combiner, /*keys_per_leaf=*/100,
+                    /*key_space=*/200));
+  }
+  return leaves;
+}
+
+SlideBatches make_batches(bool dense) {
+  SlideBatches out;
+  const auto gen = [dense](std::size_t count, SplitId first) {
+    return dense ? dense_leaves(count, first) : bench_leaves(count, first);
+  };
+  out.initial = gen(kHeadToHeadWindow, 0);
+  SplitId next = kHeadToHeadWindow;
+  for (int b = 0; b < 256; ++b) {
+    out.batches.push_back(gen(kHeadToHeadDelta, next));
+    next += kHeadToHeadDelta;
+  }
+  for (const Leaf& leaf : out.batches.front()) {
+    out.bytes_per_batch += static_cast<std::int64_t>(leaf.table->byte_size());
+  }
+  return out;
+}
+
+const SlideBatches& head_to_head_batches(bool dense) {
+  static const SlideBatches sparse_data = make_batches(false);
+  static const SlideBatches dense_data = make_batches(true);
+  return dense ? dense_data : sparse_data;
+}
+
+template <typename MakeTree>
+void head_to_head_slide(benchmark::State& state, MakeTree make) {
+  const SlideBatches& data = head_to_head_batches(state.range(0) != 0);
+  auto tree = make();
+  TreeUpdateStats stats;
+  auto initial = data.initial;
+  tree->initial_build(std::move(initial), &stats);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    TreeUpdateStats slide_stats;
+    auto batch = data.batches[i % data.batches.size()];
+    tree->apply_delta(kHeadToHeadDelta, std::move(batch), &slide_stats);
+    ++i;
+    benchmark::DoNotOptimize(tree->root());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kHeadToHeadDelta));
+  state.SetBytesProcessed(state.iterations() * data.bytes_per_batch);
+}
+
+// Arg 0 = the standard 20-row leaves, arg 1 = the dense 100-row leaves.
+void BM_FlatSlideHeadToHead(benchmark::State& state) {
+  CombinerTraits traits;
+  traits.commutative = true;
+  traits.invertible = true;
+  traits.exactly_associative = true;
+  traits.flat_kernel = FlatKernel::kSumU64;
+  head_to_head_slide(state, [&] {
+    return std::make_unique<FlatAggregator>(
+        bench_ctx(), sum_combiner(), traits,
+        TreeOptions{.kind = TreeKind::kFolding});
+  });
+}
+BENCHMARK(BM_FlatSlideHeadToHead)->Arg(0)->Arg(1);
+
+void BM_FoldingSlideHeadToHead(benchmark::State& state) {
+  head_to_head_slide(state, [&] {
+    return std::make_unique<FoldingTree>(bench_ctx(), sum_combiner());
+  });
+}
+BENCHMARK(BM_FoldingSlideHeadToHead)->Arg(0)->Arg(1);
 
 void BM_CoalescingAppend(benchmark::State& state) {
   const CombineFn combiner = sum_combiner();

@@ -48,6 +48,10 @@ struct ExperimentParams {
   WindowMode mode = WindowMode::kFixedWidth;
   std::optional<TreeKind> tree_kind;
   bool split_processing = false;
+  // Off by default: the paper benches compare contraction-tree variants,
+  // so flat-eligible combiners must not silently leave the tree path. The
+  // flat-tier sections opt in explicitly.
+  bool enable_flat_tier = false;
   // Slides executed before the measured one, so the session is in steady
   // state (trees warm, memo populated).
   int warm_slides = 1;
@@ -79,6 +83,7 @@ class Driver {
     SliderConfig config;
     config.mode = params.mode;
     config.tree_kind = params.tree_kind;
+    config.enable_flat_tier = params.enable_flat_tier;
     config.split_processing = params.split_processing;
     config.bucket_width = slide_splits(params);
     config.sample_timeseries = params.sample_timeseries;

@@ -42,6 +42,11 @@ JobSpec make_cooccurrence_job(const CooccurrenceOptions& options) {
                     const std::string& b) {
     return encode_count(decode_count(a) + decode_count(b));
   };
+  // Per-cell count sum, same algebra as substr's.
+  job.traits.commutative = true;
+  job.traits.invertible = true;
+  job.traits.exactly_associative = true;
+  job.traits.flat_kernel = FlatKernel::kSumU64;
   job.reducer = [](const std::string&,
                    const std::string& combined) -> std::optional<std::string> {
     return combined;  // final count per matrix cell

@@ -45,6 +45,10 @@ JobSpec make_glasnost_job(const GlasnostOptions& options) {
     return encode_histogram(
         add_histograms(decode_histogram(a), decode_histogram(b)));
   };
+  // Bucket-wise integer addition; multi-bucket encoding, no flat kernel.
+  job.traits.commutative = true;
+  job.traits.invertible = true;
+  job.traits.exactly_associative = true;
   const double bucket_ms = options.bucket_ms;
   job.reducer = [bucket_ms](
                     const std::string&,

@@ -41,6 +41,11 @@ JobSpec make_histogram_job(const HistogramOptions& options) {
     return encode_histogram(
         add_histograms(decode_histogram(a), decode_histogram(b)));
   };
+  // Bucket-wise integer addition: exact algebra, but the multi-bucket
+  // encoding has no single fixed-width lane, so no flat kernel.
+  job.traits.commutative = true;
+  job.traits.invertible = true;
+  job.traits.exactly_associative = true;
   job.reducer = [](const std::string&,
                    const std::string& combined) -> std::optional<std::string> {
     const Histogram h = decode_histogram(combined);

@@ -86,6 +86,11 @@ JobSpec make_kmeans_job(const KMeansOptions& options) {
     const auto vb = decode_vector_sum(b);
     return encode_vector_sum(add_vector_sums(*va, *vb));
   };
+  // Component-wise fixed-point addition (i64 micro-units, see codecs.h):
+  // exact algebra, but multi-component — no single fixed-width lane.
+  job.traits.commutative = true;
+  job.traits.invertible = true;
+  job.traits.exactly_associative = true;
   job.reducer = [](const std::string&,
                    const std::string& combined) -> std::optional<std::string> {
     const auto v = decode_vector_sum(combined);

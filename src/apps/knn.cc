@@ -59,6 +59,10 @@ JobSpec make_knn_job(const KnnOptions& options) {
                      const std::string& b) {
     return encode_topk(merge_topk(decode_topk(a), decode_topk(b), k));
   };
+  // Top-k selection: commutative and exact, but dropping losers destroys
+  // invertibility and there is no fixed-width lane.
+  job.traits.commutative = true;
+  job.traits.exactly_associative = true;
   job.reducer = [](const std::string&,
                    const std::string& combined) -> std::optional<std::string> {
     return combined;  // the final neighbor list

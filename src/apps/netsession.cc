@@ -35,6 +35,10 @@ JobSpec make_netsession_job(const NetSessionOptions& options) {
     const auto cb = decode_audit(b);
     return encode_audit(add_audit(*ca, *cb));
   };
+  // Field-wise counter addition; multi-field encoding, no flat kernel.
+  job.traits.commutative = true;
+  job.traits.invertible = true;
+  job.traits.exactly_associative = true;
   const double mismatch = options.mismatch_factor;
   job.reducer = [mismatch](
                     const std::string&,

@@ -38,6 +38,11 @@ JobSpec make_substr_job(const SubstrOptions& options) {
                     const std::string& b) {
     return encode_count(decode_count(a) + decode_count(b));
   };
+  // Unsigned decimal count sum: the textbook flat-tier kernel.
+  job.traits.commutative = true;
+  job.traits.invertible = true;
+  job.traits.exactly_associative = true;
+  job.traits.flat_kernel = FlatKernel::kSumU64;
   const std::uint64_t threshold = options.frequency_threshold;
   job.reducer = [threshold](
                     const std::string&,

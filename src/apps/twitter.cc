@@ -33,6 +33,10 @@ JobSpec make_twitter_job(const TwitterOptions& options) {
                     const std::string& b) {
     return encode_events(merge_events(decode_events(a), decode_events(b)));
   };
+  // Time-ordered event-list merge: commutative (stable sort by timestamp)
+  // and exact, but not invertible and not fixed-width.
+  job.traits.commutative = true;
+  job.traits.exactly_associative = true;
   job.reducer = [](const std::string&,
                    const std::string& combined) -> std::optional<std::string> {
     // Build the propagation tree: posting list is time-sorted, so a

@@ -1,0 +1,547 @@
+#include "contraction/flat_aggregator.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "contraction/simd_kernels.h"
+#include "contraction/tree_common.h"
+#include "data/serde.h"
+
+namespace slider {
+
+namespace {
+
+// Directory slots reclaimed only once dead keys dominate and the absolute
+// count is worth the refold; keeps compaction off the hot path for small,
+// stable key spaces.
+constexpr std::size_t kCompactionMinDead = 64;
+
+}  // namespace
+
+FlatAggregator::FlatAggregator(MemoContext ctx, CombineFn combiner,
+                               CombinerTraits traits,
+                               TreeOptions fallback_options)
+    : ctx_(ctx),
+      combiner_(std::move(combiner)),
+      traits_(traits),
+      fallback_options_(fallback_options),
+      invertible_(flat::kernel_invertible(traits.flat_kernel)),
+      identity_(flat::kernel_identity(traits.flat_kernel)) {
+  SLIDER_CHECK(traits_.flat_eligible());
+}
+
+std::uint32_t FlatAggregator::find_key(const std::string& key) const {
+  if (slots_.empty()) return kNoKey;
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t i = hash_string(key) & mask;
+  while (slots_[i] != 0) {
+    const std::uint32_t idx = slots_[i] - 1;
+    if (keys_[idx] == key) return idx;
+    i = (i + 1) & mask;
+  }
+  return kNoKey;
+}
+
+void FlatAggregator::insert_slot(std::uint32_t idx) {
+  // Keep load factor under 2/3 so probe chains stay short.
+  if ((keys_.size() + 1) * 3 >= slots_.size() * 2) {
+    rebuild_slots();
+    return;  // rebuild_slots re-inserts every key, including idx
+  }
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t i = hash_string(keys_[idx]) & mask;
+  while (slots_[i] != 0) i = (i + 1) & mask;
+  slots_[i] = idx + 1;
+}
+
+void FlatAggregator::rebuild_slots() {
+  std::size_t capacity = 64;
+  while (capacity * 2 < keys_.size() * 3 + 2) capacity *= 2;
+  slots_.assign(capacity, 0);
+  const std::size_t mask = capacity - 1;
+  for (std::size_t k = 0; k < keys_.size(); ++k) {
+    std::size_t i = hash_string(keys_[k]) & mask;
+    while (slots_[i] != 0) i = (i + 1) & mask;
+    slots_[i] = static_cast<std::uint32_t>(k) + 1;
+  }
+}
+
+std::uint32_t FlatAggregator::intern_key(const std::string& key) {
+  const std::uint32_t found = find_key(key);
+  if (found != kNoKey) return found;
+  const auto idx = static_cast<std::uint32_t>(keys_.size());
+  keys_.push_back(key);
+  insert_slot(idx);
+  return idx;
+}
+
+bool FlatAggregator::decode_element(
+    SplitId split_id, const std::shared_ptr<const KVTable>& table,
+    Element* out) {
+  if (table == nullptr) return false;
+  Element e;
+  e.split_id = split_id;
+  // Hashing the table contents is only needed when the id leaves this
+  // tier (memoization, checkpointing); without a store it is computed on
+  // demand, keeping content_hash off the per-insert hot path.
+  e.id = ctx_.store != nullptr ? leaf_node_id(ctx_, split_id, *table) : 0;
+  e.table = table;
+  e.key_idx.reserve(table->size());
+  e.values.reserve(table->size());
+  for (const Record& row : table->rows()) {
+    flat::Lane lane = 0;
+    if (!flat::decode_value(traits_.flat_kernel, row.value, &lane)) {
+      return false;
+    }
+    e.key_idx.push_back(intern_key(row.key));
+    e.values.push_back(lane);
+  }
+  e.dense_width = keys_.size();
+  *out = std::move(e);
+  return true;
+}
+
+NodeId FlatAggregator::element_id(const Element& e) const {
+  return e.id != 0 ? e.id : leaf_node_id(ctx_, e.split_id, *e.table);
+}
+
+const std::vector<flat::Lane>& FlatAggregator::stage(const Element& element) {
+  scratch_.assign(element.dense_width, identity_);
+  for (std::size_t j = 0; j < element.key_idx.size(); ++j) {
+    scratch_[element.key_idx[j]] = element.values[j];
+  }
+  return scratch_;
+}
+
+void FlatAggregator::add_element(Element element, TreeUpdateStats* stats) {
+  counts_.resize(keys_.size(), 0);
+  for (const std::uint32_t k : element.key_idx) {
+    if (counts_[k]++ == 0) root_order_dirty_ = true;
+  }
+
+  // Hybrid update: sparse elements touch their own lanes directly; dense
+  // ones stage into the scratch buffer and use the bulk SIMD kernels.
+  // Both orders are exact (wrapping adds commute; min is idempotent), so
+  // the threshold can never change the aggregate bytes.
+  const std::size_t nnz = element.key_idx.size();
+  const bool use_bulk = nnz * 2 >= element.dense_width;
+  if (invertible_) {
+    running_.resize(keys_.size(), identity_);
+    if (use_bulk) {
+      const std::vector<flat::Lane>& lanes = stage(element);
+      simd::bulk_add_u64(running_.data(), lanes.data(), element.dense_width);
+    } else {
+      for (std::size_t j = 0; j < nnz; ++j) {
+        running_[element.key_idx[j]] += element.values[j];
+      }
+    }
+  } else {
+    if (back_.size() < element.dense_width) {
+      back_.resize(element.dense_width, identity_);
+    }
+    if (use_bulk) {
+      const std::vector<flat::Lane>& lanes = stage(element);
+      simd::bulk_min_u64(back_.data(), lanes.data(), element.dense_width);
+    } else {
+      for (std::size_t j = 0; j < nnz; ++j) {
+        flat::Lane& lane = back_[element.key_idx[j]];
+        lane = std::min(lane, element.values[j]);
+      }
+    }
+  }
+
+  stats->charge_visits(1);
+  stats->charge_invocation(element.table->size());
+  memoize_payload(ctx_, element.id, element.table, stats);
+  elements_.push_back(std::move(element));
+}
+
+void FlatAggregator::swap_stacks(TreeUpdateStats* stats) {
+  // Fold suffix partials newest-to-oldest: partial[i] aggregates elements
+  // i..n-1. The newest element has the widest dense span (the directory
+  // only grows), so the accumulator is sized once and older, narrower
+  // elements fold into its prefix.
+  const std::size_t n = elements_.size();
+  front_partials_.clear();
+  std::vector<flat::Lane> acc;
+  std::deque<std::vector<flat::Lane>> partials;
+  for (std::size_t i = n; i-- > 0;) {
+    const Element& e = elements_[i];
+    const std::vector<flat::Lane>& lanes = stage(e);
+    if (acc.empty()) {
+      acc = lanes;
+    } else {
+      simd::bulk_min_u64(acc.data(), lanes.data(), e.dense_width);
+    }
+    partials.push_front(acc);
+    stats->charge_visits(1);
+    stats->charge_passthrough_invocation(e.table->size());
+  }
+  front_partials_ = std::move(partials);
+  front_remaining_ = n;
+  back_.clear();
+}
+
+void FlatAggregator::evict_front(TreeUpdateStats* stats) {
+  SLIDER_CHECK(!elements_.empty());
+  if (invertible_) {
+    const Element& e = elements_.front();
+    if (e.key_idx.size() * 2 >= e.dense_width) {
+      const std::vector<flat::Lane>& lanes = stage(e);
+      simd::bulk_sub_u64(running_.data(), lanes.data(), e.dense_width);
+    } else {
+      for (std::size_t j = 0; j < e.key_idx.size(); ++j) {
+        running_[e.key_idx[j]] -= e.values[j];
+      }
+    }
+    stats->charge_visits(1);
+    stats->charge_passthrough_invocation(e.table->size());
+  } else {
+    if (front_remaining_ == 0) swap_stacks(stats);
+    front_partials_.pop_front();
+    --front_remaining_;
+    // The pop consumes a precomputed partial: an O(1) reuse, no combiner
+    // work of its own.
+    stats->charge_visits(1);
+    stats->charge_reuse();
+  }
+  for (const std::uint32_t k : elements_.front().key_idx) {
+    if (--counts_[k] == 0) root_order_dirty_ = true;
+  }
+  elements_.pop_front();
+}
+
+void FlatAggregator::rebuild_aggregates() {
+  if (invertible_) {
+    running_.assign(keys_.size(), identity_);
+    for (const Element& e : elements_) {
+      const std::vector<flat::Lane>& lanes = stage(e);
+      simd::bulk_add_u64(running_.data(), lanes.data(), e.dense_width);
+    }
+    back_.clear();
+    front_partials_.clear();
+    front_remaining_ = 0;
+    return;
+  }
+  front_partials_.clear();
+  std::vector<flat::Lane> acc;
+  for (std::size_t i = front_remaining_; i-- > 0;) {
+    const Element& e = elements_[i];
+    const std::vector<flat::Lane>& lanes = stage(e);
+    if (acc.empty()) {
+      acc = lanes;
+    } else {
+      simd::bulk_min_u64(acc.data(), lanes.data(), e.dense_width);
+    }
+    front_partials_.push_front(acc);
+  }
+  back_.clear();
+  for (std::size_t i = front_remaining_; i < elements_.size(); ++i) {
+    const Element& e = elements_[i];
+    const std::vector<flat::Lane>& lanes = stage(e);
+    if (back_.size() < e.dense_width) back_.resize(e.dense_width, identity_);
+    simd::bulk_min_u64(back_.data(), lanes.data(), e.dense_width);
+  }
+  running_.clear();
+}
+
+void FlatAggregator::maybe_compact(TreeUpdateStats* stats) {
+  std::size_t dead = 0;
+  for (const std::uint32_t c : counts_) dead += (c == 0) ? 1 : 0;
+  if (dead <= kCompactionMinDead || dead * 2 <= keys_.size()) return;
+
+  std::vector<std::uint32_t> remap(keys_.size(), 0);
+  std::vector<std::string> live_keys;
+  std::vector<std::uint32_t> live_counts;
+  live_keys.reserve(keys_.size() - dead);
+  for (std::size_t k = 0; k < keys_.size(); ++k) {
+    if (counts_[k] == 0) continue;
+    remap[k] = static_cast<std::uint32_t>(live_keys.size());
+    live_keys.push_back(std::move(keys_[k]));
+    live_counts.push_back(counts_[k]);
+  }
+  keys_ = std::move(live_keys);
+  counts_ = std::move(live_counts);
+  rebuild_slots();
+  for (Element& e : elements_) {
+    for (std::uint32_t& k : e.key_idx) k = remap[k];
+    e.dense_width = keys_.size();
+  }
+  rebuild_aggregates();
+  root_order_dirty_ = true;  // directory indices just moved
+  stats->charge_visits(1);
+}
+
+std::vector<flat::Lane> FlatAggregator::window_lanes() const {
+  std::vector<flat::Lane> acc;
+  if (invertible_) {
+    acc = running_;
+    acc.resize(keys_.size(), identity_);
+    return acc;
+  }
+  acc = back_;
+  acc.resize(keys_.size(), identity_);
+  if (front_remaining_ > 0) {
+    const std::vector<flat::Lane>& partial = front_partials_.front();
+    simd::bulk_min_u64(acc.data(), partial.data(), partial.size());
+  }
+  return acc;
+}
+
+void FlatAggregator::rebuild_root(TreeUpdateStats* stats) {
+  if (root_order_dirty_) {
+    root_order_.clear();
+    for (std::size_t k = 0; k < keys_.size(); ++k) {
+      if (counts_[k] > 0) {
+        root_order_.push_back(static_cast<std::uint32_t>(k));
+      }
+    }
+    std::sort(root_order_.begin(), root_order_.end(),
+              [this](std::uint32_t a, std::uint32_t b) {
+                return keys_[a] < keys_[b];
+              });
+    root_order_dirty_ = false;
+  }
+  const std::vector<flat::Lane> lanes = window_lanes();
+  std::vector<Record> rows;
+  rows.reserve(root_order_.size());
+  for (const std::uint32_t k : root_order_) {
+    rows.push_back(
+        {keys_[k], flat::encode_value(traits_.flat_kernel, lanes[k])});
+  }
+  root_ = std::make_shared<const KVTable>(
+      KVTable::from_sorted_unique(std::move(rows)));
+  if (stats != nullptr) {
+    // The output materialization is the tier's one per-run combine pass —
+    // the flat analogue of a tree's root recomputation.
+    stats->charge_visits(1);
+    stats->charge_invocation(root_->size());
+  }
+}
+
+std::vector<Leaf> FlatAggregator::live_leaves() const {
+  std::vector<Leaf> leaves;
+  leaves.reserve(elements_.size());
+  for (const Element& e : elements_) {
+    leaves.push_back(Leaf{e.split_id, e.table});
+  }
+  return leaves;
+}
+
+void FlatAggregator::poison(std::vector<Leaf> leaves,
+                            TreeUpdateStats* stats) {
+  SLIDER_LOG(Warning) << "flat tier: non-canonical value for kernel "
+                      << flat::kernel_name(traits_.flat_kernel)
+                      << " in partition " << ctx_.partition
+                      << "; demoting to contraction tree";
+  fallback_ = make_tree(fallback_options_, ctx_, combiner_);
+  elements_.clear();
+  keys_.clear();
+  slots_.clear();
+  counts_.clear();
+  running_.clear();
+  back_.clear();
+  front_partials_.clear();
+  front_remaining_ = 0;
+  root_.reset();
+  fallback_->initial_build(std::move(leaves), stats);
+}
+
+void FlatAggregator::initial_build(std::vector<Leaf> leaves,
+                                   TreeUpdateStats* stats) {
+  if (fallback_ != nullptr) {
+    fallback_->initial_build(std::move(leaves), stats);
+    return;
+  }
+  SLIDER_CHECK(elements_.empty());
+  for (std::size_t i = 0; i < leaves.size(); ++i) {
+    Element e;
+    if (!decode_element(leaves[i].split_id, leaves[i].table, &e)) {
+      poison(std::move(leaves), stats);
+      return;
+    }
+    add_element(std::move(e), stats);
+  }
+  rebuild_root(stats);
+}
+
+void FlatAggregator::apply_delta(std::size_t remove_front,
+                                 std::vector<Leaf> added,
+                                 TreeUpdateStats* stats) {
+  if (fallback_ != nullptr) {
+    fallback_->apply_delta(remove_front, std::move(added), stats);
+    return;
+  }
+  SLIDER_CHECK(remove_front <= elements_.size());
+  for (std::size_t i = 0; i < remove_front; ++i) evict_front(stats);
+  // The surviving window rides on the standing aggregate — the flat
+  // tier's analogue of a memoized-subtree hit.
+  if (!elements_.empty()) stats->charge_reuse();
+  for (std::size_t i = 0; i < added.size(); ++i) {
+    Element e;
+    if (!decode_element(added[i].split_id, added[i].table, &e)) {
+      std::vector<Leaf> window = live_leaves();
+      for (std::size_t j = i; j < added.size(); ++j) {
+        window.push_back(std::move(added[j]));
+      }
+      poison(std::move(window), stats);
+      return;
+    }
+    add_element(std::move(e), stats);
+  }
+  maybe_compact(stats);
+  rebuild_root(stats);
+}
+
+std::shared_ptr<const KVTable> FlatAggregator::root() const {
+  return fallback_ != nullptr ? fallback_->root() : root_;
+}
+
+int FlatAggregator::height() const {
+  return fallback_ != nullptr ? fallback_->height() : 1;
+}
+
+std::size_t FlatAggregator::leaf_count() const {
+  return fallback_ != nullptr ? fallback_->leaf_count() : elements_.size();
+}
+
+std::string_view FlatAggregator::kind() const {
+  return fallback_ != nullptr ? fallback_->kind() : "flat";
+}
+
+TreeDescription FlatAggregator::describe() const {
+  if (fallback_ != nullptr) return fallback_->describe();
+  TreeDescription d;
+  d.kind = "flat";
+  d.height = 1;
+  d.leaf_count = elements_.size();
+  NodeId root_id = hash_combine(ctx_.job_hash,
+                                static_cast<std::uint64_t>(ctx_.partition));
+  std::vector<NodeId> children;
+  std::uint64_t index = 0;
+  for (const Element& e : elements_) {
+    const NodeId id = element_id(e);
+    TreeNodeDescription leaf;
+    leaf.id = id;
+    leaf.level = 0;
+    leaf.index = index++;
+    leaf.rows = e.table->size();
+    leaf.bytes = e.table->byte_size();
+    leaf.materialized = true;
+    leaf.role = "leaf";
+    d.nodes.push_back(std::move(leaf));
+    children.push_back(id);
+    root_id = hash_combine(root_id, id);
+  }
+  TreeNodeDescription root;
+  root.id = root_id;
+  root.level = 1;
+  root.index = 0;
+  root.children = std::move(children);
+  if (root_ != nullptr) {
+    root.rows = root_->size();
+    root.bytes = root_->byte_size();
+    root.materialized = true;
+  }
+  root.role = "root";
+  d.nodes.push_back(std::move(root));
+  d.root_id = root_id;
+  return d;
+}
+
+void FlatAggregator::collect_live_ids(
+    std::unordered_set<NodeId>& live) const {
+  if (fallback_ != nullptr) {
+    fallback_->collect_live_ids(live);
+    return;
+  }
+  for (const Element& e : elements_) live.insert(element_id(e));
+}
+
+void FlatAggregator::serialize(durability::CheckpointWriter& writer) const {
+  std::string& blob = writer.blob();
+  wire::put_u8(blob, fallback_ != nullptr ? 1 : 0);
+  if (fallback_ != nullptr) {
+    fallback_->serialize(writer);
+    return;
+  }
+  wire::put_u32(blob, static_cast<std::uint32_t>(keys_.size()));
+  for (const std::string& key : keys_) wire::put_bytes(blob, key);
+  wire::put_u32(blob, static_cast<std::uint32_t>(elements_.size()));
+  for (const Element& e : elements_) {
+    wire::put_u64(blob, e.split_id);
+    writer.put_node(element_id(e), e.table.get());
+  }
+  wire::put_u64(blob, static_cast<std::uint64_t>(front_remaining_));
+}
+
+bool FlatAggregator::restore(durability::CheckpointReader& reader) {
+  std::uint8_t poisoned_flag = 0;
+  if (!reader.get_u8(&poisoned_flag)) return false;
+  if (poisoned_flag != 0) {
+    fallback_ = make_tree(fallback_options_, ctx_, combiner_);
+    return fallback_->restore(reader);
+  }
+
+  std::uint32_t key_count = 0;
+  if (!reader.get_u32(&key_count)) return false;
+  keys_.clear();
+  slots_.clear();
+  keys_.reserve(key_count);
+  for (std::uint32_t k = 0; k < key_count; ++k) {
+    std::string key;
+    if (!reader.get_bytes(&key)) return false;
+    if (find_key(key) != kNoKey) return false;
+    keys_.push_back(std::move(key));
+    insert_slot(k);
+  }
+
+  std::uint32_t element_count = 0;
+  if (!reader.get_u32(&element_count)) return false;
+  elements_.clear();
+  for (std::uint32_t i = 0; i < element_count; ++i) {
+    std::uint64_t split_id = 0;
+    if (!reader.get_u64(&split_id)) return false;
+    NodeId id = 0;
+    std::shared_ptr<const KVTable> table;
+    if (!reader.get_node(&id, &table)) return false;
+    if (table == nullptr) return false;
+    Element e;
+    e.split_id = split_id;
+    e.id = id;
+    e.table = table;
+    // Lane widths only bound how many identity lanes the bulk ops touch —
+    // full width is exact, so per-element insert-time widths need not be
+    // checkpointed.
+    e.dense_width = keys_.size();
+    for (const Record& row : table->rows()) {
+      const std::uint32_t idx = find_key(row.key);
+      if (idx == kNoKey) return false;
+      flat::Lane lane = 0;
+      if (!flat::decode_value(traits_.flat_kernel, row.value, &lane)) {
+        return false;
+      }
+      e.key_idx.push_back(idx);
+      e.values.push_back(lane);
+    }
+    elements_.push_back(std::move(e));
+  }
+
+  std::uint64_t front = 0;
+  if (!reader.get_u64(&front)) return false;
+  if (front > elements_.size()) return false;
+  front_remaining_ = invertible_ ? 0 : static_cast<std::size_t>(front);
+
+  counts_.assign(keys_.size(), 0);
+  for (const Element& e : elements_) {
+    for (const std::uint32_t k : e.key_idx) ++counts_[k];
+  }
+  rebuild_aggregates();
+  root_order_dirty_ = true;
+  rebuild_root(nullptr);
+  return true;
+}
+
+}  // namespace slider

@@ -42,6 +42,15 @@ KVTable KVTable::from_records(std::vector<Record> rows,
   return KVTable(std::move(out));
 }
 
+KVTable KVTable::from_sorted_unique(std::vector<Record> rows) {
+#ifndef NDEBUG
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    SLIDER_CHECK(rows[i - 1].key < rows[i].key);
+  }
+#endif
+  return KVTable(std::move(rows));
+}
+
 KVTable KVTable::merge(const KVTable& a, const KVTable& b,
                        const CombineFn& combine, MergeStats* stats) {
   std::vector<Record> out;

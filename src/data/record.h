@@ -48,6 +48,12 @@ class KVTable {
   static KVTable merge(const KVTable& a, const KVTable& b,
                        const CombineFn& combine, MergeStats* stats = nullptr);
 
+  // Adopts rows the caller guarantees are already key-sorted with unique
+  // keys (checked in debug builds). For producers that maintain key order
+  // themselves — the flat aggregation tier emits its root this way every
+  // slide — so they don't pay from_records' re-sort.
+  static KVTable from_sorted_unique(std::vector<Record> rows);
+
   std::span<const Record> rows() const { return rows_; }
   std::size_t size() const { return rows_.size(); }
   bool empty() const { return rows_.empty(); }

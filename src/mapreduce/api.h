@@ -16,6 +16,7 @@
 
 #include "cluster/cost_model.h"
 #include "common/hash.h"
+#include "data/combiner_traits.h"
 #include "data/record.h"
 
 namespace slider {
@@ -47,6 +48,9 @@ struct JobSpec {
   std::string name;
   std::shared_ptr<const Mapper> mapper;
   CombineFn combiner;
+  // Algebraic properties the app vouches for beyond bare associativity;
+  // strong enough traits route partitions to the flat aggregation tier.
+  CombinerTraits traits;
   ReduceFn reducer;
   int num_partitions = 4;
   AppCostProfile costs;

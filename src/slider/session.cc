@@ -12,6 +12,7 @@
 
 #include "common/thread_pool.h"
 #include "contraction/describe.h"
+#include "contraction/flat_aggregator.h"
 #include "contraction/rotating_tree.h"
 #include "data/serde.h"
 #include "durability/checkpoint.h"
@@ -141,6 +142,16 @@ SliderSession::SliderSession(const VanillaEngine& engine, MemoStore& memo,
   options.split_processing = config_.split_processing;
   options.boundary_probability = config_.boundary_probability;
 
+  // Flat-tier routing: combiners whose declared traits admit a fixed-width
+  // bulk kernel skip the contraction tree entirely. An explicitly
+  // requested tree_kind always wins (benchmarks and tests that compare
+  // tree variants must get the tree they asked for), and
+  // initial_bucket_sizes is a RotatingTree-only knob.
+  const bool flat_routed = config_.enable_flat_tier &&
+                           !config_.tree_kind.has_value() &&
+                           job_.traits.flat_eligible() &&
+                           config_.initial_bucket_sizes.empty();
+
   partitions_.reserve(static_cast<std::size_t>(job_.num_partitions));
   for (int p = 0; p < job_.num_partitions; ++p) {
     MemoContext ctx;
@@ -151,8 +162,12 @@ SliderSession::SliderSession(const VanillaEngine& engine, MemoStore& memo,
         hash_combine(job_.job_hash(), static_cast<std::uint64_t>(p)));
     PartitionState state;
     state.home = ctx.reduce_home;
-    state.tree = make_tree(options, ctx, job_.combiner);
-    if (kind == TreeKind::kRotating && !config_.initial_bucket_sizes.empty()) {
+    state.tree = flat_routed
+                     ? std::make_unique<FlatAggregator>(
+                           ctx, job_.combiner, job_.traits, options)
+                     : make_tree(options, ctx, job_.combiner);
+    if (!flat_routed && kind == TreeKind::kRotating &&
+        !config_.initial_bucket_sizes.empty()) {
       static_cast<RotatingTree*>(state.tree.get())
           ->set_initial_bucket_sizes(config_.initial_bucket_sizes);
     }
@@ -162,7 +177,9 @@ SliderSession::SliderSession(const VanillaEngine& engine, MemoStore& memo,
 
   // Build-identity label for /metrics' slider_build_info gauge: last
   // session constructed wins, which is the one a scraper is watching.
-  obs::set_build_label("tree_variant", std::string(tree_kind_name(kind)));
+  obs::set_build_label("tree_variant",
+                       flat_routed ? std::string("flat")
+                                   : std::string(tree_kind_name(kind)));
   if (!config_.postmortem_dir.empty()) {
     obs::FlightRecorder::Options recorder;
     recorder.directory = config_.postmortem_dir;

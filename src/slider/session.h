@@ -32,6 +32,13 @@ struct SliderConfig {
   WindowMode mode = WindowMode::kVariableWidth;
   // Tree variant; defaults (kDefault) to the paper's pairing for `mode`.
   std::optional<TreeKind> tree_kind;
+  // Route partitions whose combiner is flat-eligible (JobSpec traits:
+  // associative + commutative + exactly associative + fixed-width kernel)
+  // to the flat aggregation tier (contraction/flat_aggregator.h) instead
+  // of a contraction tree. Only engages when `tree_kind` is unset — an
+  // explicit tree request always wins — and never with
+  // initial_bucket_sizes (a RotatingTree-only knob).
+  bool enable_flat_tier = true;
   bool split_processing = false;
   // Fixed-width: splits per bucket (= slide width). Ignored otherwise.
   std::size_t bucket_width = 1;

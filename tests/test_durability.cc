@@ -396,10 +396,15 @@ struct SessionCase {
   WindowMode mode;
   TreeKind kind;
   bool split_processing;
+  // Route through the flat aggregation tier instead of a tree: leaves
+  // tree_kind unset and runs the flat-eligible substr job (`kind` is
+  // ignored). Covers flat-tier serialize/restore parity.
+  bool flat = false;
 };
 
 std::string session_case_name(
     const ::testing::TestParamInfo<SessionCase>& info) {
+  if (info.param.flat) return "flat_variable";
   std::string name;
   switch (info.param.kind) {
     case TreeKind::kFolding: name = "folding"; break;
@@ -437,7 +442,9 @@ class SessionCheckpointRestore
 
 TEST_P(SessionCheckpointRestore, ByteIdenticalOutputAndIncrementalSlide) {
   const SessionCase c = GetParam();
-  const auto bench = apps::make_microbenchmark(apps::MicroApp::kHct);
+  const apps::MicroApp app =
+      c.flat ? apps::MicroApp::kSubStr : apps::MicroApp::kHct;
+  const auto bench = apps::make_microbenchmark(app);
 
   ClusterConfig cluster_config{.num_machines = 8, .slots_per_machine = 2};
   CostModel cost;
@@ -446,7 +453,7 @@ TEST_P(SessionCheckpointRestore, ByteIdenticalOutputAndIncrementalSlide) {
 
   SliderConfig config;
   config.mode = c.mode;
-  config.tree_kind = c.kind;
+  if (!c.flat) config.tree_kind = c.kind;
   config.split_processing = c.split_processing;
   config.bucket_width = 3;
 
@@ -457,8 +464,7 @@ TEST_P(SessionCheckpointRestore, ByteIdenticalOutputAndIncrementalSlide) {
 
   auto make_batch = [&](std::size_t count, SplitId first_id) {
     Rng rng(900 + first_id);
-    auto records = apps::generate_input(apps::MicroApp::kHct,
-                                        count * kRecordsPerSplit, rng,
+    auto records = apps::generate_input(app, count * kRecordsPerSplit, rng,
                                         first_id * 1'000'000);
     return make_splits(std::move(records), kRecordsPerSplit, first_id);
   };
@@ -546,7 +552,9 @@ INSTANTIATE_TEST_SUITE_P(
         SessionCase{WindowMode::kFixedWidth, TreeKind::kRotating, false},
         SessionCase{WindowMode::kFixedWidth, TreeKind::kRotating, true},
         SessionCase{WindowMode::kAppendOnly, TreeKind::kCoalescing, false},
-        SessionCase{WindowMode::kAppendOnly, TreeKind::kCoalescing, true}),
+        SessionCase{WindowMode::kAppendOnly, TreeKind::kCoalescing, true},
+        SessionCase{WindowMode::kVariableWidth, TreeKind::kFolding, false,
+                    /*flat=*/true}),
     session_case_name);
 
 TEST_F(DurabilityTest, RestoreRejectsWrongJobOrMissingManifest) {

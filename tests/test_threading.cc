@@ -9,6 +9,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <bit>
+#include <cmath>
+#include <cstdlib>
 #include <optional>
 #include <stdexcept>
 #include <thread>
@@ -230,6 +233,113 @@ TEST(ParallelDeterminism, RotatingTreeWithBackgroundMatchesSerial) {
       run_scenario(4, MicroApp::kHct, WindowMode::kFixedWidth, std::nullopt,
                    /*split_processing=*/true);
   expect_scenarios_identical(serial, parallel);
+}
+
+// substr's combiner is flat-eligible and tree_kind is unset, so this
+// scenario runs on the flat aggregation tier — same bit-identical
+// contract as the tree variants above, at any thread count.
+TEST(ParallelDeterminism, FlatTierMatchesSerial) {
+  const auto serial =
+      run_scenario(1, MicroApp::kSubStr, WindowMode::kVariableWidth,
+                   std::nullopt, /*split_processing=*/false);
+  const auto parallel =
+      run_scenario(4, MicroApp::kSubStr, WindowMode::kVariableWidth,
+                   std::nullopt, /*split_processing=*/false);
+  expect_scenarios_identical(serial, parallel);
+}
+
+// --- float fold ordering through the flat tier ------------------------------
+
+// Sliding sum over double-valued samples. IEEE addition is not
+// associative, so the only reduction order that keeps outputs
+// bit-identical across thread counts AND across the flat-vs-tree routing
+// split is "no float folds at all": each sample is pinned to fixed-point
+// micro-units (i64) at the map boundary, and every later fold — per-slot
+// partials, tree merges, flat bulk adds — is exact integer arithmetic.
+JobSpec make_double_sum_job() {
+  JobSpec job;
+  job.name = "double-sum-micro";
+  struct SampleMapper : Mapper {
+    void map(const Record& input, Emitter& out) const override {
+      const double sample = std::strtod(input.value.c_str(), nullptr);
+      const auto micros =
+          static_cast<std::int64_t>(std::llround(sample * 1e6));
+      out.emit(input.key, flat::encode_value(FlatKernel::kSumI64,
+                                             std::bit_cast<flat::Lane>(micros)));
+    }
+  };
+  job.mapper = std::make_shared<SampleMapper>();
+  job.combiner = [](const std::string&, const std::string& a,
+                    const std::string& b) {
+    flat::Lane x = 0;
+    flat::Lane y = 0;
+    SLIDER_CHECK(flat::decode_value(FlatKernel::kSumI64, a, &x));
+    SLIDER_CHECK(flat::decode_value(FlatKernel::kSumI64, b, &y));
+    return flat::encode_value(FlatKernel::kSumI64, x + y);
+  };
+  job.traits.commutative = true;
+  job.traits.invertible = true;
+  job.traits.exactly_associative = true;
+  job.traits.flat_kernel = FlatKernel::kSumI64;
+  job.reducer = [](const std::string&,
+                   const std::string& combined) -> std::optional<std::string> {
+    return combined;
+  };
+  return job;
+}
+
+ScenarioResult run_double_sum_scenario(int threads, bool enable_flat) {
+  GlobalThreadsGuard guard(threads);
+  Harness h;
+  const JobSpec job = make_double_sum_job();
+  Rng rng(123);
+
+  constexpr std::size_t kWindowSplits = 18;
+  constexpr std::size_t kRecordsPerSplit = 25;
+  constexpr std::size_t kSlide = 3;
+
+  auto make = [&](std::size_t count, SplitId first) {
+    std::vector<Record> records;
+    records.reserve(count * kRecordsPerSplit);
+    for (std::size_t i = 0; i < count * kRecordsPerSplit; ++i) {
+      // Exact binary fractions in [-156.25, 156.25]; signed sums exercise
+      // the two's-complement lane math.
+      const double sample =
+          (static_cast<double>(rng.next_below(20001)) - 10000.0) / 64.0;
+      records.push_back({"sensor" + std::to_string(rng.next_below(9)),
+                         std::to_string(sample)});
+    }
+    return make_splits(std::move(records), kRecordsPerSplit, first);
+  };
+
+  SliderConfig config;
+  config.mode = WindowMode::kVariableWidth;
+  config.enable_flat_tier = enable_flat;
+  SliderSession session(h.engine, h.memo, job, config);
+
+  ScenarioResult result;
+  result.metrics.push_back(session.initial_run(make(kWindowSplits, 0)));
+  SplitId next_id = kWindowSplits;
+  for (int slide = 0; slide < 3; ++slide) {
+    result.metrics.push_back(session.slide(kSlide, make(kSlide, next_id)));
+    next_id += kSlide;
+  }
+  result.outputs = session.output();
+  return result;
+}
+
+TEST(ParallelDeterminism, FlatTierDoubleSumFixedPointBitIdentical) {
+  const auto serial = run_double_sum_scenario(1, /*enable_flat=*/true);
+  const auto parallel = run_double_sum_scenario(4, /*enable_flat=*/true);
+  expect_scenarios_identical(serial, parallel);
+
+  // Routing must not change the answer either: the same job through the
+  // folding tree (tier off) produces byte-identical output tables.
+  const auto tree = run_double_sum_scenario(4, /*enable_flat=*/false);
+  ASSERT_EQ(serial.outputs.size(), tree.outputs.size());
+  for (std::size_t p = 0; p < serial.outputs.size(); ++p) {
+    EXPECT_EQ(serial.outputs[p], tree.outputs[p]) << "partition " << p;
+  }
 }
 
 // --- MemoStore under concurrency -------------------------------------------

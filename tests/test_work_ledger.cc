@@ -173,6 +173,92 @@ INSTANTIATE_TEST_SUITE_P(
         VariantCase{WindowMode::kAppendOnly, TreeKind::kCoalescing, true}),
     variant_name);
 
+// --- conservation with the flat aggregation tier ------------------------------
+
+// A partition that bypasses the tree must not leave the observability
+// stack reading stale zeros: conservation has to hold, the reuse gauges
+// that feed memo hit-rate have to move, and tree.run_invocations has to
+// keep sampling runs. Parameterized on the tier switch so the identical
+// assertions pass with the tier engaged and disengaged.
+class WorkLedgerFlatTier : public ::testing::TestWithParam<bool> {};
+
+TEST_P(WorkLedgerFlatTier, ConservationAndGaugesWithTierToggled) {
+  const bool tier_enabled = GetParam();
+  Harness h;
+  // substr's count-sum combiner is flat-eligible; with the tier disabled
+  // the same job takes the folding-tree path.
+  const auto bench = apps::make_microbenchmark(MicroApp::kSubStr);
+  ASSERT_TRUE(bench.job.traits.flat_eligible());
+  Rng rng(42);
+
+  constexpr std::size_t kWindowSplits = 16;
+  constexpr std::size_t kRecordsPerSplit = 20;
+  constexpr std::size_t kSlide = 4;
+
+  SliderConfig config;
+  config.mode = WindowMode::kVariableWidth;
+  config.enable_flat_tier = tier_enabled;
+  SliderSession session(h.engine, h.memo, bench.job, config);
+  ASSERT_EQ(session.describe_tree(0).kind, tier_enabled ? "flat" : "folding");
+
+  obs::StatsRegistry& stats = obs::StatsRegistry::global();
+  const obs::LedgerSnapshot before = WorkLedger::global().snapshot();
+  const std::uint64_t counter_before = aggregate_invocations_counter();
+  const std::uint64_t reused_before =
+      stats.counter("tree.combiner_reused").value();
+  const std::uint64_t runs_sampled_before =
+      stats.histogram("tree.run_invocations").count();
+  std::uint64_t foreground_invocations = 0;
+
+  RunMetrics m = session.initial_run(make_app_splits(
+      MicroApp::kSubStr, rng, kWindowSplits, kRecordsPerSplit, 0));
+  foreground_invocations += m.combiner_invocations;
+
+  SplitId next_id = kWindowSplits;
+  for (int slide = 0; slide < 3; ++slide) {
+    m = session.slide(kSlide, make_app_splits(MicroApp::kSubStr, rng, kSlide,
+                                              kRecordsPerSplit, next_id));
+    next_id += kSlide;
+    foreground_invocations += m.combiner_invocations;
+  }
+
+  const obs::LedgerSnapshot after = WorkLedger::global().snapshot();
+  const std::uint64_t counter_after = aggregate_invocations_counter();
+
+  // Conservation holds with the tier in either position.
+  EXPECT_EQ(after.total_invocations() - before.total_invocations(),
+            counter_after - counter_before);
+  EXPECT_EQ(after.total_invocations() - before.total_invocations(),
+            foreground_invocations);
+
+  // Per-cause cells: builds bill to initial_build, inserts to window_add,
+  // evictions (bulk subtracts / two-stacks refolds) to window_remove.
+  EXPECT_GT(after.total_for(WorkCause::kInitialBuild).combiner_invocations -
+                before.total_for(WorkCause::kInitialBuild).combiner_invocations,
+            0u);
+  EXPECT_GT(after.total_for(WorkCause::kWindowAdd).combiner_invocations -
+                before.total_for(WorkCause::kWindowAdd).combiner_invocations,
+            0u);
+  EXPECT_GT(after.total_for(WorkCause::kWindowRemove).combiner_invocations -
+                before.total_for(WorkCause::kWindowRemove).combiner_invocations,
+            0u);
+
+  // The reuse gauge that feeds memo hit-rate must move: the flat tier's
+  // standing aggregate is a reuse per slide, just like a memoized subtree.
+  EXPECT_GT(stats.counter("tree.combiner_reused").value() - reused_before, 0u);
+  // And every run still lands a tree.run_invocations sample.
+  EXPECT_GE(stats.histogram("tree.run_invocations").count() -
+                runs_sampled_before,
+            4u);
+  EXPECT_GE(after.runs_committed, before.runs_committed + 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(TierOnOff, WorkLedgerFlatTier, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? std::string("flat_enabled")
+                                             : std::string("flat_disabled");
+                         });
+
 // --- cause attribution: memo eviction ----------------------------------------
 
 TEST(WorkLedgerCauses, MemoBudgetEvictionsSurfaceAsEvictionRecompute) {

@@ -70,11 +70,18 @@ struct Variant {
   WindowMode mode;
   TreeKind kind;
   bool split_processing;
+  // Flat-tier variant: no explicit tree kind (the session routes eligible
+  // partitions to the flat aggregator), and the app switches to substr,
+  // whose sum combiner is flat-eligible (hct's histogram combiner is not).
+  bool flat = false;
 };
 
 // All five tree variants, each under its paper-paired window mode. The two
 // data-dependent background modes (split processing) ride on the variants
-// whose modes support them, so the background stage faces chaos too.
+// whose modes support them, so the background stage faces chaos too. The
+// flat variant additionally runs a tree-forced twin control: the flat tier
+// must be byte-identical to the contraction tree it bypasses, with and
+// without chaos.
 constexpr Variant kVariants[] = {
     {"strawman", WindowMode::kVariableWidth, TreeKind::kStrawman, false},
     {"folding", WindowMode::kVariableWidth, TreeKind::kFolding, false},
@@ -82,6 +89,8 @@ constexpr Variant kVariants[] = {
      TreeKind::kRandomizedFolding, false},
     {"rotating", WindowMode::kFixedWidth, TreeKind::kRotating, true},
     {"coalescing", WindowMode::kAppendOnly, TreeKind::kCoalescing, true},
+    {"flat", WindowMode::kVariableWidth, TreeKind::kFolding, false,
+     /*flat=*/true},
 };
 
 // Deterministic inputs, independent of the chaos seed: batch k is the same
@@ -95,10 +104,15 @@ std::vector<SplitPtr> batch_for(const apps::MicroBenchmark& bench,
   return make_splits(std::move(records), opt.records_per_split, first_id);
 }
 
-SliderConfig variant_config(const Variant& v, const Options& opt) {
+// force_tree pins the flat variant onto its fallback contraction tree
+// (same combiner, same inputs): the tree-forced twin that the flat tier's
+// outputs are diffed against.
+SliderConfig variant_config(const Variant& v, const Options& opt,
+                            bool force_tree = false) {
   SliderConfig config;
   config.mode = v.mode;
-  config.tree_kind = v.kind;
+  if (!v.flat || force_tree) config.tree_kind = v.kind;
+  config.enable_flat_tier = !force_tree;
   config.split_processing = v.split_processing;
   config.bucket_width = opt.slide;
   return config;
@@ -121,13 +135,15 @@ struct ControlTrace {
 
 // Failure-free control: records the byte-exact outputs after every run.
 ControlTrace run_control(const Variant& v, const Options& opt,
-                         const apps::MicroBenchmark& bench) {
+                         const apps::MicroBenchmark& bench,
+                         bool force_tree = false) {
   CostModel cost;
   Cluster cluster(ClusterConfig{.num_machines = opt.machines,
                                 .slots_per_machine = 2});
   VanillaEngine engine(cluster, cost);
   MemoStore memo(cluster, cost);
-  SliderSession session(engine, memo, bench.job, variant_config(v, opt));
+  SliderSession session(engine, memo, bench.job,
+                        variant_config(v, opt, force_tree));
 
   ControlTrace trace;
   session.initial_run(batch_for(bench, opt, opt.window_splits, 0));
@@ -371,7 +387,8 @@ int main(int argc, char** argv) {
       std::filesystem::temp_directory_path() / "slider_chaos_soak";
   std::filesystem::remove_all(base);
 
-  const auto bench = apps::make_microbenchmark(apps::MicroApp::kHct);
+  const auto hct_bench = apps::make_microbenchmark(apps::MicroApp::kHct);
+  const auto flat_bench = apps::make_microbenchmark(apps::MicroApp::kSubStr);
   obs::RobustnessReport totals;
   totals.attempt_cap = 4;  // ChaosOptions default used above
   obs::RunReport report("chaos_soak");
@@ -380,11 +397,25 @@ int main(int argc, char** argv) {
       .set_param("machines", static_cast<std::int64_t>(opt.machines))
       .set_param("window_splits",
                  static_cast<std::uint64_t>(opt.window_splits))
-      .set_param("app", "hct");
+      .set_param("app", "hct (tree variants), substr (flat tier)");
 
   int failures = 0;
   for (const Variant& variant : kVariants) {
+    const auto& bench = variant.flat ? flat_bench : hct_bench;
     const ControlTrace control = run_control(variant, opt, bench);
+    // Flat-vs-tree identity: the same schedule on the tree-forced twin
+    // must produce the same bytes after every run — the tier is a pure
+    // routing decision, never a semantic one.
+    if (variant.flat) {
+      const ControlTrace tree_twin =
+          run_control(variant, opt, bench, /*force_tree=*/true);
+      if (tree_twin.outputs != control.outputs) {
+        std::fprintf(stderr,
+                     "FAIL %s: flat tier diverged from tree-forced twin\n",
+                     variant.name);
+        ++failures;
+      }
+    }
     RunMetrics variant_metrics;
     robustness::ChaosController::Counters variant_chaos;
     bool variant_ok = true;

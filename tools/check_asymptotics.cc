@@ -60,12 +60,21 @@ struct VariantFit {
   std::vector<SweepPoint> points;
   double fit_constant = 0;   // least squares through the origin
   double max_point_ratio = 0;  // max y/x over the sweep
+  bool linear_model = false;   // fitted against c·Δ, not c·Δ·log2(w)
 };
 
 struct VariantSpec {
   std::string name;
   WindowMode mode;
   TreeKind kind;
+  // Flat tier: leave tree_kind unset so the session routes the eligible
+  // substr combiner to the flat aggregator. Its per-slide work is O(Δ)
+  // with no log factor, so it gets the stricter linear model.
+  bool flat = false;
+  // Fit y = c·Δ instead of y = c·Δ·log2(w). Implied by `flat`; also used
+  // standalone by the self-test to prove tree-tier work cannot sneak
+  // through the flat tier's linear gate.
+  bool linear_model = false;
 };
 
 // Delta-attributed invocations currently booked in the process ledger.
@@ -82,6 +91,7 @@ VariantFit run_sweep(const VariantSpec& spec, bool quiet) {
 
   VariantFit fit;
   fit.name = spec.name;
+  fit.linear_model = spec.flat || spec.linear_model;
   const apps::MicroBenchmark app =
       apps::make_microbenchmark(apps::MicroApp::kSubStr);
 
@@ -93,7 +103,11 @@ VariantFit run_sweep(const VariantSpec& spec, bool quiet) {
       params.records_per_split = 20;
       params.change_fraction = static_cast<double>(delta) / static_cast<double>(w);
       params.mode = spec.mode;
-      params.tree_kind = spec.kind;
+      if (spec.flat) {
+        params.enable_flat_tier = true;  // tree_kind stays unset
+      } else {
+        params.tree_kind = spec.kind;
+      }
       params.seed = 7 + w * 31 + delta;
       bench::Driver driver(env, app, params);
       driver.initial_run();
@@ -108,7 +122,9 @@ VariantFit run_sweep(const VariantSpec& spec, bool quiet) {
       point.delta = delta;
       point.delta_invocations = after - before;
       point.model_x =
-          static_cast<double>(delta) * std::log2(static_cast<double>(w));
+          (spec.flat || spec.linear_model)
+              ? static_cast<double>(delta)
+              : static_cast<double>(delta) * std::log2(static_cast<double>(w));
       fit.points.push_back(point);
       if (!quiet) {
         std::printf("  %-10s w=%4zu delta=%2zu  delta_inv=%8llu  x=%7.2f  y/x=%7.2f\n",
@@ -167,12 +183,17 @@ std::string fits_to_json(const std::vector<VariantFit>& fits,
   obs::JsonWriter json;
   json.begin_object();
   json.key("schema_version").value(static_cast<std::int64_t>(1));
-  json.key("model").value(std::string("delta_invocations = c * delta * log2(window)"));
+  json.key("model").value(std::string(
+      "per-variant: c * delta * log2(window) for trees, c * delta for the "
+      "flat tier (see variants.*.model)"));
   json.key("fit").value(std::string("least_squares_through_origin"));
   json.key("tolerance").value(tolerance);
   json.key("variants").begin_object();
   for (const VariantFit& fit : fits) {
     json.key(fit.name).begin_object();
+    json.key("model").value(std::string(
+        fit.linear_model ? "delta_invocations = c * delta"
+                         : "delta_invocations = c * delta * log2(window)"));
     json.key("fit_constant").value(fit.fit_constant);
     json.key("max_point_ratio").value(fit.max_point_ratio);
     json.key("points").begin_array();
@@ -275,7 +296,28 @@ int run(int argc, char** argv) {
                    "asymptotic gate\n");
       return 1;
     }
-    std::printf("self-test OK: gate correctly rejected window-proportional work\n");
+    // Second negative, one per gate model: strawman work fitted against
+    // the flat tier's linear y = c·Δ model must fail the flat baseline.
+    // (Window-proportional work has an unbounded per-Δ constant as w
+    // grows, so it can never hide behind the flat tier's budget.)
+    std::printf(
+        "self-test: strawman (window-proportional) must fail the flat "
+        "linear gate\n");
+    VariantFit linear_probe = run_sweep({"strawman", WindowMode::kVariableWidth,
+                                         TreeKind::kStrawman, /*flat=*/false,
+                                         /*linear_model=*/true},
+                                        quiet);
+    linear_probe.name = "strawman_as_flat";
+    const bool passed_linear_gate =
+        gate_variant(linear_probe, baseline_doc, "flat", tolerance);
+    if (passed_linear_gate) {
+      std::fprintf(stderr,
+                   "SELF-TEST FAILED: window-proportional work passed the "
+                   "flat tier's linear gate\n");
+      return 1;
+    }
+    std::printf(
+        "self-test OK: both gates correctly rejected out-of-model work\n");
     return 0;
   }
 
@@ -283,6 +325,10 @@ int run(int argc, char** argv) {
       {"folding", WindowMode::kVariableWidth, TreeKind::kFolding},
       {"rotating", WindowMode::kFixedWidth, TreeKind::kRotating},
       {"coalescing", WindowMode::kAppendOnly, TreeKind::kCoalescing},
+      // Flat tier: kind is unused (tree_kind stays unset so the session
+      // routes to the flat aggregator); gated against the stricter c·Δ
+      // model — per-slide work must be independent of the window size.
+      {"flat", WindowMode::kVariableWidth, TreeKind::kFolding, /*flat=*/true},
   };
   std::vector<VariantFit> fits;
   for (const VariantSpec& spec : specs) {
