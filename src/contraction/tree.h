@@ -165,6 +165,12 @@ struct MemoContext {
   // Machine running this partition's contraction + reduce; memo reads are
   // priced relative to it.
   MachineId reduce_home = 0;
+  // Multi-tenant isolation: folded into every node id at key-construction
+  // time, so two tenants registering identical JobSpecs against a shared
+  // MemoStore can never alias each other's memo entries. Also passed to
+  // MemoStore::put as the owner for per-tenant quota accounting. 0 (the
+  // single-tenant default) leaves node ids exactly as before.
+  std::uint64_t tenant_salt = 0;
 };
 
 class ContractionTree {

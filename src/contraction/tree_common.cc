@@ -8,7 +8,10 @@ namespace slider {
 namespace {
 
 std::uint64_t context_seed(const MemoContext& ctx) {
-  return hash_combine(ctx.job_hash,
+  // XOR keeps the zero-salt (single-tenant) seed bit-identical to the
+  // pre-tenant formula; distinct tenant salts shift the whole id space so
+  // identical jobs under different tenants never collide in a shared store.
+  return hash_combine(ctx.job_hash ^ ctx.tenant_salt,
                       static_cast<std::uint64_t>(ctx.partition) + 0x9e37);
 }
 
@@ -61,7 +64,7 @@ void memoize_payload(const MemoContext& ctx, NodeId id,
                      const std::shared_ptr<const KVTable>& table,
                      TreeUpdateStats* stats) {
   if (ctx.store == nullptr) return;
-  const MemoWriteResult write = ctx.store->put(id, table);
+  const MemoWriteResult write = ctx.store->put(id, table, ctx.tenant_salt);
   if (stats != nullptr) {
     stats->charge_memo_bytes_written(write.bytes_written);
     stats->memo_write_cost += write.cost;

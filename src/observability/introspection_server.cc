@@ -156,6 +156,38 @@ std::string prometheus_text(const StatsSnapshot& stats,
     }
   }
 
+  // Per-tenant attribution (the serving layer's SessionManager tags every
+  // run it drives): one labelled series per tenant. Absent entirely for
+  // single-tenant processes, so the exposition format is unchanged there.
+  if (!ledger.tenants.empty()) {
+    const auto label_escape = [](const std::string& s) {
+      std::string esc;
+      esc.reserve(s.size());
+      for (const char c : s) {
+        if (c == '\\' || c == '"') esc += '\\';
+        if (c == '\n') { esc += "\\n"; continue; }
+        esc += c;
+      }
+      return esc;
+    };
+    out += "# TYPE slider_tenant_runs_committed_total counter\n";
+    for (const TenantWork& t : ledger.tenants) {
+      out += "slider_tenant_runs_committed_total{tenant=\"" +
+             label_escape(t.tenant) + "\"} " +
+             std::to_string(t.runs_committed) + "\n";
+    }
+    out += "# TYPE slider_tenant_work_combiner_invocations_total counter\n";
+    for (const TenantWork& t : ledger.tenants) {
+      for (std::size_t c = 0; c < kWorkCauseCount; ++c) {
+        if (t.totals[c].combiner_invocations == 0) continue;
+        out += "slider_tenant_work_combiner_invocations_total{tenant=\"" +
+               label_escape(t.tenant) + "\",cause=\"";
+        out += work_cause_name(static_cast<WorkCause>(c));
+        out += "\"} " + std::to_string(t.totals[c].combiner_invocations) + "\n";
+      }
+    }
+  }
+
   const auto ledger_counter = [&out](const char* metric, std::uint64_t value) {
     out += std::string("# TYPE ") + metric + " counter\n";
     out += std::string(metric) + " " + std::to_string(value) + "\n";
@@ -165,6 +197,8 @@ std::string prometheus_text(const StatsSnapshot& stats,
                  ledger.counters.eviction_forced_misses);
   ledger_counter("slider_ledger_budget_evictions_total",
                  ledger.counters.budget_evictions);
+  ledger_counter("slider_ledger_quota_evictions_total",
+                 ledger.counters.quota_evictions);
   ledger_counter("slider_ledger_recovered_entries_total",
                  ledger.counters.recovered_entries);
   ledger_counter("slider_ledger_recovered_bytes_total",

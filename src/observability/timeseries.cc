@@ -159,6 +159,7 @@ std::string TimeSeries::timeseries_to_json(const TimeSeriesSnapshot& snapshot) {
     json.begin_object();
     json.key("sequence").value(s.sequence);
     json.key("kind").value(run_kind_name(s.kind));
+    if (!s.tenant_view().empty()) json.key("tenant").value(s.tenant_view());
     json.key("sim_start").value(s.sim_start);
     json.key("sim_latency").value(s.sim_latency);
     json.key("wall_latency_us").value(s.wall_latency_us);

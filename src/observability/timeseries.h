@@ -22,10 +22,12 @@
 // layer will label by tenant.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "observability/work_ledger.h"
@@ -37,6 +39,17 @@ namespace slider::obs {
 struct SlideSample {
   std::uint64_t sequence = 0;  // assigned by record(), monotone
   RunKind kind = RunKind::kSlide;
+  // Owning tenant, truncated to a fixed-size tag so the sample stays POD
+  // and record() stays allocation-free. Empty for single-tenant sessions.
+  std::array<char, 24> tenant{};
+  void set_tenant(std::string_view name) {
+    tenant.fill('\0');
+    const std::size_t n = std::min(name.size(), tenant.size() - 1);
+    name.copy(tenant.data(), n);
+  }
+  std::string_view tenant_view() const {
+    return std::string_view(tenant.data());
+  }
   double sim_start = 0;        // session sim clock when the run began (sec)
   double sim_latency = 0;      // simulated run latency (sec)
   double wall_latency_us = 0;  // host wall-clock latency of the run

@@ -34,6 +34,7 @@ std::string_view run_kind_name(RunKind kind) {
 struct WorkLedger::ThreadCell {
   std::atomic<std::uint64_t> eviction_forced_misses{0};
   std::atomic<std::uint64_t> budget_evictions{0};
+  std::atomic<std::uint64_t> quota_evictions{0};
   std::atomic<std::uint64_t> recovered_entries{0};
   std::atomic<std::uint64_t> recovered_bytes{0};
   std::atomic<std::uint64_t> speculative_reexecutions{0};
@@ -83,6 +84,10 @@ void WorkLedger::note_budget_eviction(std::uint64_t count) {
   local_cell().budget_evictions.fetch_add(count, std::memory_order_relaxed);
 }
 
+void WorkLedger::note_quota_eviction(std::uint64_t count) {
+  local_cell().quota_evictions.fetch_add(count, std::memory_order_relaxed);
+}
+
 void WorkLedger::note_recovery(std::uint64_t entries, std::uint64_t bytes) {
   ThreadCell& cell = local_cell();
   cell.recovered_entries.fetch_add(entries, std::memory_order_relaxed);
@@ -119,11 +124,26 @@ void WorkLedger::note_degraded_interval(std::uint64_t count) {
 
 void WorkLedger::commit_run(RunKind kind, std::size_t window_splits,
                             std::size_t removed, std::size_t added,
-                            const std::vector<AttributedWork>& partitions) {
+                            const std::vector<AttributedWork>& partitions,
+                            std::string_view tenant) {
   std::lock_guard<std::mutex> lock(mutex_);
+  TenantWork* tenant_cell = nullptr;
+  if (!tenant.empty()) {
+    const auto it = tenant_totals_.find(tenant);
+    if (it != tenant_totals_.end()) {
+      tenant_cell = &it->second;
+    } else {
+      tenant_cell = &tenant_totals_[std::string(tenant)];
+      tenant_cell->tenant = std::string(tenant);
+    }
+    ++tenant_cell->runs_committed;
+  }
   for (const AttributedWork& partition : partitions) {
     for (const AttributedCell& cell : partition.cells()) {
       totals_[static_cast<std::size_t>(cell.cause)] += cell.work;
+      if (tenant_cell != nullptr) {
+        tenant_cell->totals[static_cast<std::size_t>(cell.cause)] += cell.work;
+      }
     }
   }
   ++runs_committed_;
@@ -131,6 +151,7 @@ void WorkLedger::commit_run(RunKind kind, std::size_t window_splits,
   SlideRecord record;
   record.sequence = next_sequence_++;
   record.kind = kind;
+  record.tenant = std::string(tenant);
   record.window_splits = window_splits;
   record.removed = removed;
   record.added = added;
@@ -151,11 +172,15 @@ LedgerSnapshot WorkLedger::snapshot() const {
   snap.totals = totals_;
   snap.runs_committed = runs_committed_;
   snap.recent.assign(history_.begin(), history_.end());
+  snap.tenants.reserve(tenant_totals_.size());
+  for (const auto& [name, work] : tenant_totals_) snap.tenants.push_back(work);
   for (const auto& cell : cells_) {
     snap.counters.eviction_forced_misses +=
         cell->eviction_forced_misses.load(std::memory_order_relaxed);
     snap.counters.budget_evictions +=
         cell->budget_evictions.load(std::memory_order_relaxed);
+    snap.counters.quota_evictions +=
+        cell->quota_evictions.load(std::memory_order_relaxed);
     snap.counters.recovered_entries +=
         cell->recovered_entries.load(std::memory_order_relaxed);
     snap.counters.recovered_bytes +=
@@ -179,12 +204,14 @@ LedgerSnapshot WorkLedger::snapshot() const {
 void WorkLedger::reset() {
   std::lock_guard<std::mutex> lock(mutex_);
   totals_.fill(CauseWork{});
+  tenant_totals_.clear();
   runs_committed_ = 0;
   next_sequence_ = 0;
   history_.clear();
   for (const auto& cell : cells_) {
     cell->eviction_forced_misses.store(0, std::memory_order_relaxed);
     cell->budget_evictions.store(0, std::memory_order_relaxed);
+    cell->quota_evictions.store(0, std::memory_order_relaxed);
     cell->recovered_entries.store(0, std::memory_order_relaxed);
     cell->recovered_bytes.store(0, std::memory_order_relaxed);
     cell->speculative_reexecutions.store(0, std::memory_order_relaxed);
@@ -229,6 +256,7 @@ std::string ledger_to_json(const LedgerSnapshot& snapshot) {
   json.key("eviction_forced_misses")
       .value(snapshot.counters.eviction_forced_misses);
   json.key("budget_evictions").value(snapshot.counters.budget_evictions);
+  json.key("quota_evictions").value(snapshot.counters.quota_evictions);
   json.key("recovered_entries").value(snapshot.counters.recovered_entries);
   json.key("recovered_bytes").value(snapshot.counters.recovered_bytes);
   json.key("speculative_reexecutions")
@@ -243,11 +271,31 @@ std::string ledger_to_json(const LedgerSnapshot& snapshot) {
       .value(snapshot.counters.degraded_mode_intervals);
   json.end_object();
 
+  if (!snapshot.tenants.empty()) {
+    json.key("tenants").begin_object();
+    for (const TenantWork& tenant : snapshot.tenants) {
+      json.key(tenant.tenant).begin_object();
+      json.key("runs_committed").value(tenant.runs_committed);
+      json.key("total_combiner_invocations")
+          .value(tenant.total_invocations());
+      json.key("totals_by_cause").begin_object();
+      for (std::size_t c = 0; c < kWorkCauseCount; ++c) {
+        if (tenant.totals[c].empty()) continue;
+        json.key(work_cause_name(static_cast<WorkCause>(c)));
+        write_cause_work(json, tenant.totals[c]);
+      }
+      json.end_object();
+      json.end_object();
+    }
+    json.end_object();
+  }
+
   json.key("recent_runs").begin_array();
   for (const SlideRecord& record : snapshot.recent) {
     json.begin_object();
     json.key("sequence").value(record.sequence);
     json.key("kind").value(run_kind_name(record.kind));
+    if (!record.tenant.empty()) json.key("tenant").value(record.tenant);
     json.key("window_splits")
         .value(static_cast<std::uint64_t>(record.window_splits));
     json.key("removed").value(static_cast<std::uint64_t>(record.removed));

@@ -34,6 +34,8 @@
 #include <array>
 #include <cstdint>
 #include <deque>
+#include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -144,6 +146,7 @@ std::string_view run_kind_name(RunKind kind);
 struct SlideRecord {
   std::uint64_t sequence = 0;  // monotone per-process commit index
   RunKind kind = RunKind::kSlide;
+  std::string tenant;  // empty for single-tenant processes
   std::size_t window_splits = 0;
   std::size_t removed = 0;
   std::size_t added = 0;
@@ -155,6 +158,7 @@ struct LedgerCounters {
   std::uint64_t eviction_forced_misses = 0;  // reads that missed because a
                                              // budget eviction dropped the id
   std::uint64_t budget_evictions = 0;
+  std::uint64_t quota_evictions = 0;  // per-tenant quota policy drops
   std::uint64_t recovered_entries = 0;
   std::uint64_t recovered_bytes = 0;
   std::uint64_t speculative_reexecutions = 0;
@@ -170,6 +174,21 @@ struct LedgerCounters {
   std::uint64_t degraded_mode_intervals = 0;  // durable-tier degraded entries
 };
 
+// Per-tenant slice of the ledger: cause totals for every run committed
+// under that tenant tag. Untagged (single-tenant) commits stay out of the
+// tenant cells, so Σ tenants ≤ totals, with equality when every run is
+// tagged (asserted by the multitenant soak's conservation check).
+struct TenantWork {
+  std::string tenant;
+  std::array<CauseWork, kWorkCauseCount> totals{};
+  std::uint64_t runs_committed = 0;
+  std::uint64_t total_invocations() const {
+    std::uint64_t sum = 0;
+    for (const CauseWork& w : totals) sum += w.combiner_invocations;
+    return sum;
+  }
+};
+
 struct LedgerSnapshot {
   // Process-lifetime totals per cause (sums over all committed runs).
   std::array<CauseWork, kWorkCauseCount> totals{};
@@ -177,6 +196,8 @@ struct LedgerSnapshot {
   std::uint64_t runs_committed = 0;
   // Most recent runs, oldest first (bounded by the ledger history limit).
   std::vector<SlideRecord> recent;
+  // Per-tenant cells, sorted by tenant name (empty in single-tenant runs).
+  std::vector<TenantWork> tenants;
 
   const CauseWork& total_for(WorkCause cause) const {
     return totals[static_cast<std::size_t>(cause)];
@@ -211,13 +232,17 @@ class WorkLedger {
   WorkLedger& operator=(const WorkLedger&) = delete;
 
   // Commits one run's per-partition attributed work at a slide boundary.
+  // `tenant` (empty for single-tenant processes) additionally books the
+  // work into that tenant's ledger cell.
   void commit_run(RunKind kind, std::size_t window_splits, std::size_t removed,
                   std::size_t added,
-                  const std::vector<AttributedWork>& partitions);
+                  const std::vector<AttributedWork>& partitions,
+                  std::string_view tenant = {});
 
   // Hot-path-safe event notes (per-thread cells, no shared mutation).
   void note_eviction_forced_miss(std::uint64_t count = 1);
   void note_budget_eviction(std::uint64_t count = 1);
+  void note_quota_eviction(std::uint64_t count = 1);
   void note_recovery(std::uint64_t entries, std::uint64_t bytes);
   void note_speculative_reexec(std::uint64_t count = 1);
   void note_failure_forced_miss(std::uint64_t count = 1);
@@ -243,6 +268,8 @@ class WorkLedger {
 
   mutable std::mutex mutex_;  // guards totals_, history_, cells_ list
   std::array<CauseWork, kWorkCauseCount> totals_{};
+  // Keyed and emitted in name order so snapshots are deterministic.
+  std::map<std::string, TenantWork, std::less<>> tenant_totals_;
   std::uint64_t runs_committed_ = 0;
   std::uint64_t next_sequence_ = 0;
   std::size_t history_limit_ = 64;

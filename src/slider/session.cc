@@ -85,14 +85,15 @@ void record_tree_counters(const std::vector<TreeUpdateStats>& tree_stats) {
 // ledger (the cold once-per-run path; see observability/work_ledger.h).
 void commit_ledger_run(obs::RunKind kind, std::size_t window_splits,
                        std::size_t removed, std::size_t added,
-                       const std::vector<TreeUpdateStats>& tree_stats) {
+                       const std::vector<TreeUpdateStats>& tree_stats,
+                       std::string_view tenant) {
   std::vector<obs::AttributedWork> partitions;
   partitions.reserve(tree_stats.size());
   for (const TreeUpdateStats& ts : tree_stats) {
     partitions.push_back(ts.attributed);
   }
   obs::WorkLedger::global().commit_run(kind, window_splits, removed, added,
-                                       partitions);
+                                       partitions, tenant);
 }
 
 std::string_view tree_kind_name(TreeKind kind) {
@@ -135,6 +136,10 @@ int effective_introspect_port(int configured) {
 SliderSession::SliderSession(const VanillaEngine& engine, MemoStore& memo,
                              const JobSpec& job, SliderConfig config)
     : engine_(&engine), memo_(&memo), job_(job), config_(std::move(config)) {
+  // Multi-tenant identity: empty tenant → salt 0 → node ids and placement
+  // bit-identical to the single-tenant formulas.
+  tenant_salt_ =
+      config_.tenant.empty() ? 0 : hash_string(config_.tenant);
   const TreeKind kind = config_.tree_kind.value_or(default_tree_for(config_.mode));
   TreeOptions options;
   options.kind = kind;
@@ -157,9 +162,10 @@ SliderSession::SliderSession(const VanillaEngine& engine, MemoStore& memo,
     MemoContext ctx;
     ctx.store = memo_;
     ctx.job_hash = job_.job_hash();
+    ctx.tenant_salt = tenant_salt_;
     ctx.partition = p;
-    ctx.reduce_home = engine_->cluster().place(
-        hash_combine(job_.job_hash(), static_cast<std::uint64_t>(p)));
+    ctx.reduce_home = engine_->cluster().place(hash_combine(
+        job_.job_hash() ^ tenant_salt_, static_cast<std::uint64_t>(p)));
     PartitionState state;
     state.home = ctx.reduce_home;
     state.tree = flat_routed
@@ -424,7 +430,8 @@ void SliderSession::contraction_and_reduce(
   SLIDER_TRACE_SPAN("session", "session.contraction_reduce");
   const double sim_start = sim_clock_;
   record_tree_counters(tree_stats);
-  commit_ledger_run(run_kind, window_.size(), removed, added, tree_stats);
+  commit_ledger_run(run_kind, window_.size(), removed, added, tree_stats,
+                    config_.tenant);
 
   obs::TraceCollector& trace = obs::TraceCollector::global();
   const bool tracing = trace.enabled();
@@ -615,6 +622,7 @@ void SliderSession::observe_run(
   if (config_.sample_timeseries) {
     obs::SlideSample sample;
     sample.kind = run_kind;
+    sample.set_tenant(config_.tenant);
     sample.sim_start = sim_start;
     sample.sim_latency = sim_latency;
     sample.wall_latency_us =
@@ -636,13 +644,22 @@ void SliderSession::observe_run(
     sample.task_retries = metrics.task_retries;
     sample.failed_attempts = metrics.failed_attempts;
     sample.durable_degraded = memo_->durable_degraded();
+    // Always record into the global series (tenant-tagged, so post-mortem
+    // dumps stay complete and attributable); additionally into the
+    // per-tenant sink when the serving layer provided one.
     obs::TimeSeries::global().record(sample);
+    if (config_.timeseries != nullptr) config_.timeseries->record(sample);
   }
 
   bool have_verdicts = false;
   if (!config_.slos.empty() && config_.sample_timeseries) {
-    std::vector<obs::SloVerdict> verdicts = obs::evaluate_slos(
-        obs::TimeSeries::global().snapshot(), config_.slos);
+    // SLOs evaluate over the per-tenant sink when one is attached: a noisy
+    // neighbour's samples in the global series cannot breach this tenant.
+    const obs::TimeSeries& slo_series = config_.timeseries != nullptr
+                                            ? *config_.timeseries
+                                            : obs::TimeSeries::global();
+    std::vector<obs::SloVerdict> verdicts =
+        obs::evaluate_slos(slo_series.snapshot(), config_.slos);
     for (const obs::SloVerdict& v : verdicts) {
       if (!v.ok) {
         obs::FlightRecorder::global().request_dump("slo_breach:" + v.name);
@@ -657,8 +674,11 @@ void SliderSession::observe_run(
   // so a pending dump (chaos, degraded entry, SLO breach) is safe to
   // materialize now.
   obs::FlightRecorder::DumpContext ctx;
-  ctx.session = std::string(tree_kind_name(
-      config_.tree_kind.value_or(default_tree_for(config_.mode))));
+  const std::string_view kind_name = tree_kind_name(
+      config_.tree_kind.value_or(default_tree_for(config_.mode)));
+  ctx.session = config_.tenant.empty()
+                    ? std::string(kind_name)
+                    : config_.tenant + "/" + std::string(kind_name);
   ctx.sim_time = sim_clock_;
   std::vector<obs::SloVerdict> verdict_copy;
   if (have_verdicts) {
@@ -716,7 +736,7 @@ RunMetrics SliderSession::run_background() {
   }
   record_tree_counters(tree_stats);
   commit_ledger_run(obs::RunKind::kBackground, window_.size(), /*removed=*/0,
-                    /*added=*/0, tree_stats);
+                    /*added=*/0, tree_stats, config_.tenant);
   obs::TraceCollector& trace = obs::TraceCollector::global();
   const bool tracing = trace.enabled();
   StageTimeline timeline;
@@ -803,9 +823,12 @@ bool SliderSession::checkpoint(const std::string& dir) const {
       [this](std::uint64_t id) { return memo_->persisted_durably(id); });
   std::string& blob = writer.blob();
 
-  // Identity header: a restore against the wrong job or a differently
-  // partitioned session must fail loudly, not mis-slice the trees.
-  wire::put_u64(blob, job_.job_hash());
+  // Identity header: a restore against the wrong job, the wrong tenant,
+  // or a differently partitioned session must fail loudly, not mis-slice
+  // the trees. The tenant salt is folded in (XOR: zero salt preserves the
+  // pre-tenant format) so one tenant's checkpoint can never hydrate into
+  // another tenant's session even for identical JobSpecs.
+  wire::put_u64(blob, job_.job_hash() ^ tenant_salt_);
   wire::put_u32(blob, static_cast<std::uint32_t>(partitions_.size()));
 
   // Window metadata. Records are NOT stored: live splits' map outputs sit
@@ -851,10 +874,10 @@ bool SliderSession::restore(const std::string& dir) {
   if (!reader->get_u64(&job_hash) || !reader->get_u32(&num_partitions)) {
     return false;
   }
-  if (job_hash != job_.job_hash() ||
+  if (job_hash != (job_.job_hash() ^ tenant_salt_) ||
       num_partitions != partitions_.size()) {
     SLIDER_LOG(Warning) << "restore: checkpoint belongs to a different "
-                        << "job/partitioning: " << path;
+                        << "job/tenant/partitioning: " << path;
     return false;
   }
 

@@ -24,6 +24,7 @@
 #include "mapreduce/engine.h"
 #include "observability/introspection_server.h"
 #include "observability/slo.h"
+#include "observability/timeseries.h"
 #include "slider/window.h"
 
 namespace slider {
@@ -90,6 +91,21 @@ struct SliderConfig {
   // counters land in RunMetrics. Null (the default) keeps the failure-free
   // fast path. Not owned; must outlive the session.
   const StageFaultProvider* fault_provider = nullptr;
+  // Multi-tenant identity (src/serving). When non-empty:
+  //   * hash_string(tenant) is folded into every memo node id, so
+  //     identical JobSpecs under different tenants never alias in a
+  //     shared MemoStore, and tagged as the entries' owner for quota
+  //     accounting;
+  //   * ledger commits and time-series samples carry the tenant tag;
+  //   * checkpoint identity covers (job_hash, tenant), so one tenant's
+  //     checkpoint cannot restore into another's session.
+  std::string tenant;
+  // Per-tenant time-series sink. When set, samples are recorded here (in
+  // addition to the tenant-tagged copy in TimeSeries::global(), which
+  // keeps post-mortem dumps complete) and SLOs are evaluated over this
+  // sink only — a noisy neighbour cannot breach this tenant's SLOs. Not
+  // owned; must outlive the session.
+  obs::TimeSeries* timeseries = nullptr;
 };
 
 class SliderSession {
@@ -217,6 +233,7 @@ class SliderSession {
   MemoStore* memo_;
   JobSpec job_;
   SliderConfig config_;
+  std::uint64_t tenant_salt_ = 0;  // hash_string(config_.tenant), 0 if empty
   std::vector<PartitionState> partitions_;
   std::deque<SplitPtr> window_;
   std::vector<KVTable> output_;

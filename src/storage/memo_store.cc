@@ -23,6 +23,7 @@ struct MemoInstruments {
   obs::Counter& misses;
   obs::Counter& evictions_memory;
   obs::Counter& evictions_budget;
+  obs::Counter& evictions_quota;
   obs::Counter& eviction_forced_misses;
   obs::Counter& failure_forced_misses;
   obs::Counter& replica_writes;
@@ -43,6 +44,7 @@ MemoInstruments& memo_instruments() {
         stats.counter("memo.misses"),
         stats.counter("memo.evictions_memory"),
         stats.counter("memo.evictions_budget"),
+        stats.counter("memo.evictions_quota"),
         stats.counter("memo.eviction_forced_misses"),
         stats.counter("memo.failure_forced_misses"),
         stats.counter("memo.replica_writes"),
@@ -116,22 +118,48 @@ void MemoStore::evict_to_capacity() {
   // this never deadlocks with the single-shard public operations.
   std::lock_guard<std::mutex> evict_lock(evict_mutex_);
   while (memory_bytes_.load(std::memory_order_relaxed) > capacity) {
-    // Global LRU victim = the least recent of the per-shard LRU tails.
-    // Exact when writers are quiescent (the single-threaded policy tests);
-    // LRU up to in-flight touches otherwise.
+    // Quota-aware LRU: prefer the least-recent memory copy belonging to a
+    // tenant over its byte quota (a tenant's overage should cost itself
+    // first), then fall back to global recency. The preference pass scans
+    // whole LRU lists (not just tails) — eviction is rare and the lists
+    // are window-bounded, same O(n) class as the budget policy.
     NodeId victim = 0;
     std::size_t victim_shard = kShards;
     std::uint64_t victim_seq = 0;
     for (std::size_t s = 0; s < kShards; ++s) {
       std::lock_guard<std::mutex> lock(shards_[s].mutex);
-      if (shards_[s].lru.empty()) continue;
-      const NodeId tail = shards_[s].lru.back();
-      const auto it = shards_[s].index.find(tail);
-      SLIDER_CHECK(it != shards_[s].index.end()) << "LRU entry not in index";
-      if (victim_shard == kShards || it->second.touch_seq < victim_seq) {
-        victim = tail;
-        victim_shard = s;
-        victim_seq = it->second.touch_seq;
+      for (auto lru_it = shards_[s].lru.rbegin();
+           lru_it != shards_[s].lru.rend(); ++lru_it) {
+        const auto it = shards_[s].index.find(*lru_it);
+        SLIDER_CHECK(it != shards_[s].index.end()) << "LRU entry not in index";
+        if (it->second.tenant == 0 ||
+            !tenant_over_byte_quota(it->second.tenant)) {
+          continue;
+        }
+        if (victim_shard == kShards || it->second.touch_seq < victim_seq) {
+          victim = *lru_it;
+          victim_shard = s;
+          victim_seq = it->second.touch_seq;
+        }
+        break;  // least recent over-quota copy in this shard
+      }
+    }
+    if (victim_shard == kShards) {
+      // No over-quota tenant holds memory: global LRU victim = the least
+      // recent of the per-shard LRU tails. Exact when writers are
+      // quiescent (the single-threaded policy tests); LRU up to in-flight
+      // touches otherwise.
+      for (std::size_t s = 0; s < kShards; ++s) {
+        std::lock_guard<std::mutex> lock(shards_[s].mutex);
+        if (shards_[s].lru.empty()) continue;
+        const NodeId tail = shards_[s].lru.back();
+        const auto it = shards_[s].index.find(tail);
+        SLIDER_CHECK(it != shards_[s].index.end()) << "LRU entry not in index";
+        if (victim_shard == kShards || it->second.touch_seq < victim_seq) {
+          victim = tail;
+          victim_shard = s;
+          victim_seq = it->second.touch_seq;
+        }
       }
     }
     if (victim_shard == kShards) break;  // nothing memory-resident
@@ -152,6 +180,7 @@ void MemoStore::evict_to_capacity() {
 void MemoStore::enforce_entry_budget() {
   const std::size_t budget = entry_budget_.load(std::memory_order_relaxed);
   if (budget == 0 || size() <= budget) return;
+  const auto pinned = pinned_snapshot();
   std::vector<NodeId> durable_victims;
   std::lock_guard<std::mutex> evict_lock(evict_mutex_);
   // Drop the oldest-written entries entirely. Linear scan is fine: the
@@ -163,6 +192,7 @@ void MemoStore::enforce_entry_budget() {
     for (std::size_t s = 0; s < kShards; ++s) {
       std::lock_guard<std::mutex> lock(shards_[s].mutex);
       for (const auto& [id, entry] : shards_[s].index) {
+        if (pinned != nullptr && pinned->count(id) != 0) continue;
         if (victim_shard == kShards || entry.write_seq < victim_seq) {
           victim = id;
           victim_shard = s;
@@ -170,7 +200,7 @@ void MemoStore::enforce_entry_budget() {
         }
       }
     }
-    if (victim_shard == kShards) break;  // empty (racing GC)
+    if (victim_shard == kShards) break;  // empty or everything pinned
 
     Shard& shard = shards_[victim_shard];
     std::lock_guard<std::mutex> lock(shard.mutex);
@@ -179,6 +209,7 @@ void MemoStore::enforce_entry_budget() {
     if (it->second.durable) durable_victims.push_back(victim);
     drop_memory(shard, it->second);
     total_bytes_.fetch_sub(it->second.bytes, std::memory_order_relaxed);
+    account_erase(it->second.tenant, it->second.bytes);
     shard.index.erase(it);
     entry_count_.fetch_sub(1, std::memory_order_relaxed);
     // Remember the id so a later miss on it is classified as
@@ -202,6 +233,145 @@ void MemoStore::enforce_entry_budget() {
   refresh_gauges();
 }
 
+void MemoStore::enforce_tenant_quota(std::uint64_t tenant) {
+  if (tenant == 0) return;
+  TenantCell& cell = tenant_cell(tenant);
+  const std::uint64_t quota_bytes =
+      cell.quota_bytes.load(std::memory_order_relaxed);
+  const std::uint64_t quota_entries =
+      cell.quota_entries.load(std::memory_order_relaxed);
+  if (quota_bytes == 0 && quota_entries == 0) return;
+  const auto over = [&] {
+    return (quota_bytes != 0 &&
+            cell.bytes.load(std::memory_order_relaxed) > quota_bytes) ||
+           (quota_entries != 0 &&
+            cell.entries.load(std::memory_order_relaxed) > quota_entries);
+  };
+  if (!over()) return;
+  const auto pinned = pinned_snapshot();
+  std::vector<NodeId> durable_victims;
+  std::lock_guard<std::mutex> evict_lock(evict_mutex_);
+  // Evict the over-quota tenant's OWN oldest-written entries until it
+  // fits. Like the budget policy this is a deliberate forget: victims are
+  // registered in the evicted set (later misses on them classify as
+  // eviction-forced and recompute — never a wrong answer) and their
+  // durable copies are tombstoned. Other tenants' entries are untouched.
+  while (over()) {
+    NodeId victim = 0;
+    std::size_t victim_shard = kShards;
+    std::uint64_t victim_seq = 0;
+    for (std::size_t s = 0; s < kShards; ++s) {
+      std::lock_guard<std::mutex> lock(shards_[s].mutex);
+      for (const auto& [id, entry] : shards_[s].index) {
+        if (entry.tenant != tenant) continue;
+        if (pinned != nullptr && pinned->count(id) != 0) continue;
+        if (victim_shard == kShards || entry.write_seq < victim_seq) {
+          victim = id;
+          victim_shard = s;
+          victim_seq = entry.write_seq;
+        }
+      }
+    }
+    if (victim_shard == kShards) break;  // only pinned entries remain
+
+    Shard& shard = shards_[victim_shard];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.index.find(victim);
+    if (it == shard.index.end()) continue;
+    if (it->second.durable) durable_victims.push_back(victim);
+    drop_memory(shard, it->second);
+    total_bytes_.fetch_sub(it->second.bytes, std::memory_order_relaxed);
+    account_erase(tenant, it->second.bytes);
+    shard.index.erase(it);
+    entry_count_.fetch_sub(1, std::memory_order_relaxed);
+    if (shard.evicted.size() >= kEvictedSetCap) shard.evicted.clear();
+    shard.evicted.insert(victim);
+    cell.quota_evictions.fetch_add(1, std::memory_order_relaxed);
+    stats_.quota_evictions.fetch_add(1, std::memory_order_relaxed);
+    obs::WorkLedger::global().note_quota_eviction();
+    [[maybe_unused]] const double evicted =
+        static_cast<double>(memo_instruments().evictions_quota.add());
+    SLIDER_TRACE_COUNTER("memo", "memo.evictions_quota", evicted);
+  }
+  if (durable_ != nullptr) {
+    for (const NodeId id : durable_victims) {
+      durable_append(id, next_write_seq_.fetch_add(1, std::memory_order_relaxed),
+                     std::string(), /*tombstone=*/true);
+    }
+  }
+  refresh_gauges();
+}
+
+MemoStore::TenantCell& MemoStore::tenant_cell(std::uint64_t tenant) const {
+  std::lock_guard<std::mutex> lock(tenant_mutex_);
+  auto& cell = tenants_[tenant];
+  if (cell == nullptr) cell = std::make_unique<TenantCell>();
+  return *cell;
+}
+
+void MemoStore::account_erase(std::uint64_t tenant, std::uint64_t bytes) {
+  if (tenant == 0) return;
+  TenantCell& cell = tenant_cell(tenant);
+  cell.bytes.fetch_sub(bytes, std::memory_order_relaxed);
+  cell.entries.fetch_sub(1, std::memory_order_relaxed);
+}
+
+bool MemoStore::tenant_over_byte_quota(std::uint64_t tenant) const {
+  if (tenant == 0) return false;
+  const TenantCell& cell = tenant_cell(tenant);
+  const std::uint64_t quota = cell.quota_bytes.load(std::memory_order_relaxed);
+  return quota != 0 && cell.bytes.load(std::memory_order_relaxed) > quota;
+}
+
+std::shared_ptr<const std::unordered_set<NodeId>> MemoStore::pinned_snapshot()
+    const {
+  std::lock_guard<std::mutex> lock(pinned_mutex_);
+  return pinned_;
+}
+
+void MemoStore::set_pinned_ids(
+    std::shared_ptr<const std::unordered_set<NodeId>> pinned) {
+  std::lock_guard<std::mutex> lock(pinned_mutex_);
+  pinned_ = std::move(pinned);
+}
+
+void MemoStore::set_tenant_quota(std::uint64_t tenant, TenantQuota quota) {
+  if (tenant == 0) return;
+  TenantCell& cell = tenant_cell(tenant);
+  cell.quota_bytes.store(quota.max_bytes, std::memory_order_relaxed);
+  cell.quota_entries.store(quota.max_entries, std::memory_order_relaxed);
+  enforce_tenant_quota(tenant);
+}
+
+TenantUsage MemoStore::tenant_usage(std::uint64_t tenant) const {
+  TenantUsage usage;
+  usage.tenant = tenant;
+  if (tenant == 0) return usage;
+  const TenantCell& cell = tenant_cell(tenant);
+  usage.bytes = cell.bytes.load(std::memory_order_relaxed);
+  usage.entries = cell.entries.load(std::memory_order_relaxed);
+  usage.quota_evictions = cell.quota_evictions.load(std::memory_order_relaxed);
+  usage.quota_max_bytes = cell.quota_bytes.load(std::memory_order_relaxed);
+  usage.quota_max_entries = cell.quota_entries.load(std::memory_order_relaxed);
+  return usage;
+}
+
+std::vector<TenantUsage> MemoStore::tenant_usage_snapshot() const {
+  std::vector<std::uint64_t> salts;
+  {
+    std::lock_guard<std::mutex> lock(tenant_mutex_);
+    salts.reserve(tenants_.size());
+    for (const auto& [salt, cell] : tenants_) {
+      if (salt != 0) salts.push_back(salt);
+    }
+  }
+  std::sort(salts.begin(), salts.end());
+  std::vector<TenantUsage> usages;
+  usages.reserve(salts.size());
+  for (const std::uint64_t salt : salts) usages.push_back(tenant_usage(salt));
+  return usages;
+}
+
 void MemoStore::set_memory_capacity_bytes(std::uint64_t capacity) {
   memory_capacity_bytes_.store(capacity, std::memory_order_relaxed);
   evict_to_capacity();
@@ -218,8 +388,8 @@ bool MemoStore::contains(NodeId id) const {
   return shard.index.count(id) != 0;
 }
 
-MemoWriteResult MemoStore::put(NodeId id,
-                               std::shared_ptr<const KVTable> table) {
+MemoWriteResult MemoStore::put(NodeId id, std::shared_ptr<const KVTable> table,
+                               std::uint64_t tenant) {
   SLIDER_CHECK(table != nullptr) << "memoizing a null table";
   SLIDER_TRACE_SPAN("memo", "memo.write");
   MemoWriteResult result;
@@ -233,6 +403,13 @@ MemoWriteResult MemoStore::put(NodeId id,
     auto [it, inserted] = shard.index.try_emplace(id);
     Entry& entry = it->second;
     if (!inserted) {
+      if (entry.tenant == 0 && tenant != 0) {
+        // Adoption: the entry predates tenant attribution (recovered from
+        // the durable log, or written untenanted); the first tenanted
+        // re-put claims it for quota accounting.
+        entry.tenant = tenant;
+        account_insert(tenant_cell(tenant), entry.bytes);
+      }
       // Content-addressed: a re-put of the same id pays no persistent
       // write. It refreshes the memory tier on the entry's home machine:
       //   * home failed — the stale in-memory copy (if any) is unusable
@@ -253,6 +430,8 @@ MemoWriteResult MemoStore::put(NodeId id,
       shard.evicted.erase(id);  // re-memoized: no longer an eviction hole
       entry.persistent = serialize_table(*table);
       entry.bytes = entry.persistent.size();
+      entry.tenant = tenant;
+      if (tenant != 0) account_insert(tenant_cell(tenant), entry.bytes);
       entry.home = home_of(id);
       entry.write_seq = next_write_seq_.fetch_add(1, std::memory_order_relaxed);
       for (int r = 0; r < kReplicas; ++r) {
@@ -295,6 +474,7 @@ MemoWriteResult MemoStore::put(NodeId id,
   // Policies run without the shard mutex held (locking discipline).
   if (installed_memory) evict_to_capacity();
   enforce_entry_budget();
+  if (tenant != 0) enforce_tenant_quota(tenant);
   refresh_gauges();
   return result;
 }
@@ -410,6 +590,7 @@ void MemoStore::erase(NodeId id) {
     was_durable = it->second.durable;
     drop_memory(shard, it->second);
     total_bytes_.fetch_sub(it->second.bytes, std::memory_order_relaxed);
+    account_erase(it->second.tenant, it->second.bytes);
     shard.index.erase(it);
     entry_count_.fetch_sub(1, std::memory_order_relaxed);
   }
@@ -428,6 +609,7 @@ std::size_t MemoStore::retain_only(const std::unordered_set<NodeId>& live) {
       if (live.count(it->first) == 0) {
         drop_memory(shard, it->second);
         total_bytes_.fetch_sub(it->second.bytes, std::memory_order_relaxed);
+        account_erase(it->second.tenant, it->second.bytes);
         it = shard.index.erase(it);
         entry_count_.fetch_sub(1, std::memory_order_relaxed);
         ++collected;
@@ -675,6 +857,8 @@ MemoStoreStats MemoStore::stats() const {
       stats_.memory_evictions.load(std::memory_order_relaxed);
   snapshot.budget_evictions =
       stats_.budget_evictions.load(std::memory_order_relaxed);
+  snapshot.quota_evictions =
+      stats_.quota_evictions.load(std::memory_order_relaxed);
   snapshot.eviction_forced_misses =
       stats_.eviction_forced_misses.load(std::memory_order_relaxed);
   snapshot.persistent_writes =
@@ -700,6 +884,7 @@ void MemoStore::reset_stats() {
   stats_.misses.store(0, std::memory_order_relaxed);
   stats_.memory_evictions.store(0, std::memory_order_relaxed);
   stats_.budget_evictions.store(0, std::memory_order_relaxed);
+  stats_.quota_evictions.store(0, std::memory_order_relaxed);
   stats_.eviction_forced_misses.store(0, std::memory_order_relaxed);
   stats_.persistent_writes.store(0, std::memory_order_relaxed);
   stats_.bytes_persisted.store(0, std::memory_order_relaxed);

@@ -33,6 +33,7 @@
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "cluster/cluster.h"
 #include "cluster/cost_model.h"
@@ -73,6 +74,10 @@ struct MemoStoreStats {
   std::uint64_t misses = 0;
   std::uint64_t memory_evictions = 0;  // LRU drops from the memory tier
   std::uint64_t budget_evictions = 0;  // whole entries dropped by policy
+  // Whole entries dropped because their owning tenant exceeded its
+  // byte/entry quota (multi-tenant serving; always a subset-disjoint
+  // count from budget_evictions).
+  std::uint64_t quota_evictions = 0;
   // Misses whose id was previously dropped by the budget policy: the
   // recompute they force is eviction-induced, not window-induced (the
   // ledger's memo_eviction_recompute cause keys off the same signal).
@@ -89,6 +94,24 @@ struct MemoStoreStats {
   std::uint64_t degraded_intervals = 0;
   SimDuration read_time = 0;
   SimDuration write_time = 0;
+};
+
+// Per-tenant resource bounds for a shared store (multi-tenant serving).
+// 0 = unbounded. Enforced by quota-aware eviction: the over-quota tenant's
+// own oldest entries go first; other tenants are never touched.
+struct TenantQuota {
+  std::uint64_t max_bytes = 0;
+  std::size_t max_entries = 0;
+};
+
+// Point-in-time usage of one tenant in a shared store.
+struct TenantUsage {
+  std::uint64_t tenant = 0;  // the salt (hash of the tenant name)
+  std::uint64_t bytes = 0;
+  std::uint64_t entries = 0;
+  std::uint64_t quota_evictions = 0;
+  std::uint64_t quota_max_bytes = 0;
+  std::uint64_t quota_max_entries = 0;
 };
 
 class MemoStore {
@@ -137,7 +160,35 @@ class MemoStore {
   // Idempotent for an existing id (contents are content-addressed); a
   // re-put of a memory-resident entry refreshes its LRU recency, and a
   // re-put whose home machine is failed drops the stale memory copy.
-  MemoWriteResult put(NodeId id, std::shared_ptr<const KVTable> table);
+  //
+  // `tenant` (0 = untenanted) attributes the entry for quota accounting.
+  // With the tenant salt folded into node ids, an id belongs to exactly
+  // one tenant; a re-put of an entry recovered from the durable log
+  // (tenant unknown = 0) adopts the writer's tenant.
+  MemoWriteResult put(NodeId id, std::shared_ptr<const KVTable> table,
+                      std::uint64_t tenant = 0);
+
+  // --- multi-tenant quotas (src/serving) -------------------------------
+  //
+  // Bounds one tenant's share of the shared store. Enforced after every
+  // put by evicting the over-quota tenant's own oldest-written entries
+  // (whole entries, memory + persistent, durable copies tombstoned) until
+  // it fits — global recency eviction never has to punish a neighbour for
+  // this tenant's footprint. A zero-valued quota removes the bound.
+  void set_tenant_quota(std::uint64_t tenant, TenantQuota quota);
+
+  // Usage snapshot for one tenant / every tenant ever seen. Tenant 0
+  // (untenanted writes) is excluded from the fleet snapshot.
+  TenantUsage tenant_usage(std::uint64_t tenant) const;
+  std::vector<TenantUsage> tenant_usage_snapshot() const;
+
+  // Ids that whole-entry eviction policies (entry budget + tenant quota)
+  // must not drop: a cold-checkpointed session's live set references these
+  // by-id from its checkpoint blob, so evicting one would strand the
+  // checkpoint. Memory-LRU may still drop their memory copies (the
+  // persistent bytes keep serving peek()/restore). Pass nullptr to clear.
+  void set_pinned_ids(
+      std::shared_ptr<const std::unordered_set<NodeId>> pinned);
 
   // Cost of writing `bytes` through the layer without performing the
   // write. Used to price passthrough combiner re-executions whose output
@@ -234,6 +285,7 @@ class MemoStore {
     MachineId home = 0;
     MachineId replica_homes[kReplicas] = {0, 0};
     std::uint64_t bytes = 0;
+    std::uint64_t tenant = 0;     // owner salt (0 = untenanted)
     std::uint64_t write_seq = 0;  // insertion order (budget GC)
     std::uint64_t touch_seq = 0;  // global recency stamp (memory LRU)
     bool durable = false;  // mirrored into the attached DurableTier's logs
@@ -275,6 +327,28 @@ class MemoStore {
   // serialize on evict_mutex_ and lock shards one at a time.
   void evict_to_capacity();
   void enforce_entry_budget();
+  void enforce_tenant_quota(std::uint64_t tenant);
+
+  // --- per-tenant accounting -------------------------------------------
+  // One cell per tenant salt ever seen; pointers are stable (unique_ptr
+  // values) so hot paths update the atomics without tenant_mutex_ after
+  // the find-or-create lookup.
+  struct TenantCell {
+    std::atomic<std::uint64_t> bytes{0};
+    std::atomic<std::uint64_t> entries{0};
+    std::atomic<std::uint64_t> quota_evictions{0};
+    std::atomic<std::uint64_t> quota_bytes{0};    // 0 = unbounded
+    std::atomic<std::uint64_t> quota_entries{0};  // 0 = unbounded
+  };
+  TenantCell& tenant_cell(std::uint64_t tenant) const;
+  static void account_insert(TenantCell& cell, std::uint64_t bytes) {
+    cell.bytes.fetch_add(bytes, std::memory_order_relaxed);
+    cell.entries.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Called with the erased entry's tenant/bytes (no-op for tenant 0).
+  void account_erase(std::uint64_t tenant, std::uint64_t bytes);
+  bool tenant_over_byte_quota(std::uint64_t tenant) const;
+  std::shared_ptr<const std::unordered_set<NodeId>> pinned_snapshot() const;
 
   // Pushes the authoritative entry/byte counts into the stats gauges
   // ("memo.entries"/"memo.bytes"/"memo.memory_bytes"). Called after every
@@ -292,8 +366,14 @@ class MemoStore {
   std::atomic<std::size_t> entry_budget_{0};             // 0 = unbounded
   std::atomic<std::uint64_t> next_write_seq_{0};
   std::atomic<std::uint64_t> next_touch_seq_{0};
-  std::mutex evict_mutex_;  // serializes the two eviction policies
+  std::mutex evict_mutex_;  // serializes the eviction policies
   durability::DurableTier* durable_ = nullptr;  // optional; not owned
+
+  mutable std::mutex tenant_mutex_;  // guards the map shape, not the cells
+  mutable std::unordered_map<std::uint64_t, std::unique_ptr<TenantCell>>
+      tenants_;
+  mutable std::mutex pinned_mutex_;
+  std::shared_ptr<const std::unordered_set<NodeId>> pinned_;
 
   // --- degraded durable mode --------------------------------------------
   // All durable-tier I/O (put/tombstone/recover/compact/flush) serializes
@@ -328,6 +408,7 @@ class MemoStore {
     std::atomic<std::uint64_t> misses{0};
     std::atomic<std::uint64_t> memory_evictions{0};
     std::atomic<std::uint64_t> budget_evictions{0};
+    std::atomic<std::uint64_t> quota_evictions{0};
     std::atomic<std::uint64_t> eviction_forced_misses{0};
     std::atomic<std::uint64_t> persistent_writes{0};
     std::atomic<std::uint64_t> bytes_persisted{0};

@@ -167,10 +167,15 @@ void print_timeseries_section(const JsonValue& series, bool quiet) {
       if (!causes.empty()) causes += ", ";
       causes += cause + "=" + std::to_string(count.as_u64());
     }
-    std::printf("  seq %-6llu %-10s sim_t=%-10.4f invocations=%-8.6g "
-                "retries=%llu%s%s%s\n",
+    // Tenant column: multi-tenant dumps tag every sample with its owner
+    // ("-" for single-tenant sessions), so a fleet spike is attributable.
+    const std::string tenant = s["tenant"].as_string();
+    std::printf("  seq %-6llu %-10s tenant=%-12s sim_t=%-10.4f "
+                "invocations=%-8.6g retries=%llu%s%s%s\n",
                 static_cast<unsigned long long>(s["sequence"].as_u64()),
-                s["kind"].as_string().c_str(), s["sim_start"].as_double(),
+                s["kind"].as_string().c_str(),
+                tenant.empty() ? "-" : tenant.c_str(),
+                s["sim_start"].as_double(),
                 invoked,
                 static_cast<unsigned long long>(s["task_retries"].as_u64()),
                 s["durable_degraded"].as_bool() ? " [degraded]" : "",
