@@ -239,6 +239,52 @@ void run_observability_overhead(obs::RunReport& report) {
       .col("sampling_overhead_pct", overhead_pct);
 }
 
+// Wall-clock of the same steady-state scenario with per-slide lineage
+// recording (SliderConfig::record_provenance) armed vs disarmed. Armed
+// sessions append a NodeLineage record at every charge site and fold the
+// slide DAG into the tiered rings; the acceptance bar is <1.5% overhead,
+// and zero when disarmed (the hooks compile down to a flag test).
+double timed_provenance_run(bool armed) {
+  const auto bench = apps::make_microbenchmark(apps::MicroApp::kKMeans);
+  ExperimentParams params;
+  params.change_fraction = 0.25;
+  params.records_per_split = records_per_split_for(bench);
+  params.mode = WindowMode::kVariableWidth;
+  params.record_provenance = armed;
+  BenchEnv env;
+  Driver driver(env, bench, params);
+  driver.initial_run();
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < 8; ++i) driver.slide();
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(stop - start).count();
+}
+
+void run_provenance_overhead(obs::RunReport& report) {
+  print_title("Provenance overhead: lineage recording armed vs disarmed");
+  constexpr int kReps = 5;
+  double off_ms = 0, on_ms = 0;
+  for (int i = 0; i < kReps; ++i) {
+    const double off = timed_provenance_run(false);
+    const double on = timed_provenance_run(true);
+    off_ms = i == 0 ? off : std::min(off_ms, off);
+    on_ms = i == 0 ? on : std::min(on_ms, on);
+  }
+  const double overhead_pct =
+      off_ms > 0 ? 100.0 * (on_ms - off_ms) / off_ms : 0.0;
+  std::printf("  k-means, variable-width, 120-split window, 8 slides, "
+              "best of %d\n", kReps);
+  std::printf("  provenance off: %8.1f ms\n", off_ms);
+  std::printf("  provenance on:  %8.1f ms   (overhead %+.2f%%, bar <1.5%%)\n",
+              on_ms, overhead_pct);
+  report.add_row()
+      .col("section", "provenance_overhead")
+      .col("app", "k-means")
+      .col("wall_ms_provenance_off", off_ms)
+      .col("wall_ms_provenance_on", on_ms)
+      .col("provenance_overhead_pct", overhead_pct);
+}
+
 }  // namespace
 
 int main() {
@@ -264,6 +310,7 @@ int main() {
   run_host_parallelism(report);
   run_flat_tier(report);
   run_observability_overhead(report);
+  run_provenance_overhead(report);
 
   const std::string path = report.write();
   if (!path.empty()) std::printf("\nreport: %s\n", path.c_str());

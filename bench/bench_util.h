@@ -59,6 +59,9 @@ struct ExperimentParams {
   // Per-slide TimeSeries sampling (SliderConfig::sample_timeseries); the
   // fig9 observability-overhead section measures on vs off.
   bool sample_timeseries = true;
+  // Per-slide lineage recording (SliderConfig::record_provenance); the
+  // fig9 provenance-overhead section measures armed vs disarmed.
+  bool record_provenance = false;
 };
 
 // Paper-shaped per-app inputs: compute-intensive apps get more, heavier
@@ -87,6 +90,7 @@ class Driver {
     config.split_processing = params.split_processing;
     config.bucket_width = slide_splits(params);
     config.sample_timeseries = params.sample_timeseries;
+    config.record_provenance = params.record_provenance;
     session_ =
         std::make_unique<SliderSession>(env.engine, env.memo, bench.job,
                                         config);

@@ -2,8 +2,9 @@
 //
 // Runs a standing word-count session with the embedded HTTP endpoint
 // enabled, then plays operator: after every slide it scrapes its own
-// /metrics (Prometheus text), /ledger.json, /timeseries.json, and /tree
-// routes over a real TCP connection — exactly what `curl
+// /metrics (Prometheus text), /ledger.json, /timeseries.json, /tree
+// (with provenance disposition coloring), /criticalpath.json, and
+// /explain routes over a real TCP connection — exactly what `curl
 // localhost:$PORT/metrics` or a Prometheus scraper would see — and prints
 // a refreshing terminal summary:
 //
@@ -140,6 +141,7 @@ int main() {
   config.bucket_width = 4;
   config.introspect_port = 0;  // ephemeral: pick any free port
   config.slos = obs::default_slos();  // annotate /healthz with verdicts
+  config.record_provenance = true;    // arm /explain + /criticalpath.json
 
   SliderSession session(engine, memo, word_count_job(), config);
   const auto* server = session.introspection();
@@ -225,6 +227,33 @@ int main() {
     if (dot.find("digraph") == std::string::npos) {
       ok = fail("/tree format=dot");
       break;
+    }
+    // The armed session colors the dot export by last-slide disposition;
+    // a fixed-width slide always recomputes something.
+    if (dot.find("lightcoral") == std::string::npos &&
+        dot.find("gray80") == std::string::npos) {
+      ok = fail("/tree format=dot dispositions");
+      break;
+    }
+
+    // --- scrape /criticalpath.json + /explain (provenance routes) --------
+    const std::string cp = body_of(http_get(port, "/criticalpath.json"));
+    if (cp.find("\"critical_path_seconds\"") == std::string::npos) {
+      ok = fail("/criticalpath.json");
+      break;
+    }
+    // Explain a key the window is guaranteed to contain: pull one straight
+    // from the current reduce output.
+    const auto& out = session.output()[0];
+    if (!out.rows().empty()) {
+      const std::string key(out.rows().front().key);
+      const std::string explain =
+          body_of(http_get(port, "/explain?key=" + key + "&partition=0"));
+      if (explain.find("\"found\":true") == std::string::npos ||
+          explain.find("\"frontier\"") == std::string::npos) {
+        ok = fail("/explain");
+        break;
+      }
     }
 
     std::printf("%-6d %-7zu %-11.0f %-7.0f %9.0f/%5.0f/%6.0f %13d\n", i,

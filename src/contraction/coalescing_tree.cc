@@ -30,6 +30,7 @@ CoalescingTree::Node CoalescingTree::fold_leaves(std::vector<Leaf> leaves,
         ctx_, node.id, leaf_node_id(ctx_, leaves[i].split_id, *leaves[i].table));
     queue.push_back(leaves[i].table);
   }
+  std::uint64_t fold_rows = 0;
   while (queue.size() > 1) {
     auto a = std::move(queue.front());
     queue.pop_front();
@@ -38,10 +39,25 @@ CoalescingTree::Node CoalescingTree::fold_leaves(std::vector<Leaf> leaves,
     MergeStats merge_stats;
     queue.push_back(std::make_shared<const KVTable>(
         KVTable::merge(*a, *b, combiner_, &merge_stats)));
-    if (stats != nullptr) stats->charge_invocation(merge_stats.rows_scanned);
+    if (stats != nullptr) {
+      stats->charge_invocation(merge_stats.rows_scanned);
+      fold_rows += merge_stats.rows_scanned;
+    }
   }
   node.table = std::move(queue.front());
+  const SimDuration write_before =
+      stats != nullptr ? stats->memo_write_cost : 0;
   memoize_payload(ctx_, node.id, node.table, stats);
+  if (stats != nullptr && stats->record_lineage) {
+    // One fold record per append batch: the tree's reuse granularity.
+    record_lineage_node(ctx_, stats, node.id,
+                        leaves.size() > 1 ? obs::LineageOp::kMerge
+                                          : obs::LineageOp::kLeaf,
+                        stats->cause,
+                        static_cast<std::uint32_t>(leaves.size() - 1),
+                        *node.table, fold_rows,
+                        stats->memo_write_cost - write_before, {});
+  }
   return node;
 }
 
@@ -67,7 +83,8 @@ void CoalescingTree::coalesce_pending(TreeUpdateStats* stats) {
   auto prev = fetch_reused(ctx_, root_node_.id, root_node_.table, stats);
   const NodeId id = internal_node_id(ctx_, root_node_.id, pending_delta_id_);
   root_node_.table =
-      combine_and_memoize(ctx_, combiner_, id, *prev, *pending_delta_, stats);
+      combine_and_memoize(ctx_, combiner_, id, *prev, *pending_delta_, stats,
+                          root_node_.id, pending_delta_id_);
   root_node_.id = id;
   pending_delta_.reset();
   root_override_.reset();
@@ -99,7 +116,8 @@ void CoalescingTree::apply_delta(std::size_t remove_front,
   auto prev = fetch_reused(ctx_, root_node_.id, root_node_.table, stats);
   const NodeId id = internal_node_id(ctx_, root_node_.id, delta.id);
   root_node_.table =
-      combine_and_memoize(ctx_, combiner_, id, *prev, *delta.table, stats);
+      combine_and_memoize(ctx_, combiner_, id, *prev, *delta.table, stats,
+                          root_node_.id, delta.id);
   root_node_.id = id;
   ++height_;
   if (stats != nullptr) stats->level = 0;

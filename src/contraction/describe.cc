@@ -22,6 +22,15 @@ const char* dot_attributes(const std::string& role) {
   return "shape=ellipse";
 }
 
+// Last-slide disposition fills (/tree?format=dot&color=disposition):
+// reuse is the quiet grey baseline, fresh payloads green, every executed
+// recompute flavour red.
+const char* disposition_fill(const std::string& disposition) {
+  if (disposition == "reused") return "gray80";
+  if (disposition == "new") return "palegreen";
+  return "lightcoral";
+}
+
 }  // namespace
 
 std::string tree_description_to_json(const TreeDescription& description) {
@@ -53,23 +62,43 @@ std::string tree_description_to_json(const TreeDescription& description) {
 }
 
 std::string tree_description_to_dot(const TreeDescription& description) {
+  return tree_description_to_dot(description, {});
+}
+
+std::string tree_description_to_dot(
+    const TreeDescription& description,
+    const std::unordered_map<NodeId, std::string>& dispositions) {
   std::string out;
   out += "digraph slider_tree {\n";
   out += "  rankdir=BT;\n";
   out += "  node [fontname=\"monospace\" fontsize=10];\n";
-  char line[256];
+  char line[320];
   std::snprintf(line, sizeof(line),
                 "  label=\"%s tree  height=%d  leaves=%zu\";\n",
                 description.kind.c_str(), description.height,
                 description.leaf_count);
   out += line;
   for (const TreeNodeDescription& node : description.nodes) {
-    std::snprintf(line, sizeof(line),
-                  "  n%llu [%s label=\"%s\\nL%d#%llu\\n%llu rows\"];\n",
-                  static_cast<unsigned long long>(node.id),
-                  dot_attributes(node.role), node.role.c_str(), node.level,
-                  static_cast<unsigned long long>(node.index),
-                  static_cast<unsigned long long>(node.rows));
+    const auto it = dispositions.find(node.id);
+    if (it == dispositions.end()) {
+      std::snprintf(line, sizeof(line),
+                    "  n%llu [%s label=\"%s\\nL%d#%llu\\n%llu rows\"];\n",
+                    static_cast<unsigned long long>(node.id),
+                    dot_attributes(node.role), node.role.c_str(), node.level,
+                    static_cast<unsigned long long>(node.index),
+                    static_cast<unsigned long long>(node.rows));
+    } else {
+      // Later attributes win in graphviz, so the disposition fill
+      // overrides any role fill while keeping the role's shape.
+      std::snprintf(
+          line, sizeof(line),
+          "  n%llu [%s style=filled fillcolor=%s"
+          " label=\"%s\\nL%d#%llu\\n%llu rows\\n%s\"];\n",
+          static_cast<unsigned long long>(node.id), dot_attributes(node.role),
+          disposition_fill(it->second), node.role.c_str(), node.level,
+          static_cast<unsigned long long>(node.index),
+          static_cast<unsigned long long>(node.rows), it->second.c_str());
+    }
     out += line;
   }
   for (const TreeNodeDescription& node : description.nodes) {

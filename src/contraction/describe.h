@@ -4,6 +4,7 @@
 #pragma once
 
 #include <string>
+#include <unordered_map>
 
 #include "contraction/tree.h"
 
@@ -19,5 +20,14 @@ std::string tree_description_to_json(const TreeDescription& description);
 // shape/fill: root doubleoctagon, leaves boxes, voids dashed, pending /
 // intermediate split-processing residue dotted.
 std::string tree_description_to_dot(const TreeDescription& description);
+
+// Same digraph with per-node disposition coloring from the last recorded
+// slide's lineage (observability/provenance.h): reused nodes grey, new
+// ones green, any other executed disposition (recomputed, eviction /
+// failure re-execution, ...) red. Nodes absent from the map keep their
+// role styling — the slide never touched them.
+std::string tree_description_to_dot(
+    const TreeDescription& description,
+    const std::unordered_map<NodeId, std::string>& dispositions);
 
 }  // namespace slider

@@ -154,7 +154,16 @@ void FlatAggregator::add_element(Element element, TreeUpdateStats* stats) {
 
   stats->charge_visits(1);
   stats->charge_invocation(element.table->size());
+  const SimDuration write_before = stats->memo_write_cost;
   memoize_payload(ctx_, element.id, element.table, stats);
+  if (stats->record_lineage) {
+    // One invocation per inserted element: the lane update is the flat
+    // tier's analogue of a leaf-level combine over the element's rows.
+    record_lineage_node(ctx_, stats, element.id, obs::LineageOp::kLeaf,
+                        stats->cause, 1, *element.table,
+                        element.table->size(),
+                        stats->memo_write_cost - write_before, {});
+  }
   elements_.push_back(std::move(element));
 }
 
@@ -178,6 +187,12 @@ void FlatAggregator::swap_stacks(TreeUpdateStats* stats) {
     partials.push_front(acc);
     stats->charge_visits(1);
     stats->charge_passthrough_invocation(e.table->size());
+    if (stats->record_lineage) {
+      const NodeId kids[] = {e.id};
+      record_lineage_node(ctx_, stats, e.id, obs::LineageOp::kPassthrough,
+                          stats->passthrough_cause, 1, *e.table,
+                          e.table->size(), 0, kids);
+    }
   }
   front_partials_ = std::move(partials);
   front_remaining_ = n;
@@ -198,6 +213,12 @@ void FlatAggregator::evict_front(TreeUpdateStats* stats) {
     }
     stats->charge_visits(1);
     stats->charge_passthrough_invocation(e.table->size());
+    if (stats->record_lineage) {
+      const NodeId kids[] = {e.id};
+      record_lineage_node(ctx_, stats, e.id, obs::LineageOp::kPassthrough,
+                          stats->passthrough_cause, 1, *e.table,
+                          e.table->size(), 0, kids);
+    }
   } else {
     if (front_remaining_ == 0) swap_stacks(stats);
     front_partials_.pop_front();
@@ -206,6 +227,11 @@ void FlatAggregator::evict_front(TreeUpdateStats* stats) {
     // work of its own.
     stats->charge_visits(1);
     stats->charge_reuse();
+    if (stats->record_lineage) {
+      const Element& front = elements_.front();
+      record_lineage_node(ctx_, stats, front.id, obs::LineageOp::kReuse,
+                          stats->cause, 0, *front.table, 0, 0, {});
+    }
   }
   for (const std::uint32_t k : elements_.front().key_idx) {
     if (--counts_[k] == 0) root_order_dirty_ = true;
@@ -318,6 +344,21 @@ void FlatAggregator::rebuild_root(TreeUpdateStats* stats) {
     // the flat analogue of a tree's root recomputation.
     stats->charge_visits(1);
     stats->charge_invocation(root_->size());
+    if (stats->record_lineage) {
+      // Root id mirrors describe(): the context seed folded with every
+      // live element id, so the lineage, /tree, and dot views agree.
+      NodeId rid = hash_combine(ctx_.job_hash,
+                                static_cast<std::uint64_t>(ctx_.partition));
+      std::vector<NodeId> kids;
+      kids.reserve(elements_.size());
+      for (const Element& e : elements_) {
+        rid = hash_combine(rid, e.id);
+        kids.push_back(e.id);
+      }
+      record_lineage_node(ctx_, stats, rid, obs::LineageOp::kMerge,
+                          stats->cause, 1, *root_, root_->size(), 0, kids);
+      last_root_id_ = rid;
+    }
   }
 }
 
@@ -378,7 +419,15 @@ void FlatAggregator::apply_delta(std::size_t remove_front,
   for (std::size_t i = 0; i < remove_front; ++i) evict_front(stats);
   // The surviving window rides on the standing aggregate — the flat
   // tier's analogue of a memoized-subtree hit.
-  if (!elements_.empty()) stats->charge_reuse();
+  if (!elements_.empty()) {
+    stats->charge_reuse();
+    if (stats->record_lineage) {
+      const KVTable& standing =
+          root_ != nullptr ? *root_ : *elements_.front().table;
+      record_lineage_node(ctx_, stats, last_root_id_, obs::LineageOp::kReuse,
+                          stats->cause, 0, standing, 0, 0, {});
+    }
+  }
   for (std::size_t i = 0; i < added.size(); ++i) {
     Element e;
     if (!decode_element(added[i].split_id, added[i].table, &e)) {

@@ -159,6 +159,9 @@ class FlatAggregator : public ContractionTree {
 
   std::vector<flat::Lane> scratch_;
   std::shared_ptr<const KVTable> root_;
+  // Lineage id of the last recorded root fold; the standing-aggregate
+  // reuse record of the next slide points at it (armed sessions only).
+  NodeId last_root_id_ = 0;
 
   // Key-sorted directory indices of the live keys, cached across slides:
   // the root is emitted in this order via KVTable::from_sorted_unique, so

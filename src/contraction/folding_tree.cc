@@ -36,7 +36,7 @@ void FoldingTree::reset_to(std::vector<Leaf> leaves, TreeUpdateStats* stats) {
     slot.id = leaf_node_id(ctx_, leaves[i].split_id, *leaves[i].table);
     slot.table = std::move(leaves[i].table);
     slot.recomputed_this_run = true;
-    memoize_payload(ctx_, slot.id, slot.table, stats);
+    memoize_leaf(ctx_, slot.id, slot.table, stats);
     dirty.push_back(i);
   }
   for (std::size_t size = capacity >> 1; size >= 1; size >>= 1) {
@@ -109,7 +109,7 @@ void FoldingTree::apply_delta(std::size_t remove_front,
     slot.id = leaf_node_id(ctx_, leaf.split_id, *leaf.table);
     slot.table = std::move(leaf.table);
     slot.recomputed_this_run = true;
-    memoize_payload(ctx_, slot.id, slot.table, stats);
+    memoize_leaf(ctx_, slot.id, slot.table, stats);
     dirty.push_back(end_);
     ++end_;
   }
@@ -177,7 +177,7 @@ void FoldingTree::recompute_paths(std::vector<std::size_t> dirty_leaves,
         // extra and motivates §3.2's randomized variant.
         const Slot& live = left.table != nullptr ? left : right;
         if (node.id != live.id) {
-          charge_passthrough(ctx_, *live.table, node_stats);
+          charge_passthrough(ctx_, *live.table, node_stats, live.id, live.id);
         }
         node.id = live.id;
         node.table = live.table;
@@ -200,7 +200,8 @@ void FoldingTree::recompute_paths(std::vector<std::size_t> dirty_leaves,
                 : fetch_reused(ctx_, right.id, right.table, node_stats);
         node.id = id;
         node.table = combine_and_memoize(ctx_, combiner_, id, *left_table,
-                                         *right_table, node_stats);
+                                         *right_table, node_stats, left.id,
+                                         right.id);
         node.recomputed_this_run = true;
       }
     };

@@ -28,7 +28,7 @@ void RandomizedFoldingTree::initial_build(std::vector<Leaf> leaves,
     entry.id = leaf_node_id(ctx_, leaf.split_id, *leaf.table);
     entry.table = std::move(leaf.table);
     entry.recomputed = true;
-    memoize_payload(ctx_, entry.id, entry.table, stats);
+    memoize_leaf(ctx_, entry.id, entry.table, stats);
     memo_[entry.id] = entry.table;
     leaf_ids_.push_back(entry.id);
     level.push_back(std::move(entry));
@@ -56,7 +56,7 @@ void RandomizedFoldingTree::apply_delta(std::size_t remove_front,
     entry.id = leaf_node_id(ctx_, leaf.split_id, *leaf.table);
     entry.table = std::move(leaf.table);
     entry.recomputed = true;
-    memoize_payload(ctx_, entry.id, entry.table, stats);
+    memoize_leaf(ctx_, entry.id, entry.table, stats);
     memo_[entry.id] = entry.table;
     leaf_ids_.push_back(entry.id);
     level.push_back(std::move(entry));
@@ -131,12 +131,18 @@ void RandomizedFoldingTree::contract(std::vector<Entry> level,
       if (it != memo_.end() && !member_changed) {
         parent.table = it->second;
         parent.recomputed = false;
-        if (group_stats != nullptr) group_stats->charge_reuse();
+        if (group_stats != nullptr) {
+          group_stats->charge_reuse();
+          record_lineage_node(ctx_, group_stats, parent.id,
+                              obs::LineageOp::kReuse, group_stats->cause, 0,
+                              *parent.table, 0, 0, {});
+        }
       } else if (members.size() == 1) {
         // Singleton group: a passthrough combiner re-execution when its
         // member changed (see folding_tree.cc).
         if (members[0].recomputed) {
-          charge_passthrough(ctx_, *members[0].table, group_stats);
+          charge_passthrough(ctx_, *members[0].table, group_stats,
+                             members[0].id, members[0].id);
         }
         parent.table = members[0].table;
         parent.recomputed = members[0].recomputed;
@@ -193,6 +199,7 @@ void RandomizedFoldingTree::contract(std::vector<Entry> level,
           MergeStats merge_stats;
           acc = std::make_shared<const KVTable>(
               KVTable::merge(*acc, *rhs, combiner_, &merge_stats));
+          const NodeId prev_id = chain_id;
           chain_id = internal_node_id(ctx_, chain_id, members[m].id);
           if (group_stats != nullptr) {
             group_stats->charge_invocation(merge_stats.rows_scanned);
@@ -200,7 +207,17 @@ void RandomizedFoldingTree::contract(std::vector<Entry> level,
           // Memoize the partial chain too, so a future run whose group
           // extends this one restarts from here. Partials stay live until
           // their group dissolves.
+          const SimDuration write_before =
+              group_stats != nullptr ? group_stats->memo_write_cost : 0;
           memoize_payload(ctx_, chain_id, acc, group_stats);
+          if (group_stats != nullptr && group_stats->record_lineage) {
+            const NodeId kids[] = {prev_id, members[m].id};
+            record_lineage_node(ctx_, group_stats, chain_id,
+                                obs::LineageOp::kMerge, group_stats->cause, 1,
+                                *acc, merge_stats.rows_scanned,
+                                group_stats->memo_write_cost - write_before,
+                                kids);
+          }
           result.inserts.emplace_back(chain_id, acc);
         }
         SLIDER_CHECK(chain_id == parent.id) << "group chain id mismatch";

@@ -35,6 +35,7 @@ RotatingTree::Bucket RotatingTree::build_bucket(std::span<Leaf> leaves,
         ctx_, bucket.id, leaf_node_id(ctx_, leaves[i].split_id, *leaves[i].table));
     queue.push_back(leaves[i].table);
   }
+  std::uint64_t fold_rows = 0;
   while (queue.size() > 1) {
     auto a = std::move(queue.front());
     queue.pop_front();
@@ -45,10 +46,24 @@ RotatingTree::Bucket RotatingTree::build_bucket(std::span<Leaf> leaves,
         KVTable::merge(*a, *b, combiner_, &merge_stats)));
     if (stats != nullptr) {
       stats->charge_invocation(merge_stats.rows_scanned);
+      fold_rows += merge_stats.rows_scanned;
     }
   }
   bucket.table = std::move(queue.front());
+  const SimDuration write_before =
+      stats != nullptr ? stats->memo_write_cost : 0;
   memoize_payload(ctx_, bucket.id, bucket.table, stats);
+  if (stats != nullptr && stats->record_lineage) {
+    // One fold record for the whole bucket: the rotating tree's reuse
+    // granularity is the bucket, so its lineage granularity is too.
+    record_lineage_node(ctx_, stats, bucket.id,
+                        leaves.size() > 1 ? obs::LineageOp::kMerge
+                                          : obs::LineageOp::kLeaf,
+                        stats->cause,
+                        static_cast<std::uint32_t>(leaves.size() - 1),
+                        *bucket.table, fold_rows,
+                        stats->memo_write_cost - write_before, {});
+  }
   return bucket;
 }
 
@@ -145,7 +160,7 @@ void RotatingTree::initial_build(std::vector<Leaf> leaves,
         // (see folding_tree.cc).
         const Slot& live = left.table != nullptr ? left : right;
         if (node.id != live.id) {
-          charge_passthrough(ctx_, *live.table, node_stats);
+          charge_passthrough(ctx_, *live.table, node_stats, live.id, live.id);
         }
         node.id = live.id;
         node.table = live.table;
@@ -166,7 +181,8 @@ void RotatingTree::initial_build(std::vector<Leaf> leaves,
                 : fetch_reused(ctx_, right.id, right.table, node_stats);
         node.id = id;
         node.table = combine_and_memoize(ctx_, combiner_, id, *left_table,
-                                         *right_table, node_stats);
+                                         *right_table, node_stats, left.id,
+                                         right.id);
         node.recomputed_this_run = true;
       }
     };
@@ -206,7 +222,7 @@ void RotatingTree::install_bucket(std::size_t slot_index, Bucket bucket,
     if (left.table == nullptr || right.table == nullptr) {
       const Slot& live = left.table != nullptr ? left : right;
       if (node.id != live.id) {
-        charge_passthrough(ctx_, *live.table, stats);
+        charge_passthrough(ctx_, *live.table, stats, live.id, live.id);
       }
       node.id = live.id;
       node.table = live.table;
@@ -222,7 +238,7 @@ void RotatingTree::install_bucket(std::size_t slot_index, Bucket bucket,
                            : fetch_reused(ctx_, right.id, right.table, stats);
     node.id = id;
     node.table = combine_and_memoize(ctx_, combiner_, id, *left_table,
-                                     *right_table, stats);
+                                     *right_table, stats, left.id, right.id);
     node.recomputed_this_run = true;
   }
   if (stats != nullptr) stats->level = 0;  // leave the context at leaf level
@@ -290,9 +306,10 @@ void RotatingTree::compute_intermediate(TreeUpdateStats* stats) {
       acc_id = sibling.id;
       continue;
     }
+    const NodeId prev_id = acc_id;
     acc_id = internal_node_id(ctx_, acc_id, sibling.id);
     acc = combine_and_memoize(ctx_, combiner_, acc_id, *acc, *sibling_table,
-                              stats);
+                              stats, prev_id, sibling.id);
   }
   if (stats != nullptr) stats->level = 0;
   if (acc == nullptr) acc = std::make_shared<const KVTable>();  // N == 1

@@ -48,11 +48,15 @@ StrawmanTree::Built StrawmanTree::build_range(std::size_t lo, std::size_t hi,
     const auto it = memo_.find(built.id);
     if (it != memo_.end()) {
       built.table = it->second;
-      if (stats != nullptr) stats->charge_reuse();
+      if (stats != nullptr) {
+        stats->charge_reuse();
+        record_lineage_node(ctx_, stats, built.id, obs::LineageOp::kReuse,
+                            stats->cause, 0, *built.table, 0, 0, {});
+      }
     } else {
       built.table = leaf.table;
       built.recomputed = true;  // fresh leaf: map output newly memoized
-      memoize_payload(ctx_, built.id, built.table, stats);
+      memoize_leaf(ctx_, built.id, built.table, stats);
       memo_.emplace(built.id, built.table);
     }
     live_.insert(built.id);
@@ -72,7 +76,11 @@ StrawmanTree::Built StrawmanTree::build_range(std::size_t lo, std::size_t hi,
   const auto it = memo_.find(built.id);
   if (it != memo_.end() && !left.recomputed && !right.recomputed) {
     built.table = it->second;
-    if (stats != nullptr) stats->charge_reuse();
+    if (stats != nullptr) {
+      stats->charge_reuse();
+      record_lineage_node(ctx_, stats, built.id, obs::LineageOp::kReuse,
+                          stats->cause, 0, *built.table, 0, 0, {});
+    }
     live_.insert(built.id);
     return built;
   }
@@ -86,7 +94,7 @@ StrawmanTree::Built StrawmanTree::build_range(std::size_t lo, std::size_t hi,
                          ? right.table
                          : fetch_reused(ctx_, right.id, right.table, stats);
   built.table = combine_and_memoize(ctx_, combiner_, built.id, *left_table,
-                                    *right_table, stats);
+                                    *right_table, stats, left.id, right.id);
   built.recomputed = true;
   memo_[built.id] = built.table;
   live_.insert(built.id);

@@ -27,6 +27,7 @@
 #include "data/record.h"
 #include "data/split.h"
 #include "durability/checkpoint.h"
+#include "observability/provenance.h"
 #include "observability/work_ledger.h"
 #include "storage/memo_store.h"
 
@@ -72,9 +73,20 @@ struct TreeUpdateStats {
   obs::WorkCause cause = obs::WorkCause::kInitialBuild;
   obs::WorkCause passthrough_cause = obs::WorkCause::kInitialBuild;
   std::uint16_t level = 0;
+  // Lineage arming (observability/provenance.h): set by the session when a
+  // ProvenanceRecorder is attached. Part of the charge context — copied by
+  // at_level() — and every record site is guarded on it, so disarmed runs
+  // never touch the lineage vector.
+  bool record_lineage = false;
 
   // Per-(cause, level) attribution, kept in lockstep with the aggregates.
   obs::AttributedWork attributed;
+
+  // Per-node lineage records mirroring the charges (armed sessions only).
+  // Appended children-before-parents by the trees; merged in deterministic
+  // index order by the same folds as the counters, so record order is
+  // thread-count-invariant.
+  std::vector<obs::NodeLineage> lineage;
 
   // Fresh stats object carrying this object's charge context at `level`
   // and zeroed counters — the seed for per-node partials in level loops.
@@ -83,6 +95,7 @@ struct TreeUpdateStats {
     s.cause = cause;
     s.passthrough_cause = passthrough_cause;
     s.level = lvl;
+    s.record_lineage = record_lineage;
     return s;
   }
 
@@ -129,6 +142,7 @@ struct TreeUpdateStats {
     memo_bytes_written += o.memo_bytes_written;
     memo_write_cost += o.memo_write_cost;
     attributed.merge(o.attributed);
+    lineage.insert(lineage.end(), o.lineage.begin(), o.lineage.end());
     return *this;
   }
 };

@@ -28,9 +28,59 @@ NodeId internal_node_id(const MemoContext& ctx, NodeId left, NodeId right) {
                       hash_combine(0x1357, right));
 }
 
+void record_lineage_node(const MemoContext& ctx, TreeUpdateStats* stats,
+                         NodeId id, obs::LineageOp op, obs::WorkCause cause,
+                         std::uint32_t invocations, const KVTable& table,
+                         std::uint64_t rows_scanned, double memo_cost,
+                         std::span<const NodeId> children) {
+  (void)ctx;
+  if (stats == nullptr || !stats->record_lineage) return;
+  obs::NodeLineage rec;
+  rec.id = id;
+  rec.op = op;
+  rec.cause = cause;
+  rec.level = stats->level;
+  rec.invocations = invocations;
+  rec.rows = table.size();
+  rec.rows_scanned = rows_scanned;
+  rec.memo_cost = memo_cost;
+
+  obs::SketchCache& cache = obs::SketchCache::global();
+  if (id == 0) {
+    rec.sketch = obs::sketch_of_table(table);
+  } else if (!cache.lookup(id, &rec.sketch)) {
+    // A node's key set is the union of its children's key sets (merges
+    // union keys; passthroughs copy them), so cached child sketches make
+    // this O(children) instead of O(rows).
+    bool from_children = !children.empty();
+    obs::KeySketch merged;
+    for (const NodeId child : children) {
+      obs::KeySketch child_sketch;
+      if (child == 0 || !cache.lookup(child, &child_sketch)) {
+        from_children = false;
+        break;
+      }
+      merged.merge(child_sketch);
+    }
+    rec.sketch = from_children ? merged : obs::sketch_of_table(table);
+    cache.store(id, rec.sketch);
+  }
+
+  for (const NodeId child : children) {
+    if (child == 0) continue;
+    if (rec.children.size() >= obs::kLineageChildCap) {
+      rec.children_truncated = true;
+      break;
+    }
+    rec.children.push_back(child);
+  }
+  stats->lineage.push_back(std::move(rec));
+}
+
 std::shared_ptr<const KVTable> combine_and_memoize(
     const MemoContext& ctx, const CombineFn& combiner, NodeId id,
-    const KVTable& left, const KVTable& right, TreeUpdateStats* stats) {
+    const KVTable& left, const KVTable& right, TreeUpdateStats* stats,
+    NodeId left_id, NodeId right_id) {
   MergeStats merge_stats;
   auto combined = std::make_shared<const KVTable>(
       KVTable::merge(left, right, combiner, &merge_stats));
@@ -42,12 +92,20 @@ std::shared_ptr<const KVTable> combine_and_memoize(
       "tree", "tree.merge",
       {{"partition", static_cast<double>(ctx.partition)},
        {"rows", static_cast<double>(merge_stats.rows_scanned)}});
+  const SimDuration write_before =
+      stats != nullptr ? stats->memo_write_cost : 0;
   memoize_payload(ctx, id, combined, stats);
+  if (stats != nullptr && stats->record_lineage) {
+    const NodeId kids[] = {left_id, right_id};
+    record_lineage_node(ctx, stats, id, obs::LineageOp::kMerge, stats->cause,
+                        1, *combined, merge_stats.rows_scanned,
+                        stats->memo_write_cost - write_before, kids);
+  }
   return combined;
 }
 
 void charge_passthrough(const MemoContext& ctx, const KVTable& table,
-                        TreeUpdateStats* stats) {
+                        TreeUpdateStats* stats, NodeId id, NodeId child_id) {
   if (stats == nullptr) return;
   // Voided-path re-execution: billed to the removal that voided the
   // sibling (passthrough_cause; see tree.h).
@@ -55,8 +113,16 @@ void charge_passthrough(const MemoContext& ctx, const KVTable& table,
   SLIDER_TRACE_EVENT("tree", "tree.passthrough",
                      {{"partition", static_cast<double>(ctx.partition)},
                       {"rows", static_cast<double>(table.size())}});
+  SimDuration write_cost = 0;
   if (ctx.store != nullptr) {
-    stats->memo_write_cost += ctx.store->estimate_write_cost(table.byte_size());
+    write_cost = ctx.store->estimate_write_cost(table.byte_size());
+    stats->memo_write_cost += write_cost;
+  }
+  if (stats->record_lineage) {
+    const NodeId kids[] = {child_id};
+    record_lineage_node(ctx, stats, id, obs::LineageOp::kPassthrough,
+                        stats->passthrough_cause, 1, table, table.size(),
+                        write_cost, kids);
   }
 }
 
@@ -71,6 +137,19 @@ void memoize_payload(const MemoContext& ctx, NodeId id,
   }
 }
 
+void memoize_leaf(const MemoContext& ctx, NodeId id,
+                  const std::shared_ptr<const KVTable>& table,
+                  TreeUpdateStats* stats) {
+  const SimDuration write_before =
+      stats != nullptr ? stats->memo_write_cost : 0;
+  memoize_payload(ctx, id, table, stats);
+  if (stats != nullptr && stats->record_lineage) {
+    record_lineage_node(ctx, stats, id, obs::LineageOp::kLeaf, stats->cause,
+                        0, *table, 0, stats->memo_write_cost - write_before,
+                        {});
+  }
+}
+
 std::shared_ptr<const KVTable> fetch_reused(
     const MemoContext& ctx, NodeId id,
     const std::shared_ptr<const KVTable>& fallback, TreeUpdateStats* stats) {
@@ -79,13 +158,22 @@ std::shared_ptr<const KVTable> fetch_reused(
   // Memoized sub-computation reused as-is (the paper's memo hit).
   SLIDER_TRACE_EVENT("tree", "tree.reuse",
                      {{"partition", static_cast<double>(ctx.partition)}});
-  if (ctx.store == nullptr) return fallback;
+  if (ctx.store == nullptr) {
+    record_lineage_node(ctx, stats, id, obs::LineageOp::kReuse,
+                        stats != nullptr ? stats->cause
+                                         : obs::WorkCause::kInitialBuild,
+                        0, *fallback, 0, 0, {});
+    return fallback;
+  }
 
   const MemoReadResult read = ctx.store->get(id, ctx.reduce_home);
   if (stats != nullptr) {
     ++stats->memo_reads;
     stats->memo_read_cost += read.cost;
     if (read.found) stats->charge_memo_bytes_read(read.table->byte_size());
+    record_lineage_node(ctx, stats, id, obs::LineageOp::kReuse, stats->cause,
+                        0, read.found ? *read.table : *fallback, 0, read.cost,
+                        {});
   }
   if (read.found) return read.table;
 
@@ -96,13 +184,23 @@ std::shared_ptr<const KVTable> fetch_reused(
   // when a machine failure destroyed every intact copy (§6 fault
   // tolerance), memo_eviction_recompute otherwise. Either way the output
   // is unchanged: the store losing state can never change an answer.
+  const obs::WorkCause miss_cause =
+      read.failure_miss ? obs::WorkCause::kFailureReexec
+                        : obs::WorkCause::kMemoEvictionRecompute;
   if (stats != nullptr) {
-    stats->charge_invocation_as(read.failure_miss
-                                    ? obs::WorkCause::kFailureReexec
-                                    : obs::WorkCause::kMemoEvictionRecompute,
-                                fallback->size() * 2);
+    stats->charge_invocation_as(miss_cause, fallback->size() * 2);
   }
+  const SimDuration write_before =
+      stats != nullptr ? stats->memo_write_cost : 0;
   memoize_payload(ctx, id, fallback, stats);
+  if (stats != nullptr && stats->record_lineage) {
+    // The reuse fell through to a recompute: record the executed work too,
+    // under the cause that lost the payload (both records share the id;
+    // explain() lets the executed one shadow the reuse).
+    record_lineage_node(ctx, stats, id, obs::LineageOp::kMerge, miss_cause, 1,
+                        *fallback, fallback->size() * 2,
+                        stats->memo_write_cost - write_before, {});
+  }
   return fallback;
 }
 

@@ -2,6 +2,8 @@
 // priced merge execution, and priced reuse of memoized payloads.
 #pragma once
 
+#include <span>
+
 #include "contraction/tree.h"
 
 namespace slider {
@@ -22,23 +24,49 @@ NodeId internal_node_id(const MemoContext& ctx, NodeId left, NodeId right);
 
 // Executes combine(left, right), charges the merge to `stats`, and
 // memoizes the result under `id`. Returns the combined payload.
+//
+// `left_id` / `right_id` are the children's node ids, used only for
+// lineage recording (armed sessions); 0 means "unknown" and records an
+// edge-less merge.
 std::shared_ptr<const KVTable> combine_and_memoize(
     const MemoContext& ctx, const CombineFn& combiner, NodeId id,
-    const KVTable& left, const KVTable& right, TreeUpdateStats* stats);
+    const KVTable& left, const KVTable& right, TreeUpdateStats* stats,
+    NodeId left_id = 0, NodeId right_id = 0);
 
 // Charges a *passthrough* combiner re-execution: a node whose only live
 // input is one child (the other is void) still executes as a task in the
 // paper's design (Fig 2 recomputes such nodes after removals) — it reads
 // the payload, applies the identity combine, and writes its level output.
 // The output is content-identical to the child, so no new memo entry is
-// created; only the cost is charged.
+// created; only the cost is charged. `id` / `child_id` feed lineage
+// recording only (0 = unknown).
 void charge_passthrough(const MemoContext& ctx, const KVTable& table,
-                        TreeUpdateStats* stats);
+                        TreeUpdateStats* stats, NodeId id = 0,
+                        NodeId child_id = 0);
 
 // Memoizes a payload that was produced without a merge (leaves).
 void memoize_payload(const MemoContext& ctx, NodeId id,
                      const std::shared_ptr<const KVTable>& table,
                      TreeUpdateStats* stats);
+
+// memoize_payload plus a leaf lineage record (op=leaf, zero combiner
+// invocations — leaf payloads are map-side work). Trees call this at the
+// sites where fresh leaf payloads enter the tree.
+void memoize_leaf(const MemoContext& ctx, NodeId id,
+                  const std::shared_ptr<const KVTable>& table,
+                  TreeUpdateStats* stats);
+
+// Appends one lineage record mirroring charges the caller just made (a
+// no-op unless stats->record_lineage). The payload's key sketch resolves
+// through the global SketchCache: by id, else as the union of all cached
+// child sketches, else by hashing `table`'s keys; the result is cached.
+// The helpers above call this internally; trees call it directly only for
+// charge sites with no helper (direct charge_reuse hits, queue folds).
+void record_lineage_node(const MemoContext& ctx, TreeUpdateStats* stats,
+                         NodeId id, obs::LineageOp op, obs::WorkCause cause,
+                         std::uint32_t invocations, const KVTable& table,
+                         std::uint64_t rows_scanned, double memo_cost,
+                         std::span<const NodeId> children);
 
 // Charges the read of a reused node's payload from the memo layer and
 // returns it. `fallback` is the in-tree copy: it is returned (and the

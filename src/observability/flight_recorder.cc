@@ -9,6 +9,7 @@
 #include "common/logging.h"
 #include "observability/json_writer.h"
 #include "observability/postmortem.h"
+#include "observability/provenance.h"
 #include "observability/timeseries.h"
 #include "observability/trace.h"
 #include "observability/trace_export.h"
@@ -169,6 +170,12 @@ std::string FlightRecorder::write_dump_locked(std::string_view reason,
   json.end_array();
   json.key("timeseries").raw(TimeSeries::global().to_json());
   json.key("ledger").raw(WorkLedger::global().to_json());
+  if (context.provenance != nullptr) {
+    // snapshot() only takes the recorder's own mutex; like the global
+    // snapshots above it never calls back into the flight recorder.
+    json.key("provenance")
+        .raw(provenance_to_json(context.provenance->snapshot()));
+  }
   {
     TraceCollector& trace = TraceCollector::global();
     const std::vector<TraceEvent> events = trace.snapshot();

@@ -39,6 +39,8 @@
 
 namespace slider::obs {
 
+class ProvenanceRecorder;
+
 // One noted fault event (bounded ring; embedded in every dump).
 struct FaultNote {
   double sim_time = -1;  // < 0: unknown (the noting layer has no sim clock)
@@ -62,6 +64,9 @@ class FlightRecorder {
     std::string session;  // label, e.g. the tree variant
     double sim_time = 0;
     const std::vector<SloVerdict>* verdicts = nullptr;  // optional
+    // Lineage history of the dumping session (provenance.h); embedded as
+    // the dump's "provenance" section when non-null. Not owned.
+    const ProvenanceRecorder* provenance = nullptr;
   };
 
   static FlightRecorder& global();

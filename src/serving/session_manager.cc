@@ -4,7 +4,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <filesystem>
+#include <optional>
 #include <unordered_set>
 #include <utility>
 
@@ -93,6 +95,12 @@ bool SessionManager::add_tenant(TenantSpec spec,
   state->config = std::move(spec.config);
   state->config.tenant = state->name;
   state->config.timeseries = &state->series;
+  if (options_.record_provenance || state->config.record_provenance) {
+    state->provenance =
+        std::make_unique<obs::ProvenanceRecorder>(options_.provenance_options);
+    state->config.record_provenance = true;
+    state->config.provenance = state->provenance.get();
+  }
   // GC over a shared store must see every tenant's live set at once; a
   // single session's GC would collect its neighbours (garbage_collect()).
   state->config.run_gc = false;
@@ -338,6 +346,14 @@ obs::TimeSeriesSnapshot SessionManager::tenant_series(
   return it->second->series.snapshot();
 }
 
+const obs::ProvenanceRecorder* SessionManager::tenant_provenance(
+    const std::string& name) const {
+  std::shared_lock<std::shared_mutex> registry(registry_mutex_);
+  const auto it = tenants_.find(name);
+  if (it == tenants_.end()) return nullptr;
+  return it->second->provenance.get();
+}
+
 bool SessionManager::is_cold(const std::string& name) const {
   std::shared_lock<std::shared_mutex> registry(registry_mutex_);
   const auto it = tenants_.find(name);
@@ -432,6 +448,59 @@ bool SessionManager::start_introspection() {
           return obs::HttpResponse::error(404, "no such tenant: " + tenant);
         }
         return obs::HttpResponse::json(it->second->series.to_json());
+      });
+  // Tenant-routed provenance drill-downs. Unlike the single-session
+  // endpoint the fleet serves many recorders, so ?tenant= is mandatory.
+  server->add_route("/explain", [this](const obs::HttpRequest& request) {
+    const std::string tenant = request.query_param("tenant", "");
+    if (tenant.empty()) {
+      return obs::HttpResponse::error(400, "missing ?tenant=<name>");
+    }
+    const std::string key = request.query_param("key");
+    if (key.empty()) {
+      return obs::HttpResponse::error(400, "missing ?key=<reduce key>");
+    }
+    const std::string raw = request.query_param("partition", "0");
+    char* end = nullptr;
+    const long partition = std::strtol(raw.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || partition < 0) {
+      return obs::HttpResponse::error(400, "bad partition '" + raw + "'");
+    }
+    std::optional<std::uint64_t> sequence;
+    const std::string seq = request.query_param("sequence");
+    if (!seq.empty()) sequence = std::strtoull(seq.c_str(), nullptr, 10);
+    std::shared_lock<std::shared_mutex> registry(registry_mutex_);
+    const auto it = tenants_.find(tenant);
+    if (it == tenants_.end()) {
+      return obs::HttpResponse::error(404, "no such tenant: " + tenant);
+    }
+    if (it->second->provenance == nullptr) {
+      return obs::HttpResponse::error(
+          404, "provenance recording is not enabled "
+               "(SessionManagerOptions::record_provenance)");
+    }
+    return obs::HttpResponse::json(
+        obs::explanation_to_json(it->second->provenance->explain(
+            key, static_cast<int>(partition), sequence)));
+  });
+  server->add_route(
+      "/criticalpath.json", [this](const obs::HttpRequest& request) {
+        const std::string tenant = request.query_param("tenant", "");
+        if (tenant.empty()) {
+          return obs::HttpResponse::error(400, "missing ?tenant=<name>");
+        }
+        std::shared_lock<std::shared_mutex> registry(registry_mutex_);
+        const auto it = tenants_.find(tenant);
+        if (it == tenants_.end()) {
+          return obs::HttpResponse::error(404, "no such tenant: " + tenant);
+        }
+        if (it->second->provenance == nullptr) {
+          return obs::HttpResponse::error(
+              404, "provenance recording is not enabled "
+                   "(SessionManagerOptions::record_provenance)");
+        }
+        return obs::HttpResponse::json(
+            obs::criticalpath_to_json(it->second->provenance->snapshot()));
       });
   if (!server->start()) return false;
   introspect_ = std::move(server);

@@ -53,6 +53,7 @@
 #include <vector>
 
 #include "observability/introspection_server.h"
+#include "observability/provenance.h"
 #include "observability/timeseries.h"
 #include "slider/session.h"
 #include "storage/memo_store.h"
@@ -105,6 +106,16 @@ struct SessionManagerOptions {
   // fine for dozens, ruinous for a 10k-session fleet; scale drivers
   // shrink this.
   obs::TimeSeries::Options series_options;
+  // Arm per-tenant lineage recording (SliderConfig::record_provenance).
+  // Each tenant gets a private ProvenanceRecorder owned by the manager,
+  // so lineage history survives idle checkpoint / re-hydration cycles;
+  // the fleet endpoint serves it via /explain?tenant=NAME&key=... and
+  // /criticalpath.json?tenant=NAME. A tenant whose spec already sets
+  // config.record_provenance is armed even when this is false.
+  bool record_provenance = false;
+  // Ring geometry of every armed tenant's lineage recorder. The defaults
+  // (32 raw DAGs) are sized for one session; large fleets shrink this.
+  obs::ProvenanceRecorder::Options provenance_options;
 };
 
 struct TenantCounters {
@@ -175,6 +186,11 @@ class SessionManager {
   // Snapshot of the tenant's private time-series sink (empty snapshot for
   // unknown names) — the bench's per-tenant latency-percentile source.
   obs::TimeSeriesSnapshot tenant_series(const std::string& name) const;
+  // The tenant's lineage recorder; nullptr for unknown or unarmed
+  // tenants. Valid while the tenant is cold (lineage outlives the
+  // session object, like the time-series sink).
+  const obs::ProvenanceRecorder* tenant_provenance(
+      const std::string& name) const;
 
   // Fleet endpoint. start_introspection() is a no-op (returning false)
   // when options.introspect_port is -1.
@@ -204,6 +220,9 @@ class SessionManager {
     // Private time-series sink; SLOs evaluate over this, so a noisy
     // neighbour cannot breach this tenant's objectives.
     obs::TimeSeries series;
+    // Private lineage recorder (non-null iff armed); outlives the session
+    // across cold cycles so /explain keeps working on a spooled tenant.
+    std::unique_ptr<obs::ProvenanceRecorder> provenance;
 
     mutable std::mutex mutex;  // guards everything below + session runs
     std::unique_ptr<SliderSession> session;  // null while cold/unusable

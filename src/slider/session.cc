@@ -107,6 +107,20 @@ std::string_view tree_kind_name(TreeKind kind) {
   return "unknown";
 }
 
+// Per-run critical-path histogram (armed provenance sessions only):
+// exported as slider_critical_path_seconds on /metrics. Exponential
+// buckets spanning microsecond slides to minute-scale initial builds.
+obs::Histogram& critical_path_histogram() {
+  static obs::Histogram* histogram =
+      &obs::StatsRegistry::global().histogram(
+          "critical_path_seconds",
+          obs::HistogramOptions{.min = 1e-6,
+                                .max = 1 << 7,
+                                .buckets = 27,
+                                .exponential = true});
+  return *histogram;
+}
+
 // SLIDER_TRACE_DIR: directory for an automatic Chrome-trace export when a
 // session is destroyed. Setting it also enables the collector, so the env
 // var alone is enough to get a trace out of any binary.
@@ -140,6 +154,14 @@ SliderSession::SliderSession(const VanillaEngine& engine, MemoStore& memo,
   // bit-identical to the single-tenant formulas.
   tenant_salt_ =
       config_.tenant.empty() ? 0 : hash_string(config_.tenant);
+  if (config_.record_provenance) {
+    if (config_.provenance != nullptr) {
+      provenance_ = config_.provenance;
+    } else {
+      owned_provenance_ = std::make_unique<obs::ProvenanceRecorder>();
+      provenance_ = owned_provenance_.get();
+    }
+  }
   const TreeKind kind = config_.tree_kind.value_or(default_tree_for(config_.mode));
   TreeOptions options;
   options.kind = kind;
@@ -239,11 +261,64 @@ void SliderSession::maybe_start_introspection() {
     const TreeDescription description =
         describe_tree(static_cast<int>(partition));
     if (request.query_param("format") == "dot") {
-      return obs::HttpResponse::text(tree_description_to_dot(description),
-                                     "text/vnd.graphviz");
+      // Armed sessions color nodes by last-slide disposition: grey the
+      // reused hinterland, green fresh payloads, red every recompute.
+      std::unordered_map<NodeId, std::string> dispositions;
+      if (provenance_ != nullptr) {
+        const obs::ProvenanceSnapshot snap = provenance_->snapshot();
+        for (std::size_t i = snap.raw.size(); i-- > 0;) {
+          const obs::SlideLineage& slide = snap.raw[i];
+          if (partition < static_cast<long>(slide.partitions.size()) &&
+              !slide.partitions[partition].empty()) {
+            dispositions =
+                obs::disposition_map(slide, static_cast<int>(partition));
+            break;
+          }
+        }
+      }
+      return obs::HttpResponse::text(
+          tree_description_to_dot(description, dispositions),
+          "text/vnd.graphviz");
     }
     return obs::HttpResponse::json(tree_description_to_json(description));
   });
+  introspect_->add_route("/explain", [this](const obs::HttpRequest& request) {
+    if (provenance_ == nullptr) {
+      return obs::HttpResponse::error(
+          404, "provenance recording is not enabled "
+               "(SliderConfig::record_provenance)");
+    }
+    const std::string key = request.query_param("key");
+    if (key.empty()) {
+      return obs::HttpResponse::error(400, "missing ?key=<reduce key>");
+    }
+    const std::string raw = request.query_param("partition", "0");
+    char* end = nullptr;
+    const long partition = std::strtol(raw.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || partition < 0 ||
+        partition >= static_cast<long>(partitions_.size())) {
+      return obs::HttpResponse::error(
+          400, "bad partition '" + raw + "' (have " +
+                   std::to_string(partitions_.size()) + ")");
+    }
+    std::optional<std::uint64_t> sequence;
+    const std::string seq = request.query_param("sequence");
+    if (!seq.empty()) {
+      sequence = std::strtoull(seq.c_str(), nullptr, 10);
+    }
+    return obs::HttpResponse::json(obs::explanation_to_json(
+        provenance_->explain(key, static_cast<int>(partition), sequence)));
+  });
+  introspect_->add_route(
+      "/criticalpath.json", [this](const obs::HttpRequest&) {
+        if (provenance_ == nullptr) {
+          return obs::HttpResponse::error(
+              404, "provenance recording is not enabled "
+                   "(SliderConfig::record_provenance)");
+        }
+        return obs::HttpResponse::json(
+            obs::criticalpath_to_json(provenance_->snapshot()));
+      });
   // Override the stock liveness probe with the session's degradation view:
   // still HTTP 200 either way (the process is alive and, by construction,
   // still producing correct outputs — degradation only costs recomputes),
@@ -334,6 +409,7 @@ RunMetrics SliderSession::initial_run(std::vector<SplitPtr> splits) {
   for (TreeUpdateStats& ts : tree_stats) {
     ts.cause = obs::WorkCause::kInitialBuild;
     ts.passthrough_cause = obs::WorkCause::kInitialBuild;
+    ts.record_lineage = provenance_ != nullptr;
   }
   std::vector<std::size_t> new_leaf_bytes(partitions_.size(), 0);
   {
@@ -395,6 +471,7 @@ RunMetrics SliderSession::slide(std::size_t remove_front,
       ts.passthrough_cause = remove_front > 0 ? obs::WorkCause::kWindowRemove
                                               : obs::WorkCause::kWindowAdd;
     }
+    ts.record_lineage = provenance_ != nullptr;
   }
   std::vector<std::size_t> new_leaf_bytes(partitions_.size(), 0);
   {
@@ -423,7 +500,7 @@ RunMetrics SliderSession::slide(std::size_t remove_front,
 }
 
 void SliderSession::contraction_and_reduce(
-    const std::vector<TreeUpdateStats>& tree_stats,
+    std::vector<TreeUpdateStats>& tree_stats,
     const std::vector<std::size_t>& new_leaf_bytes, obs::RunKind run_kind,
     std::size_t removed, std::size_t added, RunMetrics& metrics,
     std::chrono::steady_clock::time_point wall_start) {
@@ -611,13 +688,30 @@ void SliderSession::contraction_and_reduce(
 
 void SliderSession::observe_run(
     obs::RunKind run_kind, std::size_t removed, std::size_t added,
-    const RunMetrics& metrics, const std::vector<TreeUpdateStats>& tree_stats,
+    const RunMetrics& metrics, std::vector<TreeUpdateStats>& tree_stats,
     double sim_start, double sim_latency,
     std::chrono::steady_clock::time_point wall_start) {
   // Opportunistic durable recovery: the degraded flag otherwise only
   // clears on a durable *write*, so a session that went quiet on the
   // durable tier after the fault healed would report degraded forever.
   memo_->poll_durable_recovery();
+
+  if (provenance_ != nullptr) {
+    // Lineage commit: move the per-partition record vectors out of the
+    // stats (they have served their ledger purpose by now), derive the
+    // tallies + critical path, and ring-buffer the slide.
+    std::vector<std::vector<obs::NodeLineage>> parts;
+    parts.reserve(tree_stats.size());
+    for (TreeUpdateStats& ts : tree_stats) {
+      parts.push_back(std::move(ts.lineage));
+    }
+    obs::SlideLineage lineage = obs::assemble_slide_lineage(
+        run_kind, config_.tenant, sim_start, std::move(parts),
+        obs::LineageCostParams{job_.costs.combine_cpu_per_row,
+                               config_.memo_lookup_sec});
+    critical_path_histogram().observe(lineage.critical_path_seconds);
+    provenance_->record(std::move(lineage));
+  }
 
   if (config_.sample_timeseries) {
     obs::SlideSample sample;
@@ -686,6 +780,7 @@ void SliderSession::observe_run(
     verdict_copy = slo_verdicts_;
   }
   ctx.verdicts = have_verdicts ? &verdict_copy : nullptr;
+  ctx.provenance = provenance_;
   obs::FlightRecorder::global().maybe_dump(ctx);
 }
 
@@ -707,6 +802,7 @@ RunMetrics SliderSession::run_background() {
   for (TreeUpdateStats& ts : tree_stats) {
     ts.cause = obs::WorkCause::kBackgroundPreprocess;
     ts.passthrough_cause = obs::WorkCause::kBackgroundPreprocess;
+    ts.record_lineage = provenance_ != nullptr;
   }
   // Per-partition shares filled by the parallel loop, folded in partition
   // order below so the floating-point sums match the serial run exactly.

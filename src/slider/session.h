@@ -106,6 +106,19 @@ struct SliderConfig {
   // sink only — a noisy neighbour cannot breach this tenant's SLOs. Not
   // owned; must outlive the session.
   obs::TimeSeries* timeseries = nullptr;
+  // Per-slide lineage recording (observability/provenance.h). When true,
+  // every tree charge site also appends a NodeLineage record and the
+  // session commits one SlideLineage per run (initial/slide/background)
+  // into the recorder, deriving the critical path and the
+  // slider_critical_path_seconds histogram. Served as /explain and
+  // /criticalpath.json on the introspection endpoint and embedded in
+  // flight-recorder post-mortems. Off (the default) costs nothing: the
+  // record sites are guarded by a bool in the charge context.
+  bool record_provenance = false;
+  // External lineage sink (e.g. the serving layer's per-tenant recorder).
+  // Not owned; must outlive the session. When null and record_provenance
+  // is set, the session owns a recorder with default ring options.
+  obs::ProvenanceRecorder* provenance = nullptr;
 };
 
 class SliderSession {
@@ -181,6 +194,11 @@ class SliderSession {
   // been sampled, or when config().slos is empty). Thread-safe.
   std::vector<obs::SloVerdict> slo_verdicts() const;
 
+  // Lineage recorder when SliderConfig::record_provenance is set (the
+  // external sink, or the session-owned one); nullptr when disarmed.
+  // ProvenanceRecorder is internally synchronized.
+  obs::ProvenanceRecorder* provenance() const { return provenance_; }
+
   // Causal attribution (observability/work_ledger.h): after restore(),
   // slides are re-executions of work the pre-crash process already did, so
   // their tree work bills to recovery_replay until the caller declares the
@@ -209,17 +227,21 @@ class SliderSession {
   // the run's causal attribution to the process-wide WorkLedger and the
   // run's SlideSample to the process-wide TimeSeries (`wall_start` is the
   // host clock at the run's entry point, for the wall-latency sample).
-  void contraction_and_reduce(const std::vector<TreeUpdateStats>& tree_stats,
+  // `tree_stats` is non-const: when provenance recording is armed,
+  // observe_run moves the per-partition lineage vectors out of the stats
+  // into the SlideLineage it commits.
+  void contraction_and_reduce(std::vector<TreeUpdateStats>& tree_stats,
                               const std::vector<std::size_t>& new_leaf_bytes,
                               obs::RunKind run_kind, std::size_t removed,
                               std::size_t added, RunMetrics& metrics,
                               std::chrono::steady_clock::time_point wall_start);
   // Slide-boundary observability tail, shared with run_background():
-  // opportunistic degraded-drain probe, time-series sample, SLO
-  // evaluation (breaches request a post-mortem), flight-recorder tick.
+  // opportunistic degraded-drain probe, lineage commit, time-series
+  // sample, SLO evaluation (breaches request a post-mortem),
+  // flight-recorder tick.
   void observe_run(obs::RunKind run_kind, std::size_t removed,
                    std::size_t added, const RunMetrics& metrics,
-                   const std::vector<TreeUpdateStats>& tree_stats,
+                   std::vector<TreeUpdateStats>& tree_stats,
                    double sim_start, double sim_latency,
                    std::chrono::steady_clock::time_point wall_start);
   void garbage_collect();
@@ -246,6 +268,11 @@ class SliderSession {
   // is live.
   mutable std::shared_mutex state_mutex_;
   std::unique_ptr<obs::IntrospectionServer> introspect_;
+
+  // Lineage sink (see provenance()). Points at config_.provenance or at
+  // owned_provenance_; null when record_provenance is off.
+  obs::ProvenanceRecorder* provenance_ = nullptr;
+  std::unique_ptr<obs::ProvenanceRecorder> owned_provenance_;
 
   // Latest SLO verdicts, swapped in once per sampled run; read by the
   // /healthz handler and slo_verdicts().

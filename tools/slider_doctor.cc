@@ -11,13 +11,23 @@
 //     invocations stand well above the window median, attributed to the
 //     ledger causes that produced them.
 //
+// Armed sessions (SliderConfig::record_provenance) embed a "provenance"
+// section — the per-slide lineage rings — which adds two more reads:
+//
+//   * a provenance summary plus the worst recorded critical path, and
+//   * --explain=<key> [--partition=N]: re-runs the lineage walk offline
+//     against the newest recorded slide and prints the minimal
+//     reused/recomputed frontier that produced that output key.
+//
 // Usage:
-//   slider_doctor <dump.pm.json | dir> [--expect-fault=<kind>] [--quiet]
+//   slider_doctor <dump.pm.json | dir> [--expect-fault=<kind>]
+//                 [--explain=<key>] [--partition=<n>] [--quiet]
 //
 // --expect-fault=<kind> turns the tool into a gate: exit 0 iff at least
 // one valid dump contains a fault note whose kind matches (substring).
 // Used by the `tools_slider_doctor` ctest to prove a chaos-induced dump
-// round-trips and attributes the injected fault.
+// round-trips and attributes the injected fault. --explain is a gate the
+// same way: exit 0 iff some dump's lineage resolves the key.
 
 #include <algorithm>
 #include <cstdio>
@@ -28,6 +38,7 @@
 #include <vector>
 
 #include "observability/postmortem.h"
+#include "observability/provenance.h"
 
 namespace {
 
@@ -37,6 +48,7 @@ struct DoctorStats {
   std::size_t dumps_parsed = 0;
   std::size_t dumps_invalid = 0;
   bool expected_fault_seen = false;
+  bool explain_resolved = false;
 };
 
 double json_median(std::vector<double> values) {
@@ -184,7 +196,93 @@ void print_timeseries_section(const JsonValue& series, bool quiet) {
   if (!any) std::printf("  (none)\n");
 }
 
+void print_provenance_section(const JsonValue& prov,
+                              const std::string& explain_key, int partition,
+                              DoctorStats& stats, bool quiet) {
+  if (prov.is_null()) {
+    if (!explain_key.empty() && !quiet) {
+      std::printf("Provenance: (not recorded in this dump; arm "
+                  "SliderConfig::record_provenance)\n");
+    }
+    return;
+  }
+  const slider::obs::ProvenanceSnapshot snap =
+      slider::obs::provenance_from_json(prov);
+  std::uint64_t aggregated = 0;
+  for (const slider::obs::LineageAggregate& a : snap.aggregates) {
+    aggregated += a.count;
+  }
+  if (!quiet) {
+    std::printf("Provenance: %llu slide(s) recorded (%zu raw DAGs retained, "
+                "%llu aggregated, %llu dropped)\n",
+                static_cast<unsigned long long>(snap.total_recorded),
+                snap.raw.size(), static_cast<unsigned long long>(aggregated),
+                static_cast<unsigned long long>(snap.samples_dropped));
+    // The worst critical path still holding a full DAG: the chain a
+    // latency post-mortem should chase first.
+    const slider::obs::SlideLineage* worst = nullptr;
+    for (const slider::obs::SlideLineage& s : snap.raw) {
+      if (worst == nullptr ||
+          s.critical_path_seconds > worst->critical_path_seconds) {
+        worst = &s;
+      }
+    }
+    if (worst != nullptr && !worst->critical_path.empty()) {
+      std::printf("Worst critical path (slide seq %llu, %s, partition %d, "
+                  "%.6gs):\n",
+                  static_cast<unsigned long long>(worst->sequence),
+                  slider::obs::run_kind_name(worst->kind).data(),
+                  worst->critical_path_partition,
+                  worst->critical_path_seconds);
+      for (const slider::obs::PathNode& n : worst->critical_path) {
+        std::printf("  L%-2u %-12s %-22s %-12.6g id=%llu\n", n.level,
+                    slider::obs::lineage_op_name(n.op).data(),
+                    slider::obs::work_cause_name(n.cause).data(), n.seconds,
+                    static_cast<unsigned long long>(n.id));
+      }
+    }
+  }
+  if (explain_key.empty()) return;
+  // Offline drill-down: newest raw slide that touched the partition.
+  for (std::size_t i = snap.raw.size(); i-- > 0;) {
+    const slider::obs::SlideLineage& slide = snap.raw[i];
+    if (partition >= static_cast<int>(slide.partitions.size()) ||
+        slide.partitions[partition].empty()) {
+      continue;
+    }
+    const slider::obs::Explanation ex =
+        slider::obs::explain_slide(slide, explain_key, partition);
+    if (!ex.found) continue;
+    stats.explain_resolved = true;
+    std::printf("Explain '%s' (slide seq %llu, %s, partition %d, apex %llu "
+                "at L%u, %s membership):\n",
+                explain_key.c_str(),
+                static_cast<unsigned long long>(ex.sequence),
+                slider::obs::run_kind_name(ex.kind).data(), ex.partition,
+                static_cast<unsigned long long>(ex.apex), ex.apex_level,
+                ex.exact ? "exact" : "bloom-approximate");
+    for (const slider::obs::ExplainEntry& e : ex.frontier) {
+      std::printf("  frontier id=%llu level=%u op=%s cause=%s "
+                  "disposition=%s rows=%llu invocations=%u\n",
+                  static_cast<unsigned long long>(e.id), e.level,
+                  slider::obs::lineage_op_name(e.op).data(),
+                  slider::obs::work_cause_name(e.cause).data(),
+                  e.disposition.c_str(),
+                  static_cast<unsigned long long>(e.rows), e.invocations);
+    }
+    std::printf("  walked=%llu untouched_children=%llu frontier=%zu\n",
+                static_cast<unsigned long long>(ex.walked_nodes),
+                static_cast<unsigned long long>(ex.untouched_children),
+                ex.frontier.size());
+    return;
+  }
+  std::printf("Explain '%s': no recorded slide of partition %d contains the "
+              "key\n",
+              explain_key.c_str(), partition);
+}
+
 bool doctor_one(const std::string& path, const std::string& expect,
+                const std::string& explain_key, int partition,
                 DoctorStats& stats, bool quiet) {
   const auto file = slider::obs::read_postmortem(path);
   if (!file.has_value()) {
@@ -209,6 +307,8 @@ bool doctor_one(const std::string& path, const std::string& expect,
   print_fault_section(root["faults"], expect, stats, quiet);
   print_ledger_section(root["ledger"], quiet);
   print_timeseries_section(root["timeseries"], quiet);
+  print_provenance_section(root["provenance"], explain_key, partition, stats,
+                           quiet);
   if (!quiet) std::printf("\n");
   return true;
 }
@@ -243,10 +343,15 @@ int main(int argc, char** argv) {
   if (target.empty()) {
     std::fprintf(stderr,
                  "usage: slider_doctor <dump.pm.json | dir> "
-                 "[--expect-fault=<kind>] [--quiet]\n");
+                 "[--expect-fault=<kind>] [--explain=<key>] "
+                 "[--partition=<n>] [--quiet]\n");
     return 2;
   }
   const std::string expect = arg_value(argc, argv, "--expect-fault");
+  const std::string explain_key = arg_value(argc, argv, "--explain");
+  const std::string partition_arg = arg_value(argc, argv, "--partition");
+  const int partition =
+      partition_arg.empty() ? 0 : std::atoi(partition_arg.c_str());
   const bool quiet = has_flag(argc, argv, "--quiet");
 
   std::vector<std::string> paths;
@@ -270,7 +375,7 @@ int main(int argc, char** argv) {
 
   DoctorStats stats;
   for (const std::string& path : paths) {
-    doctor_one(path, expect, stats, quiet);
+    doctor_one(path, expect, explain_key, partition, stats, quiet);
   }
 
   std::printf("slider_doctor: %zu dump(s) parsed, %zu invalid\n",
@@ -286,6 +391,17 @@ int main(int argc, char** argv) {
     }
     std::printf("slider_doctor: expected fault '%s' attributed OK\n",
                 expect.c_str());
+  }
+  if (!explain_key.empty()) {
+    if (!stats.explain_resolved) {
+      std::fprintf(stderr,
+                   "slider_doctor: key '%s' not found in any dump's "
+                   "recorded lineage (partition %d)\n",
+                   explain_key.c_str(), partition);
+      return 1;
+    }
+    std::printf("slider_doctor: explain frontier for '%s' resolved OK\n",
+                explain_key.c_str());
   }
   return 0;
 }
