@@ -8,9 +8,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <filesystem>
 
 #include "bench/bench_util.h"
 #include "common/thread_pool.h"
+#include "durability/durable_tier.h"
 #include "observability/timeseries.h"
 
 using namespace slider;
@@ -285,6 +287,68 @@ void run_provenance_overhead(obs::RunReport& report) {
       .col("provenance_overhead_pct", overhead_pct);
 }
 
+// Wall-clock of the same steady-state scenario with the integrity
+// scrubber armed (SliderConfig::scrub_records_per_slide) vs disarmed.
+// Both runs write through an attached durable tier (BenchEnv has none, so
+// one is stood up in a temp dir) — the only delta is the per-slide scrub
+// itself: CRC re-verification of at-rest records plus the cross-replica
+// check. Acceptance bar: <2% overhead armed, zero when disarmed (one
+// branch per slide).
+double timed_scrub_run(std::uint64_t budget,
+                       const std::filesystem::path& dir) {
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const auto bench = apps::make_microbenchmark(apps::MicroApp::kKMeans);
+  ExperimentParams params;
+  params.change_fraction = 0.25;
+  params.records_per_split = records_per_split_for(bench);
+  params.mode = WindowMode::kVariableWidth;
+  params.scrub_records_per_slide = budget;
+  BenchEnv env;
+  durability::DurableTier tier(dir.string());
+  env.memo.attach_durable_tier(&tier);
+  Driver driver(env, bench, params);
+  driver.initial_run();
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < 8; ++i) driver.slide();
+  const auto stop = std::chrono::steady_clock::now();
+  const double ms =
+      std::chrono::duration<double, std::milli>(stop - start).count();
+  env.memo.flush_durable();
+  return ms;
+}
+
+void run_scrub_overhead(obs::RunReport& report) {
+  print_title("Scrub overhead: integrity scrubber armed vs disarmed");
+  constexpr int kReps = 5;
+  constexpr std::uint64_t kBudget = 256;  // records re-verified per slide
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "slider_fig9_scrub";
+  double off_ms = 0, on_ms = 0;
+  for (int i = 0; i < kReps; ++i) {
+    const double off = timed_scrub_run(0, dir);
+    const double on = timed_scrub_run(kBudget, dir);
+    off_ms = i == 0 ? off : std::min(off_ms, off);
+    on_ms = i == 0 ? on : std::min(on_ms, on);
+  }
+  std::filesystem::remove_all(dir);
+  const double overhead_pct =
+      off_ms > 0 ? 100.0 * (on_ms - off_ms) / off_ms : 0.0;
+  std::printf("  k-means, variable-width, 120-split window, 8 slides, "
+              "durable tier attached, best of %d\n", kReps);
+  std::printf("  scrub disarmed:         %8.1f ms\n", off_ms);
+  std::printf("  scrub armed (%llu/slide): %8.1f ms   (overhead %+.2f%%, "
+              "bar <2%%)\n",
+              static_cast<unsigned long long>(kBudget), on_ms, overhead_pct);
+  report.add_row()
+      .col("section", "scrub_overhead")
+      .col("app", "k-means")
+      .col("scrub_records_per_slide", static_cast<double>(kBudget))
+      .col("wall_ms_scrub_off", off_ms)
+      .col("wall_ms_scrub_on", on_ms)
+      .col("scrub_overhead_pct", overhead_pct);
+}
+
 }  // namespace
 
 int main() {
@@ -311,6 +375,7 @@ int main() {
   run_flat_tier(report);
   run_observability_overhead(report);
   run_provenance_overhead(report);
+  run_scrub_overhead(report);
 
   const std::string path = report.write();
   if (!path.empty()) std::printf("\nreport: %s\n", path.c_str());

@@ -62,6 +62,9 @@ struct ExperimentParams {
   // Per-slide lineage recording (SliderConfig::record_provenance); the
   // fig9 provenance-overhead section measures armed vs disarmed.
   bool record_provenance = false;
+  // Per-slide integrity-scrub budget (SliderConfig::scrub_records_per_slide,
+  // 0 = disarmed); the fig9 scrub-overhead section measures armed vs off.
+  std::uint64_t scrub_records_per_slide = 0;
 };
 
 // Paper-shaped per-app inputs: compute-intensive apps get more, heavier
@@ -91,6 +94,7 @@ class Driver {
     config.bucket_width = slide_splits(params);
     config.sample_timeseries = params.sample_timeseries;
     config.record_provenance = params.record_provenance;
+    config.scrub_records_per_slide = params.scrub_records_per_slide;
     session_ =
         std::make_unique<SliderSession>(env.engine, env.memo, bench.job,
                                         config);

@@ -104,8 +104,27 @@ std::unique_ptr<CheckpointReader> CheckpointReader::open(
     ok = std::fread(blob.data(), 1, blob.size(), f) == blob.size();
   }
   std::fclose(f);
-  if (!ok || crc32c(blob) != expect_crc) {
-    SLIDER_LOG(Warning) << "checkpoint: rejecting manifest " << path;
+  // The blob starts right after the fixed header: 8B magic + 4B version +
+  // 4B crc + 8B blob_size = byte offset 24.
+  constexpr std::size_t kBlobOffset = sizeof(kMagic) + 4 + 4 + 8;
+  if (!ok) {
+    SLIDER_LOG(Warning) << "checkpoint: rejecting manifest " << path
+                        << ": bad magic, header, or truncated blob (declared "
+                        << blob_size << " blob bytes at file offset "
+                        << kBlobOffset << ")";
+    return nullptr;
+  }
+  const std::uint32_t actual_crc = crc32c(blob);
+  if (actual_crc != expect_crc) {
+    char expect_hex[16];
+    char actual_hex[16];
+    std::snprintf(expect_hex, sizeof(expect_hex), "0x%08x", expect_crc);
+    std::snprintf(actual_hex, sizeof(actual_hex), "0x%08x", actual_crc);
+    SLIDER_LOG(Warning) << "checkpoint: rejecting manifest " << path
+                        << ": blob crc mismatch (expected " << expect_hex
+                        << ", actual " << actual_hex << " over " << blob.size()
+                        << " bytes at file offset " << kBlobOffset
+                        << "; header intact, corruption is inside the blob)";
     return nullptr;
   }
   obs::StatsRegistry::global().counter("durability.checkpoints_loaded").add();

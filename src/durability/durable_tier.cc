@@ -75,6 +75,7 @@ std::size_t DurableTier::reopen_failed() {
     log->reopen();
     if (!log->failed()) ++reopened;
   }
+  if (reopened > 0) ++mutation_epoch_;
   return reopened;
 }
 
@@ -97,6 +98,7 @@ SegmentLog::CompactionResult DurableTier::compact(
     total.records_dropped += result.records_dropped;
   }
   bytes_since_compact_ = 0;
+  ++mutation_epoch_;
   return total;
 }
 

@@ -88,11 +88,18 @@ class DurableTier {
   std::uint64_t bytes_on_disk() const;
   std::uint64_t records_appended() const;
 
+  // Bumped whenever segment files may have been replaced or removed
+  // (compaction, degraded-log reopen). The integrity scrubber snapshots
+  // this at pass start and abandons the pass when it moves — its per-pass
+  // file cursors would otherwise point at deleted segments.
+  std::uint64_t mutation_epoch() const { return mutation_epoch_; }
+
  private:
   std::string root_;
   DurableTierOptions options_;
   std::vector<std::unique_ptr<SegmentLog>> logs_;
   std::uint64_t bytes_since_compact_ = 0;
+  std::uint64_t mutation_epoch_ = 0;
 };
 
 }  // namespace slider::durability

@@ -19,12 +19,11 @@ namespace {
 
 namespace fs = std::filesystem;
 
-constexpr std::size_t kHeaderBytes = 8;        // u32 len + u32 crc
-constexpr std::size_t kBodyFixedBytes = 17;    // u8 type + u64 seq + u64 key
-// A body longer than this is taken as framing garbage rather than a real
-// record: resyncing past it would mean trusting a corrupt length to jump
-// anywhere in the file, so the scan abandons the segment instead.
-constexpr std::uint32_t kMaxPlausibleBody = 1u << 30;
+// Wire-format constants live in segment_log.h (shared with the scrubber);
+// local aliases keep the scan code readable.
+constexpr std::size_t kHeaderBytes = kLogHeaderBytes;
+constexpr std::size_t kBodyFixedBytes = kLogBodyFixedBytes;
+constexpr std::uint32_t kMaxPlausibleBody = kLogMaxPlausibleBody;
 
 struct DurabilityInstruments {
   obs::Counter& records_appended;

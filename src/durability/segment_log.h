@@ -41,6 +41,16 @@ namespace slider::durability {
 
 using LogKey = std::uint64_t;
 
+// Record wire-format constants, shared with the at-rest re-verifier in
+// durability/scrubber.cc (which walks sealed segments frame by frame
+// without opening them for append).
+inline constexpr std::size_t kLogHeaderBytes = 8;      // u32 len + u32 crc
+inline constexpr std::size_t kLogBodyFixedBytes = 17;  // u8 type+u64 seq+u64 key
+// A body longer than this is taken as framing garbage rather than a real
+// record: resyncing past it would mean trusting a corrupt length to jump
+// anywhere in the file, so scans abandon the segment instead.
+inline constexpr std::uint32_t kLogMaxPlausibleBody = 1u << 30;
+
 enum class FsyncPolicy : std::uint8_t {
   kNever,        // rely on the OS page cache (tests, benches)
   kOnRotate,     // fsync each segment as it seals + on close
@@ -110,6 +120,14 @@ class SegmentLog {
   void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
 
   const std::string& dir() const { return dir_; }
+  // Path of the segment currently open for append. The scrubber must not
+  // quarantine (rename) this file under the writer; it seals it first.
+  const std::string& active_path() const { return active_path_; }
+  // Seals the active segment and continues in a fresh one (the scrubber's
+  // pre-quarantine hook). No-op on a failed log.
+  void rotate_now() {
+    if (!failed_) rotate();
+  }
   std::uint64_t bytes_appended() const { return bytes_appended_; }
   std::uint64_t records_appended() const { return records_appended_; }
   std::uint64_t segments_rotated() const { return segments_rotated_; }

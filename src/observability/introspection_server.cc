@@ -209,6 +209,16 @@ std::string prometheus_text(const StatsSnapshot& stats,
                  ledger.counters.failure_forced_misses);
   ledger_counter("slider_ledger_degraded_mode_intervals_total",
                  ledger.counters.degraded_mode_intervals);
+  // Integrity scrubbing (durability/scrubber.h): at-rest frames verified,
+  // corruptions found, and how each was resolved. Conservation invariant:
+  // detected == repairs + quarantines at every scrape.
+  ledger_counter("slider_scrub_records_verified_total",
+                 ledger.counters.scrub_records_verified);
+  ledger_counter("slider_scrub_corruptions_detected_total",
+                 ledger.counters.scrub_corruptions_detected);
+  ledger_counter("slider_scrub_repairs_total", ledger.counters.scrub_repairs);
+  ledger_counter("slider_scrub_quarantines_total",
+                 ledger.counters.scrub_quarantines);
   // Fault-tolerance scoreboard (robustness/chaos.h): chaos events injected,
   // task attempts re-queued, and machines blacklisted for repeated injected
   // failures. machines_blacklisted is exposed as a gauge: blacklists are

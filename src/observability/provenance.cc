@@ -36,6 +36,7 @@ std::string_view disposition_name(LineageOp op, WorkCause cause) {
     case WorkCause::kBackgroundPreprocess: return "background";
     case WorkCause::kSpeculativeReexec: return "speculative";
     case WorkCause::kFailureReexec: return "failure_reexec";
+    case WorkCause::kScrubRepair: return "scrub_repair";
   }
   return "recomputed";
 }

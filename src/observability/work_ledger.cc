@@ -16,6 +16,7 @@ std::string_view work_cause_name(WorkCause cause) {
     case WorkCause::kBackgroundPreprocess: return "background_preprocess";
     case WorkCause::kSpeculativeReexec: return "speculative_reexec";
     case WorkCause::kFailureReexec: return "failure_reexec";
+    case WorkCause::kScrubRepair: return "scrub_repair";
   }
   return "unknown";
 }
@@ -43,6 +44,10 @@ struct WorkLedger::ThreadCell {
   std::atomic<std::uint64_t> task_retries{0};
   std::atomic<std::uint64_t> machines_blacklisted{0};
   std::atomic<std::uint64_t> degraded_mode_intervals{0};
+  std::atomic<std::uint64_t> scrub_records_verified{0};
+  std::atomic<std::uint64_t> scrub_corruptions_detected{0};
+  std::atomic<std::uint64_t> scrub_repairs{0};
+  std::atomic<std::uint64_t> scrub_quarantines{0};
 };
 
 WorkLedger::WorkLedger() = default;
@@ -122,6 +127,17 @@ void WorkLedger::note_degraded_interval(std::uint64_t count) {
                                                  std::memory_order_relaxed);
 }
 
+void WorkLedger::note_scrub(std::uint64_t verified, std::uint64_t detected,
+                            std::uint64_t repairs,
+                            std::uint64_t quarantines) {
+  ThreadCell& cell = local_cell();
+  cell.scrub_records_verified.fetch_add(verified, std::memory_order_relaxed);
+  cell.scrub_corruptions_detected.fetch_add(detected,
+                                            std::memory_order_relaxed);
+  cell.scrub_repairs.fetch_add(repairs, std::memory_order_relaxed);
+  cell.scrub_quarantines.fetch_add(quarantines, std::memory_order_relaxed);
+}
+
 void WorkLedger::commit_run(RunKind kind, std::size_t window_splits,
                             std::size_t removed, std::size_t added,
                             const std::vector<AttributedWork>& partitions,
@@ -197,6 +213,14 @@ LedgerSnapshot WorkLedger::snapshot() const {
         cell->machines_blacklisted.load(std::memory_order_relaxed);
     snap.counters.degraded_mode_intervals +=
         cell->degraded_mode_intervals.load(std::memory_order_relaxed);
+    snap.counters.scrub_records_verified +=
+        cell->scrub_records_verified.load(std::memory_order_relaxed);
+    snap.counters.scrub_corruptions_detected +=
+        cell->scrub_corruptions_detected.load(std::memory_order_relaxed);
+    snap.counters.scrub_repairs +=
+        cell->scrub_repairs.load(std::memory_order_relaxed);
+    snap.counters.scrub_quarantines +=
+        cell->scrub_quarantines.load(std::memory_order_relaxed);
   }
   return snap;
 }
@@ -220,6 +244,10 @@ void WorkLedger::reset() {
     cell->task_retries.store(0, std::memory_order_relaxed);
     cell->machines_blacklisted.store(0, std::memory_order_relaxed);
     cell->degraded_mode_intervals.store(0, std::memory_order_relaxed);
+    cell->scrub_records_verified.store(0, std::memory_order_relaxed);
+    cell->scrub_corruptions_detected.store(0, std::memory_order_relaxed);
+    cell->scrub_repairs.store(0, std::memory_order_relaxed);
+    cell->scrub_quarantines.store(0, std::memory_order_relaxed);
   }
 }
 
@@ -269,6 +297,12 @@ std::string ledger_to_json(const LedgerSnapshot& snapshot) {
       .value(snapshot.counters.machines_blacklisted);
   json.key("degraded_mode_intervals")
       .value(snapshot.counters.degraded_mode_intervals);
+  json.key("scrub_records_verified")
+      .value(snapshot.counters.scrub_records_verified);
+  json.key("scrub_corruptions_detected")
+      .value(snapshot.counters.scrub_corruptions_detected);
+  json.key("scrub_repairs").value(snapshot.counters.scrub_repairs);
+  json.key("scrub_quarantines").value(snapshot.counters.scrub_quarantines);
   json.end_object();
 
   if (!snapshot.tenants.empty()) {

@@ -21,6 +21,10 @@
 //   failure_reexec           — recomputation forced by a machine failure
 //                              that destroyed every intact replica of a
 //                              needed memo entry (§6 fault tolerance)
+//   scrub_repair             — online integrity scrubbing: at-rest bytes
+//                              re-verified and replica repairs performed by
+//                              durability/scrubber.h (I/O attribution; the
+//                              scrubber never runs combiners itself)
 //
 // Accounting discipline (same as docs/threading.md): the hot paths never
 // touch a shared ledger. Tree work accumulates into caller-owned
@@ -53,9 +57,10 @@ enum class WorkCause : std::uint8_t {
   kBackgroundPreprocess,
   kSpeculativeReexec,
   kFailureReexec,
+  kScrubRepair,
 };
 
-inline constexpr std::size_t kWorkCauseCount = 8;
+inline constexpr std::size_t kWorkCauseCount = 9;
 
 // Stable snake_case names, used as Prometheus label values and JSON keys.
 std::string_view work_cause_name(WorkCause cause);
@@ -172,6 +177,14 @@ struct LedgerCounters {
                                             // simulator
   std::uint64_t machines_blacklisted = 0;   // per-stage blacklist decisions
   std::uint64_t degraded_mode_intervals = 0;  // durable-tier degraded entries
+  // Online integrity scrubbing (durability/scrubber.h). Conservation:
+  // scrub_corruptions_detected == scrub_repairs + scrub_quarantines, every
+  // detection is resolved one way or the other (asserted by the bit-rot
+  // soak and the scrubber unit tests).
+  std::uint64_t scrub_records_verified = 0;
+  std::uint64_t scrub_corruptions_detected = 0;
+  std::uint64_t scrub_repairs = 0;
+  std::uint64_t scrub_quarantines = 0;
 };
 
 // Per-tenant slice of the ledger: cause totals for every run committed
@@ -250,6 +263,11 @@ class WorkLedger {
   void note_task_retry(std::uint64_t count = 1);
   void note_machine_blacklisted(std::uint64_t count = 1);
   void note_degraded_interval(std::uint64_t count = 1);
+  // Scrub-slice outcome: `verified` at-rest records re-checked, of which
+  // `detected` were corrupt/diverged, resolved as `repairs` re-appends from
+  // a healthy replica plus `quarantines` segment renames.
+  void note_scrub(std::uint64_t verified, std::uint64_t detected,
+                  std::uint64_t repairs, std::uint64_t quarantines);
 
   // How many SlideRecords snapshot() retains (default 64; 0 disables the
   // per-run history and keeps only the totals).

@@ -1,18 +1,51 @@
 #include "robustness/chaos.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <limits>
 #include <sstream>
 
 #include "common/hash.h"
 #include "common/logging.h"
 #include "common/rng.h"
+#include "data/serde.h"
 #include "durability/durable_tier.h"
 #include "observability/flight_recorder.h"
 #include "observability/work_ledger.h"
 #include "storage/memo_store.h"
 
 namespace slider::robustness {
+namespace {
+
+// Walks a segment file's frames and returns the byte offset where the last
+// complete frame starts (== size when the file holds none). Used to place a
+// replica-divergence truncation exactly at a frame boundary, so every
+// remaining frame stays CRC-intact.
+std::uint64_t last_frame_start(const std::string& path, std::uint64_t size) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return size;
+  std::uint64_t offset = 0;
+  std::uint64_t last = size;
+  char header[durability::kLogHeaderBytes];
+  while (offset + sizeof(header) <= size) {
+    if (std::fseek(f, static_cast<long>(offset), SEEK_SET) != 0) break;
+    if (std::fread(header, 1, sizeof(header), f) < sizeof(header)) break;
+    std::string_view hv(header, sizeof(header));
+    std::uint32_t body_len = 0;
+    wire::get_u32(hv, &body_len);
+    if (body_len < durability::kLogBodyFixedBytes ||
+        body_len > durability::kLogMaxPlausibleBody ||
+        offset + sizeof(header) + body_len > size) {
+      break;
+    }
+    last = offset;
+    offset += sizeof(header) + body_len;
+  }
+  std::fclose(f);
+  return last;
+}
+
+}  // namespace
 
 std::string_view chaos_event_name(ChaosEventType type) {
   switch (type) {
@@ -23,6 +56,8 @@ std::string_view chaos_event_name(ChaosEventType type) {
     case ChaosEventType::kMemoMemoryLoss: return "memo_memory_loss";
     case ChaosEventType::kDurableErrorOnset: return "durable_error_onset";
     case ChaosEventType::kDurableErrorClear: return "durable_error_clear";
+    case ChaosEventType::kBitRot: return "bit_rot";
+    case ChaosEventType::kReplicaDivergence: return "replica_divergence";
   }
   return "unknown";
 }
@@ -124,6 +159,22 @@ ChaosSchedule ChaosSchedule::generate(std::uint64_t seed,
         ChaosEventType::kDurableErrorClear, -1, 1.0});
   }
 
+  // --- at-rest corruption (bit rot + replica divergence) ------------------
+  // Drawn last so enabling them never perturbs the draws above: a legacy
+  // seed with both counts at 0 replays bit-identically. Targets (replica,
+  // segment, byte, bit) are resolved at apply time from the pre-drawn
+  // entropy, since no segment files exist while the schedule is generated.
+  for (int i = 0; i < options.bit_rot_events; ++i) {
+    const SimDuration t = draw_time();
+    schedule.events_.push_back(
+        ChaosEvent{t, ChaosEventType::kBitRot, -1, 1.0, rng.next_u64()});
+  }
+  for (int i = 0; i < options.replica_divergence_events; ++i) {
+    const SimDuration t = draw_time();
+    schedule.events_.push_back(ChaosEvent{
+        t, ChaosEventType::kReplicaDivergence, -1, 1.0, rng.next_u64()});
+  }
+
   std::stable_sort(schedule.events_.begin(), schedule.events_.end(),
                    [](const ChaosEvent& a, const ChaosEvent& b) {
                      return a.at < b.at;
@@ -181,7 +232,9 @@ void ChaosController::apply(const ChaosEvent& event) {
   const bool destructive = event.type == ChaosEventType::kMachineCrash ||
                            event.type == ChaosEventType::kStragglerOnset ||
                            event.type == ChaosEventType::kMemoMemoryLoss ||
-                           event.type == ChaosEventType::kDurableErrorOnset;
+                           event.type == ChaosEventType::kDurableErrorOnset ||
+                           event.type == ChaosEventType::kBitRot ||
+                           event.type == ChaosEventType::kReplicaDivergence;
   obs::FlightRecorder::global().note_fault(
       chaos_event_name(event.type),
       event.type == ChaosEventType::kStragglerOnset
@@ -246,6 +299,75 @@ void ChaosController::apply(const ChaosEvent& event) {
         if (targets_.memo != nullptr) targets_.memo->flush_durable();
       }
       break;
+    case ChaosEventType::kBitRot: {
+      // Silent at-rest corruption: flip one bit in a random flushed
+      // segment record. The integrity scrubber must detect it via the
+      // frame CRC and quarantine the segment — outputs stay byte-identical
+      // to a corruption-free control.
+      if (targets_.durable == nullptr) break;
+      durability::DurableTier& tier = *targets_.durable;
+      tier.flush();  // everything appended so far is at rest
+      struct Candidate {
+        std::string path;
+        std::uint64_t size;
+      };
+      std::vector<Candidate> candidates;
+      for (std::size_t r = 0; r < tier.replicas(); ++r) {
+        for (std::string& path :
+             durability::SegmentLog::list_segments(tier.log(r).dir())) {
+          const auto size = durability::FileFaultInjector::file_size(path);
+          if (size.has_value() && *size > durability::kLogHeaderBytes) {
+            candidates.push_back(Candidate{std::move(path), *size});
+          }
+        }
+      }
+      if (candidates.empty()) break;  // nothing at rest yet: benign no-op
+      const Candidate& target =
+          candidates[event.entropy % candidates.size()];
+      const std::uint64_t byte = mix64(event.entropy) % target.size;
+      const int bit =
+          static_cast<int>(mix64(event.entropy ^ 0xB17B17) % 8);
+      if (durability::FileFaultInjector::flip_bit(target.path, byte, bit)) {
+        ++counters_.bit_rots;
+        obs::WorkLedger::global().note_failure_injected();
+        SLIDER_LOG(Info) << "chaos: bit rot in " << target.path << " byte "
+                         << byte << " bit " << bit;
+      }
+      break;
+    }
+    case ChaosEventType::kReplicaDivergence: {
+      // Drop one replica's newest at-rest record by truncating exactly at
+      // its frame start: every remaining frame stays intact, so the only
+      // symptom is a stale/missing newest seq for that key — the pure
+      // anti-entropy path of the scrubber, with no CRC failure involved.
+      if (targets_.durable == nullptr) break;
+      durability::DurableTier& tier = *targets_.durable;
+      tier.flush();
+      const std::size_t victim = event.entropy % tier.replicas();
+      durability::SegmentLog& log = tier.log(victim);
+      if (log.failed()) break;
+      // Seal the active segment first: truncating under the writer's open
+      // stream would leave its append position past EOF.
+      log.rotate_now();
+      auto segments = durability::SegmentLog::list_segments(log.dir());
+      for (auto it = segments.rbegin(); it != segments.rend(); ++it) {
+        const auto size = durability::FileFaultInjector::file_size(*it);
+        if (!size.has_value() || *size < durability::kLogHeaderBytes) {
+          continue;
+        }
+        const std::uint64_t frame = last_frame_start(*it, *size);
+        if (frame >= *size) continue;  // no complete frame in this segment
+        if (durability::FileFaultInjector::truncate_tail(*it,
+                                                         *size - frame)) {
+          ++counters_.replica_divergences;
+          obs::WorkLedger::global().note_failure_injected();
+          SLIDER_LOG(Info) << "chaos: replica " << victim
+                           << " diverged, dropped newest record of " << *it;
+        }
+        break;  // newest record lives in the last segment that has one
+      }
+      break;
+    }
   }
 }
 

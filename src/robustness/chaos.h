@@ -61,6 +61,9 @@ enum class ChaosEventType : std::uint8_t {
                        // failing it (transient cache loss)
   kDurableErrorOnset,  // every durable replica log starts rejecting writes
   kDurableErrorClear,  // write errors clear; degraded buffer drains
+  kBitRot,             // flip one bit in a random at-rest segment record
+  kReplicaDivergence,  // drop one replica's newest at-rest record (clean
+                       // frame-boundary truncation: stale seq, no CRC fail)
 };
 
 std::string_view chaos_event_name(ChaosEventType type);
@@ -70,6 +73,10 @@ struct ChaosEvent {
   ChaosEventType type = ChaosEventType::kMachineCrash;
   MachineId machine = -1;  // crash / recover / straggler / memo loss
   double factor = 1.0;     // straggler slowdown
+  // Pre-drawn random bits for at-rest corruption targeting (which replica,
+  // segment, byte, bit) — resolved against the actual files at apply time,
+  // since segments do not exist yet when the schedule is generated.
+  std::uint64_t entropy = 0;
 };
 
 struct ChaosOptions {
@@ -80,6 +87,13 @@ struct ChaosOptions {
   int straggler_events = 2;
   int memo_loss_events = 1;
   int durable_error_events = 1;
+  // At-rest corruption (both default 0 so existing seeds replay
+  // bit-identically): bit rot flips one bit in a random flushed segment
+  // record; replica divergence truncates one replica's newest record at a
+  // frame boundary. Both are detected and healed by the integrity
+  // scrubber (durability/scrubber.h).
+  int bit_rot_events = 0;
+  int replica_divergence_events = 0;
   // Probability that a given (task, attempt, machine) draw fails. The
   // draw is a pure hash of the seed and its arguments — no RNG state.
   double attempt_failure_prob = 0.02;
@@ -152,6 +166,8 @@ class ChaosController final : public StageFaultProvider {
     std::uint64_t stragglers = 0;
     std::uint64_t memo_losses = 0;
     std::uint64_t durable_error_windows = 0;
+    std::uint64_t bit_rots = 0;             // bits actually flipped on disk
+    std::uint64_t replica_divergences = 0;  // records actually truncated
   };
   const Counters& counters() const { return counters_; }
 

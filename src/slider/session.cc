@@ -16,6 +16,7 @@
 #include "contraction/rotating_tree.h"
 #include "data/serde.h"
 #include "durability/checkpoint.h"
+#include "durability/scrubber.h"
 #include "observability/build_info.h"
 #include "observability/flight_recorder.h"
 #include "observability/stats.h"
@@ -86,12 +87,14 @@ void record_tree_counters(const std::vector<TreeUpdateStats>& tree_stats) {
 void commit_ledger_run(obs::RunKind kind, std::size_t window_splits,
                        std::size_t removed, std::size_t added,
                        const std::vector<TreeUpdateStats>& tree_stats,
-                       std::string_view tenant) {
+                       std::string_view tenant,
+                       const obs::AttributedWork* extra = nullptr) {
   std::vector<obs::AttributedWork> partitions;
-  partitions.reserve(tree_stats.size());
+  partitions.reserve(tree_stats.size() + (extra != nullptr ? 1 : 0));
   for (const TreeUpdateStats& ts : tree_stats) {
     partitions.push_back(ts.attributed);
   }
+  if (extra != nullptr && !extra->empty()) partitions.push_back(*extra);
   obs::WorkLedger::global().commit_run(kind, window_splits, removed, added,
                                        partitions, tenant);
 }
@@ -507,8 +510,24 @@ void SliderSession::contraction_and_reduce(
   SLIDER_TRACE_SPAN("session", "session.contraction_reduce");
   const double sim_start = sim_clock_;
   record_tree_counters(tree_stats);
+
+  // Slide-boundary integrity scrub slice (disarmed by default). The I/O it
+  // performs is billed into this run's ledger commit under kScrubRepair so
+  // the causal accounting stays exhaustive even while the scrubber heals.
+  obs::AttributedWork scrub_work;
+  if (config_.scrub_records_per_slide > 0) {
+    const durability::ScrubStats slice =
+        memo_->scrub_durable(config_.scrub_records_per_slide);
+    if (slice.records_verified > 0 || slice.repair_bytes_written > 0) {
+      obs::CauseWork& cell =
+          scrub_work.cell(obs::WorkCause::kScrubRepair, 0);
+      cell.memo_bytes_read = slice.bytes_verified;
+      cell.memo_bytes_written = slice.repair_bytes_written;
+    }
+  }
+
   commit_ledger_run(run_kind, window_.size(), removed, added, tree_stats,
-                    config_.tenant);
+                    config_.tenant, &scrub_work);
 
   obs::TraceCollector& trace = obs::TraceCollector::global();
   const bool tracing = trace.enabled();

@@ -91,6 +91,14 @@ struct SliderConfig {
   // counters land in RunMetrics. Null (the default) keeps the failure-free
   // fast path. Not owned; must outlive the session.
   const StageFaultProvider* fault_provider = nullptr;
+  // Online integrity scrubbing (durability/scrubber.h): when > 0, every
+  // slide boundary verifies up to this many at-rest durable-tier record
+  // frames (resuming where the last slice stopped), heals diverged
+  // replicas by anti-entropy re-append, and quarantines corrupt segments.
+  // The scrub's I/O is billed into the run's ledger commit under
+  // WorkCause::kScrubRepair. 0 (the default) keeps the scrubber disarmed
+  // at the cost of a single branch per slide.
+  std::uint64_t scrub_records_per_slide = 0;
   // Multi-tenant identity (src/serving). When non-empty:
   //   * hash_string(tenant) is folded into every memo node id, so
   //     identical JobSpecs under different tenants never alias in a

@@ -4,9 +4,11 @@
 #include <utility>
 #include <vector>
 
+#include "common/crc32c.h"
 #include "common/logging.h"
 #include "data/serde.h"
 #include "durability/durable_tier.h"
+#include "durability/scrubber.h"
 #include "observability/flight_recorder.h"
 #include "observability/stats.h"
 #include "observability/trace.h"
@@ -26,6 +28,7 @@ struct MemoInstruments {
   obs::Counter& evictions_quota;
   obs::Counter& eviction_forced_misses;
   obs::Counter& failure_forced_misses;
+  obs::Counter& checksum_failures;
   obs::Counter& replica_writes;
   obs::Gauge& entries;
   obs::Gauge& bytes;
@@ -47,6 +50,7 @@ MemoInstruments& memo_instruments() {
         stats.counter("memo.evictions_quota"),
         stats.counter("memo.eviction_forced_misses"),
         stats.counter("memo.failure_forced_misses"),
+        stats.counter("memo.checksum_failures"),
         stats.counter("memo.replica_writes"),
         stats.gauge("memo.entries"),
         stats.gauge("memo.bytes"),
@@ -68,6 +72,11 @@ void atomic_add(std::atomic<double>& target, double delta) {
 }
 
 }  // namespace
+
+MemoStore::MemoStore(const Cluster& cluster, const CostModel& cost)
+    : cluster_(&cluster), cost_(&cost) {}
+
+MemoStore::~MemoStore() = default;
 
 void MemoStore::refresh_gauges() const {
   // Single source of truth for the gauge values: the atomic counters.
@@ -429,6 +438,7 @@ MemoWriteResult MemoStore::put(NodeId id, std::shared_ptr<const KVTable> table,
     } else {
       shard.evicted.erase(id);  // re-memoized: no longer an eviction hole
       entry.persistent = serialize_table(*table);
+      entry.payload_crc = crc32c(entry.persistent);
       entry.bytes = entry.persistent.size();
       entry.tenant = tenant;
       if (tenant != 0) account_insert(tenant_cell(tenant), entry.bytes);
@@ -505,23 +515,36 @@ MemoReadResult MemoStore::get(NodeId id, MachineId reader) {
 
     const bool home_alive = !cluster_->machine(entry.home).failed;
     if (memory_cache_enabled() && entry.memory != nullptr && home_alive) {
-      result.found = true;
-      result.table = entry.memory;
-      if (reader == entry.home) {
-        result.tier = ReadTier::kLocalMemory;
-        result.cost = cost_->mem_read(entry.bytes);
+      if (verify_checksums_.load(std::memory_order_relaxed) &&
+          crc32c(serialize_table(*entry.memory)) != entry.payload_crc) {
+        // Silent in-memory corruption: drop the poisoned copy and fall
+        // through to the persistent tier (itself verified below) — the
+        // worst case is a recompute, never a wrong answer.
+        drop_memory(shard, entry);
+        stats_.checksum_forced_misses.fetch_add(1, std::memory_order_relaxed);
+        memo_instruments().checksum_failures.add();
+        obs::FlightRecorder::global().note_fault(
+            "memo_checksum_mismatch",
+            "memory copy of entry " + std::to_string(id));
       } else {
-        result.tier = ReadTier::kRemoteMemory;
-        result.cost =
-            cost_->mem_read(entry.bytes) + cost_->net_transfer(entry.bytes);
+        result.found = true;
+        result.table = entry.memory;
+        if (reader == entry.home) {
+          result.tier = ReadTier::kLocalMemory;
+          result.cost = cost_->mem_read(entry.bytes);
+        } else {
+          result.tier = ReadTier::kRemoteMemory;
+          result.cost =
+              cost_->mem_read(entry.bytes) + cost_->net_transfer(entry.bytes);
+        }
+        touch(shard, entry);
+        stats_.reads_memory.fetch_add(1, std::memory_order_relaxed);
+        atomic_add(stats_.read_time, result.cost);
+        [[maybe_unused]] const double hits =
+            static_cast<double>(memo_instruments().hits_memory.add());
+        SLIDER_TRACE_COUNTER("memo", "memo.hits_memory", hits);
+        return result;
       }
-      touch(shard, entry);
-      stats_.reads_memory.fetch_add(1, std::memory_order_relaxed);
-      atomic_add(stats_.read_time, result.cost);
-      [[maybe_unused]] const double hits =
-          static_cast<double>(memo_instruments().hits_memory.add());
-      SLIDER_TRACE_COUNTER("memo", "memo.hits_memory", hits);
-      return result;
     }
 
     // Fall back to the persistent tier: nearest live replica.
@@ -550,8 +573,30 @@ MemoReadResult MemoStore::get(NodeId id, MachineId reader) {
       return result;
     }
 
-    auto table = deserialize_table(entry.persistent);
-    SLIDER_CHECK(table.has_value()) << "corrupt persistent memo entry " << id;
+    std::optional<KVTable> table;
+    if (crc32c(entry.persistent) == entry.payload_crc) {
+      table = deserialize_table(entry.persistent);
+    }
+    if (!table.has_value()) {
+      // Corrupt persistent copy (stored checksum mismatch, or bytes that
+      // no longer decode): degrade to a failure-forced miss so the caller
+      // recomputes — §6's Δ-proportional cost — instead of crashing or
+      // propagating a wrong table.
+      stats_.misses.fetch_add(1, std::memory_order_relaxed);
+      result.failure_miss = true;
+      stats_.failure_forced_misses.fetch_add(1, std::memory_order_relaxed);
+      stats_.checksum_forced_misses.fetch_add(1, std::memory_order_relaxed);
+      obs::WorkLedger::global().note_failure_forced_miss();
+      memo_instruments().failure_forced_misses.add();
+      memo_instruments().checksum_failures.add();
+      obs::FlightRecorder::global().note_fault(
+          "memo_checksum_mismatch",
+          "persistent copy of entry " + std::to_string(id));
+      [[maybe_unused]] const double misses =
+          static_cast<double>(memo_instruments().misses.add());
+      SLIDER_TRACE_COUNTER("memo", "memo.misses", misses);
+      return result;
+    }
     result.found = true;
     result.table = std::make_shared<const KVTable>(*std::move(table));
     result.cost = cost_->disk_read(entry.bytes);
@@ -678,6 +723,7 @@ std::size_t MemoStore::restore_from_durable(
     if (!inserted) continue;  // already re-put by this process
     Entry& entry = it->second;
     entry.persistent = std::move(payload);
+    entry.payload_crc = crc32c(entry.persistent);
     entry.bytes = entry.persistent.size();
     entry.home = home_of(id);
     for (int r = 0; r < kReplicas; ++r) {
@@ -848,6 +894,40 @@ void MemoStore::drain_degraded_locked() {
   }
 }
 
+durability::ScrubStats MemoStore::scrub_durable(std::uint64_t record_budget) {
+  if (durable_ == nullptr || record_budget == 0) return {};
+  std::lock_guard<std::mutex> dlock(durable_mutex_);
+  if (scrubber_ == nullptr) {
+    scrubber_ = std::make_unique<durability::IntegrityScrubber>(*durable_);
+  }
+  return scrubber_->scrub_slice(record_budget);
+}
+
+durability::ScrubStats MemoStore::scrub_stats() const {
+  std::lock_guard<std::mutex> dlock(durable_mutex_);
+  if (scrubber_ == nullptr) return {};
+  return scrubber_->stats();
+}
+
+bool MemoStore::debug_corrupt_persistent(NodeId id) {
+  Shard& shard = shard_of(id);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.index.find(id);
+  if (it == shard.index.end() || it->second.persistent.empty()) return false;
+  it->second.persistent[it->second.persistent.size() / 2] ^= 0x10;
+  return true;
+}
+
+bool MemoStore::debug_swap_memory(NodeId id,
+                                  std::shared_ptr<const KVTable> table) {
+  Shard& shard = shard_of(id);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.index.find(id);
+  if (it == shard.index.end() || it->second.memory == nullptr) return false;
+  it->second.memory = std::move(table);
+  return true;
+}
+
 MemoStoreStats MemoStore::stats() const {
   MemoStoreStats snapshot;
   snapshot.reads_memory = stats_.reads_memory.load(std::memory_order_relaxed);
@@ -869,6 +949,8 @@ MemoStoreStats MemoStore::stats() const {
       stats_.recovered_entries.load(std::memory_order_relaxed);
   snapshot.failure_forced_misses =
       stats_.failure_forced_misses.load(std::memory_order_relaxed);
+  snapshot.checksum_forced_misses =
+      stats_.checksum_forced_misses.load(std::memory_order_relaxed);
   snapshot.degraded_writes_buffered =
       stats_.degraded_writes_buffered.load(std::memory_order_relaxed);
   snapshot.degraded_intervals =
@@ -890,6 +972,7 @@ void MemoStore::reset_stats() {
   stats_.bytes_persisted.store(0, std::memory_order_relaxed);
   stats_.recovered_entries.store(0, std::memory_order_relaxed);
   stats_.failure_forced_misses.store(0, std::memory_order_relaxed);
+  stats_.checksum_forced_misses.store(0, std::memory_order_relaxed);
   stats_.degraded_writes_buffered.store(0, std::memory_order_relaxed);
   stats_.degraded_intervals.store(0, std::memory_order_relaxed);
   stats_.read_time.store(0, std::memory_order_relaxed);

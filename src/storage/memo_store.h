@@ -42,7 +42,9 @@
 
 namespace slider::durability {
 class DurableTier;
+class IntegrityScrubber;
 struct RecoveryStats;
+struct ScrubStats;
 }  // namespace slider::durability
 
 namespace slider {
@@ -92,6 +94,9 @@ struct MemoStoreStats {
   // erroring, and how many distinct degraded intervals were entered.
   std::uint64_t degraded_writes_buffered = 0;
   std::uint64_t degraded_intervals = 0;
+  // Reads whose stored payload checksum did not match the bytes (silent
+  // corruption); each degraded to a failure miss, never a wrong answer.
+  std::uint64_t checksum_forced_misses = 0;
   SimDuration read_time = 0;
   SimDuration write_time = 0;
 };
@@ -118,8 +123,9 @@ class MemoStore {
  public:
   static constexpr int kReplicas = 2;
 
-  MemoStore(const Cluster& cluster, const CostModel& cost)
-      : cluster_(&cluster), cost_(&cost) {}
+  // Both out-of-line: the store owns the (incomplete here) scrubber.
+  MemoStore(const Cluster& cluster, const CostModel& cost);
+  ~MemoStore();
 
   // Table 2 toggles this: with the in-memory cache disabled, every read is
   // served from the persistent tier.
@@ -262,6 +268,35 @@ class MemoStore {
   }
   std::size_t degraded_backlog() const;
 
+  // --- online integrity scrubbing (durability/scrubber.h) ---------------
+  //
+  // Drives one budgeted scrub slice over the attached durable tier. The
+  // scrubber shares segment files with appends, compaction, and the
+  // degraded drain, so the slice runs under the durable mutex. No-op
+  // without a tier or with a zero budget (the disarmed case costs one
+  // branch). Returns the slice's delta; lifetime totals via scrub_stats().
+  durability::ScrubStats scrub_durable(std::uint64_t record_budget);
+  durability::ScrubStats scrub_stats() const;
+
+  // When enabled, get() re-serializes memory-tier hits and verifies them
+  // against the payload checksum stored at put() time, so a silently
+  // corrupted in-memory copy degrades to the persistent tier (itself
+  // always checksum-verified) instead of returning a wrong answer. Off by
+  // default: the re-serialize is O(entry bytes) per memory hit.
+  void set_verify_checksums(bool enabled) {
+    verify_checksums_.store(enabled, std::memory_order_relaxed);
+  }
+  bool verify_checksums() const {
+    return verify_checksums_.load(std::memory_order_relaxed);
+  }
+
+  // Test hooks simulating silent corruption: flip a bit in the stored
+  // persistent payload / swap the in-memory copy for an arbitrary (wrong)
+  // table, both leaving the stored checksum stale. Return false when the
+  // entry (or the targeted copy) does not exist.
+  bool debug_corrupt_persistent(NodeId id);
+  bool debug_swap_memory(NodeId id, std::shared_ptr<const KVTable> table);
+
   // Opportunistic recovery probe, called at slide boundaries (and safe
   // from any cold path): when degraded, attempts a drain immediately,
   // ignoring the write-driven backoff countdown. Without this, a store
@@ -285,6 +320,10 @@ class MemoStore {
     MachineId home = 0;
     MachineId replica_homes[kReplicas] = {0, 0};
     std::uint64_t bytes = 0;
+    // crc32c of `persistent` at write time; reads verify against it so
+    // silent corruption of either copy degrades to a miss (see
+    // set_verify_checksums for the memory tier).
+    std::uint32_t payload_crc = 0;
     std::uint64_t tenant = 0;     // owner salt (0 = untenanted)
     std::uint64_t write_seq = 0;  // insertion order (budget GC)
     std::uint64_t touch_seq = 0;  // global recency stamp (memory LRU)
@@ -368,6 +407,10 @@ class MemoStore {
   std::atomic<std::uint64_t> next_touch_seq_{0};
   std::mutex evict_mutex_;  // serializes the eviction policies
   durability::DurableTier* durable_ = nullptr;  // optional; not owned
+  std::atomic<bool> verify_checksums_{false};
+  // Created lazily by the first armed scrub_durable(); guarded by
+  // durable_mutex_ like all other durable-tier I/O.
+  std::unique_ptr<durability::IntegrityScrubber> scrubber_;
 
   mutable std::mutex tenant_mutex_;  // guards the map shape, not the cells
   mutable std::unordered_map<std::uint64_t, std::unique_ptr<TenantCell>>
@@ -414,6 +457,7 @@ class MemoStore {
     std::atomic<std::uint64_t> bytes_persisted{0};
     std::atomic<std::uint64_t> recovered_entries{0};
     std::atomic<std::uint64_t> failure_forced_misses{0};
+    std::atomic<std::uint64_t> checksum_forced_misses{0};
     std::atomic<std::uint64_t> degraded_writes_buffered{0};
     std::atomic<std::uint64_t> degraded_intervals{0};
     std::atomic<double> read_time{0};

@@ -13,6 +13,9 @@
 #include "apps/microbench.h"
 #include "data/serde.h"
 #include "durability/durable_tier.h"
+#include "durability/fault_injector.h"
+#include "durability/recovery.h"
+#include "durability/segment_log.h"
 #include "observability/work_ledger.h"
 #include "robustness/chaos.h"
 #include "slider/session.h"
@@ -90,6 +93,104 @@ TEST(ChaosSchedule, RespectsLivenessFloorAndProtectsMachine0) {
       }
     }
   }
+}
+
+TEST(ChaosSchedule, AtRestCorruptionDrawsAppendWithoutDisturbingLegacySeeds) {
+  ChaosOptions legacy;
+  legacy.horizon = 60.0;
+  ChaosOptions corrupting = legacy;
+  corrupting.bit_rot_events = 3;
+  corrupting.replica_divergence_events = 2;
+  const ChaosSchedule before = ChaosSchedule::generate(123, legacy, 6);
+  const ChaosSchedule after = ChaosSchedule::generate(123, corrupting, 6);
+
+  // The corruption draws are appended after every legacy draw, so
+  // filtering them out recovers the legacy timeline bit for bit — old
+  // seeds replay identically whether or not the new knobs exist.
+  std::vector<ChaosEvent> filtered;
+  int bit_rots = 0;
+  int divergences = 0;
+  for (const ChaosEvent& event : after.events()) {
+    if (event.type == ChaosEventType::kBitRot) {
+      ++bit_rots;
+      EXPECT_NE(event.entropy, 0u);
+    } else if (event.type == ChaosEventType::kReplicaDivergence) {
+      ++divergences;
+      EXPECT_NE(event.entropy, 0u);
+    } else {
+      filtered.push_back(event);
+    }
+  }
+  EXPECT_EQ(bit_rots, 3);
+  EXPECT_EQ(divergences, 2);
+  ASSERT_EQ(filtered.size(), before.events().size());
+  for (std::size_t i = 0; i < filtered.size(); ++i) {
+    EXPECT_EQ(filtered[i].at, before.events()[i].at);
+    EXPECT_EQ(filtered[i].type, before.events()[i].type);
+    EXPECT_EQ(filtered[i].machine, before.events()[i].machine);
+    EXPECT_EQ(filtered[i].factor, before.events()[i].factor);
+  }
+
+  // Entropy draws are a pure function of the seed.
+  const ChaosSchedule again = ChaosSchedule::generate(123, corrupting, 6);
+  ASSERT_EQ(again.events().size(), after.events().size());
+  for (std::size_t i = 0; i < after.events().size(); ++i) {
+    EXPECT_EQ(again.events()[i].entropy, after.events()[i].entropy);
+  }
+}
+
+TEST(ChaosController, BitRotFlipsDiskBitAndDivergenceTruncatesOneReplica) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "slider_chaos_bitrot_unit";
+  std::filesystem::remove_all(dir);
+  durability::DurableTier tier(dir.string());
+  for (std::uint64_t k = 1; k <= 12; ++k) {
+    ASSERT_EQ(tier.put(k, k, std::string(16, static_cast<char>('a' + k))),
+              2u);
+  }
+  tier.flush();
+  const auto segments_of = [&](std::size_t replica) {
+    return durability::SegmentLog::list_segments(
+        durability::replica_dir(dir.string(), replica));
+  };
+  const auto bytes_of = [&](const std::vector<std::string>& segments) {
+    std::uint64_t total = 0;
+    for (const std::string& path : segments) {
+      total += durability::FileFaultInjector::file_size(path).value_or(0);
+    }
+    return total;
+  };
+  const std::uint64_t before0 = bytes_of(segments_of(0));
+  const std::uint64_t before1 = bytes_of(segments_of(1));
+  ASSERT_GT(before0, 0u);
+  ASSERT_EQ(before0, before1);
+
+  ChaosOptions options;
+  options.horizon = 10.0;
+  options.crash_events = 0;
+  options.straggler_events = 0;
+  options.memo_loss_events = 0;
+  options.durable_error_events = 0;
+  options.bit_rot_events = 1;
+  options.replica_divergence_events = 1;
+  const ChaosSchedule schedule = ChaosSchedule::generate(5, options, 4);
+  ASSERT_EQ(schedule.events().size(), 2u);
+  Cluster cluster(ClusterConfig{.num_machines = 4, .slots_per_machine = 2});
+  ChaosController controller(
+      schedule, ChaosTargets{.cluster = &cluster, .durable = &tier});
+  controller.apply_until(options.horizon);
+
+  EXPECT_EQ(controller.counters().bit_rots, 1u);
+  EXPECT_EQ(controller.counters().replica_divergences, 1u);
+  // Bit rot preserves sizes; divergence drops exactly one frame from one
+  // replica (the newest record, truncated at a frame boundary). The
+  // divergence rotates the active segment first, so compare per-replica
+  // *.slog byte totals, not per-file sizes.
+  const std::uint64_t after0 = bytes_of(segments_of(0));
+  const std::uint64_t after1 = bytes_of(segments_of(1));
+  EXPECT_EQ(std::max(after0, after1), before0);
+  EXPECT_LT(std::min(after0, after1), before0);
+  std::filesystem::remove_all(dir);
 }
 
 // --- controller --------------------------------------------------------------

@@ -24,14 +24,34 @@
 //     invocations (now including failure_reexec) sum to the aggregate
 //     counter.
 //
+// --bitrot adds the integrity-scrubbing leg: the chaos schedule also
+// flips bits in at-rest segment records and truncates one replica's
+// newest record (kBitRot / kReplicaDivergence), every session runs with
+// the scrubber armed (SliderConfig::scrub_records_per_slide) and memo
+// checksum verification on, and after every run the scrub conservation
+// invariant (corruptions_detected == repairs + quarantines) must hold on
+// top of the byte-identity checks. The mode finishes with a SIGKILL
+// mid-repair experiment: a forked victim corrupts a replica, starts the
+// scrub, and dies from inside the repair append; the parent recovers the
+// store from the surviving replicas, completes the interrupted repair,
+// and proves the recovered session's outputs byte-identical to a
+// failure-free control.
+//
 // Exit status 0 iff every check passed. Writes BENCH_chaos_soak.json
 // (RunReport with the robustness section) unless --no-report.
 //
 // Run:  ./build/tools/chaos_soak --seeds=32
-// CI:   registered as the `tools_chaos_soak` ctest.
+//       ./build/tools/chaos_soak --bitrot   (16 seeds unless --seeds=N)
+// CI:   registered as the `tools_chaos_soak` / `tools_chaos_soak_bitrot`
+//       ctests.
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <bit>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -42,6 +62,10 @@
 #include "apps/microbench.h"
 #include "data/serde.h"
 #include "durability/durable_tier.h"
+#include "durability/fault_injector.h"
+#include "durability/recovery.h"
+#include "durability/scrubber.h"
+#include "durability/segment_log.h"
 #include "observability/flight_recorder.h"
 #include "observability/run_report.h"
 #include "observability/slo.h"
@@ -63,6 +87,10 @@ struct Options {
   std::size_t slide = 4;
   bool quiet = false;
   bool report = true;
+  // --bitrot: inject at-rest corruption (bit flips + replica divergence)
+  // and arm the integrity scrubber; conservation asserted every run.
+  bool bitrot = false;
+  std::uint64_t scrub_budget = 48;  // records scrubbed per slide when armed
 };
 
 struct Variant {
@@ -166,6 +194,7 @@ struct ChaosOutcome {
   std::string failure;  // first mismatch, for the log
   RunMetrics metrics;   // summed over every run
   robustness::ChaosController::Counters chaos;
+  durability::ScrubStats scrub;  // lifetime scrub stats (--bitrot only)
   SimDuration final_clock = 0;
   std::vector<std::string> final_outputs;
 };
@@ -192,6 +221,10 @@ ChaosOutcome run_chaos(const Variant& v, const Options& opt,
   chaos_options.durable_error_events = 1;
   chaos_options.attempt_failure_prob = 0.05;
   chaos_options.min_live_machines = 2;
+  if (opt.bitrot) {
+    chaos_options.bit_rot_events = 3;
+    chaos_options.replica_divergence_events = 2;
+  }
   const robustness::ChaosSchedule schedule = robustness::ChaosSchedule::generate(
       seed, chaos_options, opt.machines);
   robustness::ChaosController controller(
@@ -201,6 +234,10 @@ ChaosOutcome run_chaos(const Variant& v, const Options& opt,
 
   SliderConfig config = variant_config(v, opt);
   config.fault_provider = &controller;
+  if (opt.bitrot) {
+    config.scrub_records_per_slide = opt.scrub_budget;
+    memo.set_verify_checksums(true);
+  }
   SliderSession session(engine, memo, bench.job, config);
 
   std::size_t run_index = 0;
@@ -242,6 +279,24 @@ ChaosOutcome run_chaos(const Variant& v, const Options& opt,
     return outcome;
   }
 
+  if (opt.bitrot) {
+    // Drain the scrubber: finish the in-flight pass, then one complete
+    // pass over the final at-rest state, so every injected corruption
+    // that survived to the end has been detected and resolved.
+    memo.scrub_durable(1ull << 20);
+    memo.scrub_durable(1ull << 20);
+    outcome.scrub = memo.scrub_stats();
+    if (!outcome.scrub.conserved()) {
+      outcome.ok = false;
+      outcome.failure =
+          "scrub conservation violated: detected=" +
+          std::to_string(outcome.scrub.corruptions_detected) +
+          " != repairs=" + std::to_string(outcome.scrub.repairs) +
+          " + quarantines=" + std::to_string(outcome.scrub.quarantines);
+      return outcome;
+    }
+  }
+
   outcome.chaos = controller.counters();
   outcome.final_clock = session.sim_clock();
   outcome.final_outputs = output_bytes(session);
@@ -253,7 +308,202 @@ bool same_counters(const robustness::ChaosController::Counters& a,
   return a.events_applied == b.events_applied && a.crashes == b.crashes &&
          a.recoveries == b.recoveries && a.stragglers == b.stragglers &&
          a.memo_losses == b.memo_losses &&
-         a.durable_error_windows == b.durable_error_windows;
+         a.durable_error_windows == b.durable_error_windows &&
+         a.bit_rots == b.bit_rots &&
+         a.replica_divergences == b.replica_divergences;
+}
+
+// A FaultInjector that SIGKILLs the process once its byte budget runs
+// out. Armed on the corrupted replica right before the scrub starts, it
+// fires from inside the scrubber's quarantine re-append: the process dies
+// mid-repair, leaving a half-written healing segment plus the original
+// corrupt frame for the recovery process to sort out.
+class KillAfterBytes final : public durability::FaultInjector {
+ public:
+  explicit KillAfterBytes(std::uint64_t budget) : budget_(budget) {}
+
+  std::size_t admit(std::size_t want) override {
+    if (!armed_) return want;
+    if (budget_ < want) {
+      std::fflush(nullptr);  // everything before this write stays on disk
+      std::raise(SIGKILL);
+    }
+    budget_ -= want;
+    return want;
+  }
+
+  void arm() { armed_ = true; }
+
+ private:
+  bool armed_ = false;
+  std::uint64_t budget_;
+};
+
+// --phase=bitrot-victim: build durable state, corrupt one replica at
+// rest, then start a scrub whose first repair append SIGKILLs the
+// process. Exit 2 means the experiment itself failed (the injector never
+// fired); death by SIGKILL is the expected outcome.
+int run_bitrot_victim(const Options& opt, const std::string& dir) {
+  const auto bench = apps::make_microbenchmark(apps::MicroApp::kHct);
+  const Variant& v = kVariants[1];  // folding tree, variable-width window
+  CostModel cost;
+  Cluster cluster(ClusterConfig{.num_machines = opt.machines,
+                                .slots_per_machine = 2});
+  VanillaEngine engine(cluster, cost);
+  durability::DurableTier tier(dir);
+  MemoStore memo(cluster, cost);
+  memo.attach_durable_tier(&tier);
+  SliderSession session(engine, memo, bench.job, variant_config(v, opt));
+
+  session.initial_run(batch_for(bench, opt, opt.window_splits, 0));
+  SplitId next_id = opt.window_splits;
+  for (int s = 0; s < 2; ++s) {
+    session.slide(opt.slide, batch_for(bench, opt, opt.slide, next_id));
+    next_id += opt.slide;
+  }
+  memo.flush_durable();
+
+  // Flip one bit in replica 0's newest segment, away from the start so
+  // the scrubber has an intact prefix to re-append during quarantine.
+  const std::vector<std::string> segments =
+      durability::SegmentLog::list_segments(durability::replica_dir(dir, 0));
+  if (segments.empty()) {
+    std::fprintf(stderr, "bitrot victim: no segments to corrupt\n");
+    return 2;
+  }
+  const std::string& victim_segment = segments.back();
+  const auto size = durability::FileFaultInjector::file_size(victim_segment);
+  if (!size.has_value() || *size < 64) {
+    std::fprintf(stderr, "bitrot victim: segment too small to corrupt\n");
+    return 2;
+  }
+  durability::FileFaultInjector::flip_bit(victim_segment, *size * 3 / 4, 3);
+
+  // Any repair append on replica 0 now kills the process mid-write.
+  KillAfterBytes killer(1);
+  tier.set_fault_injector(0, &killer);
+  killer.arm();
+  memo.scrub_durable(1ull << 20);
+
+  std::fprintf(stderr, "bitrot victim: scrub survived; injector never "
+               "fired\n");
+  return 2;
+}
+
+// SIGKILL mid-repair + recovery: fork the victim above, expect SIGKILL,
+// then recover the store in-process — the interrupted repair must finish,
+// conservation must hold, and a session over the recovered memo must
+// reproduce a failure-free control byte for byte. Returns the number of
+// failures (0 on success).
+int run_bitrot_crash_scenario(const char* argv0, const Options& opt) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "slider_bitrot_crash")
+          .string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  const pid_t pid = fork();
+  if (pid < 0) {
+    std::perror("fork");
+    return 1;
+  }
+  if (pid == 0) {
+    const std::string dir_flag = "--dir=" + dir;
+    execl(argv0, argv0, "--phase=bitrot-victim", dir_flag.c_str(),
+          static_cast<char*>(nullptr));
+    std::perror("execl");
+    _exit(127);
+  }
+  int status = 0;
+  if (waitpid(pid, &status, 0) < 0) {
+    std::perror("waitpid");
+    return 1;
+  }
+  if (!WIFSIGNALED(status) || WTERMSIG(status) != SIGKILL) {
+    std::fprintf(stderr,
+                 "bitrot crash: victim did not die of SIGKILL (status=%d)\n",
+                 status);
+    std::filesystem::remove_all(dir);
+    return 1;
+  }
+
+  // Recovery: replica 1 is intact; replica 0 holds the corrupt frame and
+  // whatever the half-finished quarantine managed to write before dying.
+  const auto bench = apps::make_microbenchmark(apps::MicroApp::kHct);
+  const Variant& v = kVariants[1];
+  CostModel cost;
+  Cluster cluster(ClusterConfig{.num_machines = opt.machines,
+                                .slots_per_machine = 2});
+  VanillaEngine engine(cluster, cost);
+  durability::DurableTier tier(dir);
+  MemoStore memo(cluster, cost);
+  memo.attach_durable_tier(&tier);
+  durability::RecoveryStats recovery;
+  const std::size_t recovered = memo.restore_from_durable(&recovery);
+  memo.set_verify_checksums(true);
+
+  // Finish the interrupted repair: scrub to at least one complete pass.
+  for (int i = 0; i < 10'000 && memo.scrub_stats().full_passes < 1; ++i) {
+    memo.scrub_durable(256);
+  }
+  const durability::ScrubStats scrub = memo.scrub_stats();
+  if (scrub.full_passes < 1 || !scrub.conserved()) {
+    std::fprintf(stderr,
+                 "bitrot crash: post-recovery scrub did not converge "
+                 "(passes=%llu detected=%llu repairs=%llu quarantines=%llu)\n",
+                 static_cast<unsigned long long>(scrub.full_passes),
+                 static_cast<unsigned long long>(scrub.corruptions_detected),
+                 static_cast<unsigned long long>(scrub.repairs),
+                 static_cast<unsigned long long>(scrub.quarantines));
+    std::filesystem::remove_all(dir);
+    return 1;
+  }
+
+  // A session over the recovered store must match a failure-free control
+  // after every run — at-rest corruption plus a mid-repair crash cost
+  // recomputation at most, never correctness.
+  const ControlTrace control = run_control(v, opt, bench);
+  SliderConfig config = variant_config(v, opt);
+  config.scrub_records_per_slide = opt.scrub_budget;
+  SliderSession session(engine, memo, bench.job, config);
+  std::size_t run_index = 0;
+  int failures = 0;
+  const auto check = [&]() {
+    if (output_bytes(session) != control.outputs[run_index]) {
+      std::fprintf(stderr,
+                   "bitrot crash: recovered outputs diverged at run %zu\n",
+                   run_index);
+      ++failures;
+    }
+    ++run_index;
+  };
+  session.initial_run(batch_for(bench, opt, opt.window_splits, 0));
+  check();
+  SplitId next_id = opt.window_splits;
+  for (int s = 0; s < opt.slides; ++s) {
+    session.slide(opt.slide, batch_for(bench, opt, opt.slide, next_id));
+    next_id += opt.slide;
+    check();
+  }
+  if (!memo.scrub_stats().conserved()) {
+    std::fprintf(stderr, "bitrot crash: scrub conservation violated after "
+                 "recovered replay\n");
+    ++failures;
+  }
+  std::filesystem::remove_all(dir);
+  if (failures == 0 && !opt.quiet) {
+    std::printf("bitrot crash: victim SIGKILLed mid-repair; recovered %zu "
+                "entries (torn=%llu crc_failures=%llu), scrub converged "
+                "(detected=%llu repairs=%llu quarantines=%llu), outputs "
+                "byte-identical\n",
+                recovered,
+                static_cast<unsigned long long>(recovery.scan.torn_records),
+                static_cast<unsigned long long>(recovery.scan.crc_failures),
+                static_cast<unsigned long long>(scrub.corruptions_detected),
+                static_cast<unsigned long long>(scrub.repairs),
+                static_cast<unsigned long long>(scrub.quarantines));
+  }
+  return failures;
 }
 
 // --postmortem-dir mode: one chaos session armed with the flight recorder
@@ -261,6 +511,10 @@ bool same_counters(const robustness::ChaosController::Counters& a,
 // injects task failures). The run must leave at least one valid *.pm.json
 // in `pm_dir` whose fault log attributes the injected chaos — the
 // `tools_slider_doctor` ctest then parses it back and checks exactly that.
+// With --bitrot the schedule also flips at-rest bits and diverges a
+// replica, and the session scrubs as it slides — the dump's fault log
+// then carries the bit_rot / scrub notes the doctor's
+// --expect-fault=bit_rot gate looks for.
 int run_postmortem_scenario(const Options& opt, const std::string& pm_dir) {
   std::filesystem::remove_all(pm_dir);
   std::filesystem::create_directories(pm_dir);
@@ -272,8 +526,12 @@ int run_postmortem_scenario(const Options& opt, const std::string& pm_dir) {
   Cluster cluster(ClusterConfig{.num_machines = opt.machines,
                                 .slots_per_machine = 2});
   VanillaEngine engine(cluster, cost);
+  // Distinct roots per mode: ctest runs the plain and --bitrot postmortem
+  // fixtures concurrently, and they must not remove_all each other's tier.
   const std::filesystem::path tier_dir =
-      std::filesystem::temp_directory_path() / "slider_chaos_soak_pm_tier";
+      std::filesystem::temp_directory_path() /
+      (opt.bitrot ? "slider_chaos_soak_pm_tier_bitrot"
+                  : "slider_chaos_soak_pm_tier");
   std::filesystem::remove_all(tier_dir);
   std::filesystem::create_directories(tier_dir);
   durability::DurableTier tier(tier_dir.string());
@@ -290,6 +548,10 @@ int run_postmortem_scenario(const Options& opt, const std::string& pm_dir) {
   chaos_options.durable_error_events = 1;
   chaos_options.attempt_failure_prob = 0.25;
   chaos_options.min_live_machines = 2;
+  if (opt.bitrot) {
+    chaos_options.bit_rot_events = 2;
+    chaos_options.replica_divergence_events = 1;
+  }
   const robustness::ChaosSchedule schedule =
       robustness::ChaosSchedule::generate(13, chaos_options, opt.machines);
   robustness::ChaosController controller(
@@ -300,6 +562,10 @@ int run_postmortem_scenario(const Options& opt, const std::string& pm_dir) {
   SliderConfig config = variant_config(v, opt);
   config.fault_provider = &controller;
   config.postmortem_dir = pm_dir;
+  if (opt.bitrot) {
+    config.scrub_records_per_slide = opt.scrub_budget;
+    memo.set_verify_checksums(true);
+  }
   obs::SloSpec strict;
   strict.name = "no_retries";
   strict.kind = obs::SloKind::kRetryRateCeiling;
@@ -315,6 +581,12 @@ int run_postmortem_scenario(const Options& opt, const std::string& pm_dir) {
     session.slide(opt.slide, batch_for(bench, opt, opt.slide, next_id));
     next_id += opt.slide;
     controller.apply_until(session.sim_clock());
+  }
+  // Drain the scrubber before the final dump so the embedded ledger
+  // snapshot carries resolved (conserved) scrub counters.
+  if (opt.bitrot) {
+    memo.scrub_durable(1ull << 20);
+    memo.scrub_durable(1ull << 20);
   }
   // Final dump after every chaos event has been applied: the complete
   // fault log travels with it, so the doctor's attribution check does not
@@ -367,8 +639,11 @@ bool has_flag(int argc, char** argv, const char* flag) {
 
 int main(int argc, char** argv) {
   Options opt;
+  opt.bitrot = has_flag(argc, argv, "--bitrot");
   if (const std::string v = arg_value(argc, argv, "--seeds"); !v.empty()) {
     opt.seeds = std::max(1, std::atoi(v.c_str()));
+  } else if (opt.bitrot) {
+    opt.seeds = 16;  // the bit-rot acceptance bar: >= 16 seeds
   }
   if (const std::string v = arg_value(argc, argv, "--slides"); !v.empty()) {
     opt.slides = std::max(1, std::atoi(v.c_str()));
@@ -378,13 +653,20 @@ int main(int argc, char** argv) {
   }
   opt.quiet = has_flag(argc, argv, "--quiet");
   if (has_flag(argc, argv, "--no-report")) opt.report = false;
+  if (const std::string phase = arg_value(argc, argv, "--phase");
+      phase == "bitrot-victim") {
+    return run_bitrot_victim(opt, arg_value(argc, argv, "--dir"));
+  }
   if (const std::string v = arg_value(argc, argv, "--postmortem-dir");
       !v.empty()) {
     return run_postmortem_scenario(opt, v);
   }
 
+  // Distinct roots per mode: ctest runs tools_chaos_soak and
+  // tools_chaos_soak_bitrot concurrently, and each remove_all's its base.
   const std::filesystem::path base =
-      std::filesystem::temp_directory_path() / "slider_chaos_soak";
+      std::filesystem::temp_directory_path() /
+      (opt.bitrot ? "slider_chaos_soak_bitrot" : "slider_chaos_soak");
   std::filesystem::remove_all(base);
 
   const auto hct_bench = apps::make_microbenchmark(apps::MicroApp::kHct);
@@ -400,6 +682,9 @@ int main(int argc, char** argv) {
       .set_param("app", "hct (tree variants), substr (flat tier)");
 
   int failures = 0;
+  durability::ScrubStats grand_scrub;
+  std::uint64_t grand_bit_rots = 0;
+  std::uint64_t grand_divergences = 0;
   for (const Variant& variant : kVariants) {
     const auto& bench = variant.flat ? flat_bench : hct_bench;
     const ControlTrace control = run_control(variant, opt, bench);
@@ -418,6 +703,7 @@ int main(int argc, char** argv) {
     }
     RunMetrics variant_metrics;
     robustness::ChaosController::Counters variant_chaos;
+    durability::ScrubStats variant_scrub;
     bool variant_ok = true;
     for (int s = 0; s < opt.seeds; ++s) {
       const auto seed = static_cast<std::uint64_t>(s) * 7919 + 13;
@@ -465,6 +751,9 @@ int main(int argc, char** argv) {
       variant_chaos.durable_error_windows +=
           outcome.chaos.durable_error_windows;
       variant_chaos.events_applied += outcome.chaos.events_applied;
+      variant_chaos.bit_rots += outcome.chaos.bit_rots;
+      variant_chaos.replica_divergences += outcome.chaos.replica_divergences;
+      variant_scrub += outcome.scrub;
       std::filesystem::remove_all(dir);
     }
     if (!opt.quiet) {
@@ -477,6 +766,21 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(variant_metrics.failed_attempts),
           static_cast<unsigned long long>(variant_metrics.max_task_attempts),
           variant_ok ? "OK" : "FAIL");
+      if (opt.bitrot) {
+        std::printf(
+            "%-20s   bit_rots=%llu divergences=%llu scrub: verified=%llu "
+            "detected=%llu repairs=%llu quarantines=%llu [%s]\n",
+            variant.name,
+            static_cast<unsigned long long>(variant_chaos.bit_rots),
+            static_cast<unsigned long long>(
+                variant_chaos.replica_divergences),
+            static_cast<unsigned long long>(variant_scrub.records_verified),
+            static_cast<unsigned long long>(
+                variant_scrub.corruptions_detected),
+            static_cast<unsigned long long>(variant_scrub.repairs),
+            static_cast<unsigned long long>(variant_scrub.quarantines),
+            variant_scrub.conserved() ? "conserved" : "NOT CONSERVED");
+      }
     }
     report.add_row()
         .col("variant", variant.name)
@@ -486,12 +790,21 @@ int main(int argc, char** argv) {
         .col("stragglers", variant_chaos.stragglers)
         .col("memo_losses", variant_chaos.memo_losses)
         .col("durable_error_windows", variant_chaos.durable_error_windows)
+        .col("bit_rots", variant_chaos.bit_rots)
+        .col("replica_divergences", variant_chaos.replica_divergences)
+        .col("scrub_records_verified", variant_scrub.records_verified)
+        .col("scrub_corruptions_detected", variant_scrub.corruptions_detected)
+        .col("scrub_repairs", variant_scrub.repairs)
+        .col("scrub_quarantines", variant_scrub.quarantines)
         .col("task_attempts", variant_metrics.task_attempts)
         .col("failed_attempts", variant_metrics.failed_attempts)
         .col("task_retries", variant_metrics.task_retries)
         .col("machines_blacklisted", variant_metrics.machines_blacklisted)
         .col("max_task_attempts", variant_metrics.max_task_attempts)
         .col("outputs_identical", variant_ok);
+    grand_scrub += variant_scrub;
+    grand_bit_rots += variant_chaos.bit_rots;
+    grand_divergences += variant_chaos.replica_divergences;
     totals.seeds += static_cast<std::uint64_t>(opt.seeds);
     totals.crashes += variant_chaos.crashes;
     totals.recoveries += variant_chaos.recoveries;
@@ -508,6 +821,28 @@ int main(int argc, char** argv) {
   }
   std::filesystem::remove_all(base);
 
+  if (opt.bitrot) {
+    // The injected corruption must actually have been seen and resolved:
+    // a soak that never detects anything is testing nothing. Fixed seeds
+    // make this deterministic.
+    if (grand_bit_rots == 0 || grand_divergences == 0) {
+      std::fprintf(stderr,
+                   "FAIL bitrot soak: no corruption injected (bit_rots=%llu "
+                   "divergences=%llu)\n",
+                   static_cast<unsigned long long>(grand_bit_rots),
+                   static_cast<unsigned long long>(grand_divergences));
+      ++failures;
+    }
+    if (grand_scrub.corruptions_detected == 0) {
+      std::fprintf(stderr,
+                   "FAIL bitrot soak: corruption injected but the scrubber "
+                   "never detected any\n");
+      ++failures;
+    }
+    // SIGKILL mid-repair + recovery: the capstone scenario.
+    failures += run_bitrot_crash_scenario(argv[0], opt);
+  }
+
   // Ledger conservation, now including failure_reexec: per-cause combiner
   // invocations across every control AND chaos run must sum to the
   // aggregate counter.
@@ -520,6 +855,21 @@ int main(int argc, char** argv) {
                  "%llu\n",
                  static_cast<unsigned long long>(ledger.total_invocations()),
                  static_cast<unsigned long long>(aggregate));
+    ++failures;
+  }
+  // The ledger's own scrub counters (fed by note_scrub, billed under
+  // kScrubRepair) must conserve too, independently of the per-run stats.
+  if (ledger.counters.scrub_corruptions_detected !=
+      ledger.counters.scrub_repairs + ledger.counters.scrub_quarantines) {
+    std::fprintf(stderr,
+                 "FAIL ledger scrub conservation: detected=%llu != "
+                 "repairs=%llu + quarantines=%llu\n",
+                 static_cast<unsigned long long>(
+                     ledger.counters.scrub_corruptions_detected),
+                 static_cast<unsigned long long>(
+                     ledger.counters.scrub_repairs),
+                 static_cast<unsigned long long>(
+                     ledger.counters.scrub_quarantines));
     ++failures;
   }
   totals.failures_injected = ledger.counters.failures_injected;
@@ -535,6 +885,14 @@ int main(int argc, char** argv) {
         "crashes, stragglers, memo loss, durable write-error windows, and "
         "injected task failures; outputs byte-identical to the failure-free "
         "control, retries within the attempt cap, ledger conserved");
+    if (opt.bitrot) {
+      report.add_note(
+          "bitrot mode: at-rest bit flips + replica divergence injected "
+          "continuously, scrubber armed per slide, checksum-verified memo "
+          "reads; scrub conservation (detected == repairs + quarantines) "
+          "asserted every run, plus a SIGKILL-mid-repair fork whose "
+          "recovery converges and matches the control byte for byte");
+    }
     const std::string path = report.write();
     if (!path.empty() && !opt.quiet) {
       std::printf("bench report: %s\n", path.c_str());
@@ -547,6 +905,19 @@ int main(int argc, char** argv) {
                 static_cast<int>(std::size(kVariants)), opt.seeds,
                 static_cast<unsigned long long>(totals.failures_injected),
                 static_cast<unsigned long long>(totals.task_retries));
+    if (opt.bitrot) {
+      std::printf("bitrot soak: OK (%llu bit flips + %llu divergences "
+                  "injected; scrub verified=%llu detected=%llu repairs=%llu "
+                  "quarantines=%llu, conserved)\n",
+                  static_cast<unsigned long long>(grand_bit_rots),
+                  static_cast<unsigned long long>(grand_divergences),
+                  static_cast<unsigned long long>(
+                      grand_scrub.records_verified),
+                  static_cast<unsigned long long>(
+                      grand_scrub.corruptions_detected),
+                  static_cast<unsigned long long>(grand_scrub.repairs),
+                  static_cast<unsigned long long>(grand_scrub.quarantines));
+    }
     return 0;
   }
   std::fprintf(stderr, "chaos soak: %d FAILURE(S)\n", failures);

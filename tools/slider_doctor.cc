@@ -145,6 +145,28 @@ void print_ledger_section(const JsonValue& ledger, bool quiet) {
                   counters["degraded_mode_intervals"].as_u64()));
 }
 
+void print_scrub_section(const JsonValue& ledger, bool quiet) {
+  if (quiet) return;
+  const JsonValue& counters = ledger["counters"];
+  const std::uint64_t verified = counters["scrub_records_verified"].as_u64();
+  const std::uint64_t detected =
+      counters["scrub_corruptions_detected"].as_u64();
+  const std::uint64_t repairs = counters["scrub_repairs"].as_u64();
+  const std::uint64_t quarantines = counters["scrub_quarantines"].as_u64();
+  if (verified == 0 && detected == 0) return;
+  // Conservation invariant: every detection resolves into exactly one
+  // repair or one quarantine. A violated line here means the scrubber
+  // died mid-resolution or the dump caught a bug.
+  const bool conserved = detected == repairs + quarantines;
+  std::printf("Integrity scrub: %llu record(s) verified, %llu corruption(s) "
+              "detected, %llu repaired, %llu quarantined [%s]\n",
+              static_cast<unsigned long long>(verified),
+              static_cast<unsigned long long>(detected),
+              static_cast<unsigned long long>(repairs),
+              static_cast<unsigned long long>(quarantines),
+              conserved ? "conserved" : "NOT CONSERVED");
+}
+
 void print_timeseries_section(const JsonValue& series, bool quiet) {
   if (quiet) return;
   const JsonValue& raw = series["raw"];
@@ -306,6 +328,7 @@ bool doctor_one(const std::string& path, const std::string& expect,
   print_slo_section(root["slo"], quiet);
   print_fault_section(root["faults"], expect, stats, quiet);
   print_ledger_section(root["ledger"], quiet);
+  print_scrub_section(root["ledger"], quiet);
   print_timeseries_section(root["timeseries"], quiet);
   print_provenance_section(root["provenance"], explain_key, partition, stats,
                            quiet);
